@@ -1,0 +1,80 @@
+// Command em3d runs the §8 EM3D case study: six implementation versions
+// over a sweep of remote-edge fractions, reporting the paper's
+// µs-per-edge metric.
+//
+// Usage:
+//
+//	em3d                              # quick scale (8 PEs)
+//	em3d -pes 32 -nodes 500 -degree 20 -iters 3   # the Figure 9 workload
+//	em3d -version Bulk -remote 0.4    # one point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/em3d"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		pes     = flag.Int("pes", 8, "processors")
+		nodes   = flag.Int("nodes", 120, "graph nodes per processor")
+		degree  = flag.Int("degree", 8, "edges per node")
+		iters   = flag.Int("iters", 2, "timed iterations")
+		version = flag.String("version", "", "run a single version (Simple, Ghost, Unroll, Get, Put, Bulk)")
+		remote  = flag.String("remote", "0,0.05,0.1,0.2,0.4", "comma-separated remote-edge fractions")
+		stats   = flag.Bool("stats", false, "print machine hardware counters after each run (with -version)")
+	)
+	flag.Parse()
+
+	var fractions []float64
+	for _, s := range strings.Split(*remote, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || f < 0 || f > 1 {
+			fmt.Fprintf(os.Stderr, "em3d: bad remote fraction %q\n", s)
+			os.Exit(1)
+		}
+		fractions = append(fractions, f)
+	}
+
+	if *version != "" {
+		v, ok := parseVersion(*version)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "em3d: unknown version %q\n", *version)
+			os.Exit(1)
+		}
+		for _, f := range fractions {
+			m := em3d.NewMachine(*pes)
+			cfg := em3d.Config{NodesPerPE: *nodes, Degree: *degree, RemoteFrac: f, Seed: 42, Iters: *iters}
+			res := em3d.Run(m, cfg, v, em3d.DefaultKnobs())
+			ok := "ok"
+			if !res.Validated {
+				ok = "VALIDATION FAILED"
+			}
+			fmt.Printf("%-7s remote=%4.0f%%  %.3f µs/edge  %.2f MFLOPS/PE  [%s]\n",
+				v, f*100, res.USPerEdge, res.MFlopsPE, ok)
+			if *stats {
+				m.Stats().Render(os.Stdout)
+			}
+		}
+		return
+	}
+
+	scale := exp.Fig9Scale{PEs: *pes, NodesPerPE: *nodes, Degree: *degree, Iters: *iters, Fractions: fractions}
+	t := exp.Fig9Table(scale)
+	t.Render(os.Stdout)
+}
+
+func parseVersion(s string) (em3d.Version, bool) {
+	for _, v := range em3d.Versions {
+		if strings.EqualFold(v.String(), s) {
+			return v, true
+		}
+	}
+	return 0, false
+}

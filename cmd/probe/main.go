@@ -1,0 +1,118 @@
+// Command probe runs an ad-hoc sawtooth micro-benchmark (§2.1) on the
+// simulated T3D node or DEC Alpha workstation and prints the latency
+// profile.
+//
+// Usage:
+//
+//	probe -target t3d -op read -sizes 4K,64K,1M
+//	probe -target t3d -op remote-read
+//	probe -target ws -op read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "t3d", "t3d or ws (workstation)")
+		op     = flag.String("op", "read", "read, write, remote-read, remote-read-cached, remote-write, remote-write-nb")
+		sizes  = flag.String("sizes", "4K,16K,64K,256K,1M", "comma-separated array sizes")
+		minAcc = flag.Int64("accesses", 256, "minimum accesses per measured pass")
+		chart  = flag.Bool("chart", false, "render the profile as an ASCII log-log chart (the paper's figure style)")
+	)
+	flag.Parse()
+
+	cfg := core.SawtoothConfig{MinAccesses: *minAcc, WarmPasses: 1}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := parseBytes(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probe: bad size %q\n", s)
+			os.Exit(1)
+		}
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+
+	newM := func() *machine.T3D { return machine.New(machine.DefaultConfig(2)) }
+
+	var prof core.Profile
+	switch *target {
+	case "ws":
+		switch *op {
+		case "read":
+			prof = core.SawtoothWorkstation(core.WSRead(), cfg)
+		case "write":
+			prof = core.SawtoothWorkstation(core.WSWrite(), cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "probe: workstation supports read/write only\n")
+			os.Exit(1)
+		}
+	case "t3d":
+		var p core.Probe
+		switch *op {
+		case "read":
+			p = core.LocalRead()
+		case "write":
+			p = core.LocalWrite()
+		case "remote-read":
+			p = core.RemoteReadUncached()
+		case "remote-read-cached":
+			p = core.RemoteReadCached()
+		case "remote-write":
+			p = core.RemoteWriteBlocking()
+		case "remote-write-nb":
+			p = core.RemoteWriteNonblocking()
+		default:
+			fmt.Fprintf(os.Stderr, "probe: unknown op %q\n", *op)
+			os.Exit(1)
+		}
+		prof = core.Sawtooth(newM, p, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "probe: unknown target %q\n", *target)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# %s / %s — average ns per operation\n", *target, *op)
+	if *chart {
+		var series []report.Series
+		for _, c := range prof.Curves {
+			s := report.Series{Name: report.Bytes(c.ArraySize)}
+			for _, pt := range c.Points {
+				s.X = append(s.X, float64(pt.Stride))
+				s.Y = append(s.Y, pt.AvgNS)
+			}
+			series = append(series, s)
+		}
+		opt := report.DefaultChartOptions()
+		opt.XLabel = "stride, bytes"
+		opt.YLabel = "ns"
+		report.Chart(os.Stdout, prof.Label+" (ns vs stride)", series, opt)
+		return
+	}
+	fmt.Printf("%10s %10s %12s\n", "size", "stride", "ns")
+	for _, c := range prof.Curves {
+		for _, pt := range c.Points {
+			fmt.Printf("%10d %10d %12.2f\n", pt.ArraySize, pt.Stride, pt.AvgNS)
+		}
+	}
+}
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n * mult, err
+}

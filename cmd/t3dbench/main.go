@@ -1,0 +1,67 @@
+// Command t3dbench regenerates the figures and tables of "Empirical
+// Evaluation of the CRAY-T3D: A Compiler Perspective" (ISCA 1995) from
+// the simulated machine.
+//
+// Usage:
+//
+//	t3dbench -experiment all          # every figure and table (quick scale)
+//	t3dbench -experiment fig6         # one experiment
+//	t3dbench -experiment fig9 -full   # the paper's exact workload sizes
+//	t3dbench -list                    # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (fig1..fig9, tab2, tab3, tab7, hop) or 'all'")
+		full  = flag.Bool("full", false, "run at the paper's full workload sizes (slow)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.Bool("csv", false, "emit comma-separated values for replotting")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: !*full}
+	ids := strings.Split(*which, ",")
+	var run []exp.Experiment
+	if *which == "all" {
+		run = exp.All()
+	} else {
+		for _, id := range ids {
+			e, ok := exp.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "t3dbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			run = append(run, e)
+		}
+	}
+	for _, e := range run {
+		start := time.Now()
+		if *csv {
+			for i, t := range e.Run(opts) {
+				fmt.Printf("# %s table %d: %s\n", e.ID, i+1, t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			}
+		} else {
+			e.RunAndRender(os.Stdout, opts)
+			fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

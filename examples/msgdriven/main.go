@@ -1,0 +1,85 @@
+// Message-driven execution (§7): a producer/consumer pipeline built on
+// the shared-memory active-message layer — fetch&increment tickets, a
+// per-node receive queue, and storeSync-style completion — contrasted
+// with the hardware message queue whose 25 µs receive interrupt the
+// paper measures and rejects.
+//
+//	go run ./examples/msgdriven
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+const (
+	pes      = 4
+	perProd  = 16
+	consumer = 0
+)
+
+func main() {
+	fmt.Println("-- shared-memory active messages (the paper's recommendation) --")
+	amCycles := runAM()
+
+	fmt.Println("-- hardware message queue (OS interrupt per receive) --")
+	hwCycles := runHW()
+
+	fmt.Printf("\nAM total: %d cycles (%.1f µs); hardware queue: %d cycles (%.1f µs); ratio %.1fx\n",
+		amCycles, float64(amCycles)*cpu.NSPerCycle/1e3,
+		hwCycles, float64(hwCycles)*cpu.NSPerCycle/1e3,
+		float64(hwCycles)/float64(amCycles))
+}
+
+// runAM ships values with the f&i-ticketed shared-memory queue: deposits
+// cost ≈2.9 µs, dispatch ≈1.5 µs, no OS involvement.
+func runAM() sim.Time {
+	m := machine.New(machine.DefaultConfig(pes))
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	total := uint64(0)
+	elapsed := rt.Run(func(c *splitc.Ctx) {
+		ep := am.New(c, am.DefaultConfig())
+		sink := c.Alloc(8)
+		if c.MyPE() == consumer {
+			// Message-driven: proceed as soon as the expected bytes have
+			// been stored into our region (storeSync, §7.1).
+			ep.StoreSync(int64((pes - 1) * perProd * 8))
+			for ep.Drain() > 0 { // anything still in flight
+			}
+			total = uint64(ep.ReceivedBytes)
+			return
+		}
+		for i := 0; i < perProd; i++ {
+			ep.StoreAsync(splitc.Global(consumer, sink), uint64(c.MyPE()*1000+i))
+		}
+	})
+	fmt.Printf("consumer credited %d bytes from %d producers\n", total, pes-1)
+	return elapsed
+}
+
+// runHW ships the same values through the T3D's user-level message
+// queue: cheap 122-cycle sends, but every receive interrupts the
+// consumer for 25 µs.
+func runHW() sim.Time {
+	m := machine.New(machine.DefaultConfig(pes))
+	received := 0
+	m.Run(func(p *sim.Proc, n *machine.Node) {
+		if n.PE == consumer {
+			for received < (pes-1)*perProd {
+				n.Shell.WaitMessage(p)
+				received++
+			}
+			return
+		}
+		for i := 0; i < perProd; i++ {
+			n.Shell.SendMessage(p, consumer, [4]uint64{uint64(n.PE*1000 + i)})
+		}
+	})
+	fmt.Printf("consumer dequeued %d messages\n", received)
+	return m.Eng.Now()
+}

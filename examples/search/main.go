@@ -1,0 +1,65 @@
+// Search: early termination with the global-OR "eureka" wire. Every
+// processor scans its shard of a distributed haystack; the finder raises
+// the wire and the rest stop immediately instead of finishing their
+// shards — the T3D's hardware answer to speculative parallel search.
+//
+//	go run ./examples/search
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/splitc"
+)
+
+const (
+	pes    = 8
+	perPE  = 8192
+	needle = 5*perPE + 4321 // hides in PE 5's shard
+)
+
+func main() {
+	m := machine.New(machine.DefaultConfig(pes))
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+
+	scanned := make([]int, pes)
+	finder := -1
+	elapsed := rt.Run(func(c *splitc.Ctx) {
+		me := c.MyPE()
+		base := c.Alloc(perPE * 8)
+		for i := int64(0); i < perPE; i++ {
+			c.Node.CPU.Store64(c.P, base+i*8, uint64(me*perPE)+uint64(i))
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+
+		for i := int64(0); i < perPE; i++ {
+			// Check the wire every 128 elements: a local register read.
+			if i%128 == 0 && c.EurekaPoll() {
+				break
+			}
+			v := c.Node.CPU.Load64(c.P, base+i*8)
+			scanned[me]++
+			c.Compute(2)
+			if v == needle {
+				finder = me
+				c.EurekaTrigger()
+				break
+			}
+		}
+		c.Barrier()
+	})
+
+	total := 0
+	for _, n := range scanned {
+		total += n
+	}
+	fmt.Printf("needle found by PE %d after scanning %d of its %d elements\n",
+		finder, scanned[finder], perPE)
+	fmt.Printf("machine scanned %d of %d elements total (%.0f%% saved by eureka)\n",
+		total, pes*perPE, 100*(1-float64(total)/float64(pes*perPE)))
+	fmt.Printf("simulated time: %d cycles (%.2f µs)\n",
+		elapsed, float64(elapsed)*cpu.NSPerCycle/1e3)
+}

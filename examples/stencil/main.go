@@ -1,0 +1,97 @@
+// Stencil: the bulk-synchronous pattern of §7 — a 1-D Jacobi iteration
+// whose boundary exchange uses signaling stores and whose phases are
+// separated by the fuzzy hardware barrier, with work placed between the
+// start-barrier and end-barrier.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/splitc"
+)
+
+const (
+	pes    = 8
+	local  = 64 // interior points per PE
+	steps  = 20
+	hotEnd = 100.0
+)
+
+func main() {
+	m := machine.New(machine.DefaultConfig(pes))
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+
+	var result []float64
+	elapsed := rt.Run(func(c *splitc.Ctx) {
+		me, n := c.MyPE(), c.NProc()
+
+		// Layout: [left ghost][local points][right ghost], symmetric.
+		row := c.Alloc((local + 2) * 8)
+		next := c.Alloc((local + 2) * 8)
+		at := func(base int64, i int) int64 { return base + int64(i)*8 }
+
+		// Dirichlet boundary: the global left edge is hot.
+		if me == 0 {
+			c.Node.CPU.Store64(c.P, at(row, 0), math.Float64bits(hotEnd))
+			c.Node.CPU.Store64(c.P, at(next, 0), math.Float64bits(hotEnd))
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+
+		for s := 0; s < steps; s++ {
+			// Exchange phase: push boundary values into the neighbors'
+			// ghost cells with one-way stores (§7.1).
+			if me > 0 {
+				c.Store(splitc.Global(me-1, at(row, local+1)),
+					c.Node.CPU.Load64(c.P, at(row, 1)))
+			}
+			if me < n-1 {
+				c.Store(splitc.Global(me+1, at(row, 0)),
+					c.Node.CPU.Load64(c.P, at(row, local)))
+			}
+			// All stores complete, then the fuzzy barrier: arm it, do
+			// useful work (here: the interior update, which depends only
+			// on local values), and wait at the end-barrier.
+			c.Node.CPU.MB(c.P)
+			c.Node.Shell.WaitWritesComplete(c.P)
+			tk := c.FuzzyBarrierStart()
+			for i := 2; i <= local-1; i++ {
+				update(c, row, next, i)
+			}
+			c.FuzzyBarrierEnd(tk)
+			// Edge points need the freshly stored ghosts.
+			update(c, row, next, 1)
+			update(c, row, next, local)
+			row, next = next, row
+			c.Barrier()
+		}
+
+		if me == 0 {
+			for i := 0; i <= 4; i++ {
+				bits := c.Node.CPU.Load64(c.P, at(row, i))
+				result = append(result, math.Float64frombits(bits))
+			}
+		}
+	})
+
+	fmt.Printf("temperatures near the hot end after %d steps: ", steps)
+	for _, v := range result {
+		fmt.Printf("%.2f ", v)
+	}
+	fmt.Printf("\nsimulated time: %d cycles (%.2f µs)\n",
+		elapsed, float64(elapsed)*cpu.NSPerCycle/1e3)
+}
+
+// update computes next[i] from row's neighbors and charges the
+// floating-point work.
+func update(c *splitc.Ctx, row, next int64, i int) {
+	l := math.Float64frombits(c.Node.CPU.Load64(c.P, row+int64(i-1)*8))
+	r := math.Float64frombits(c.Node.CPU.Load64(c.P, row+int64(i+1)*8))
+	c.Compute(6)
+	c.Node.CPU.Store64(c.P, next+int64(i)*8, math.Float64bits((l+r)/2))
+}

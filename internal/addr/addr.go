@@ -1,0 +1,42 @@
+// Package addr defines the simulated T3D physical address layout shared by
+// the CPU, shell, and language runtime.
+//
+// The Alpha 21064 exposes only 32 bits of physical address, far too few to
+// name all memory in a 2048-node machine, so the T3D shell performs a
+// second level of translation: bits 31..27 of every physical address index
+// the 32-entry DTB Annex, whose selected entry supplies the target
+// processor number; bits 26..0 are a 128 MB offset valid on every node
+// (§3.2 of the paper). Annex index 0 always refers to the local node.
+package addr
+
+// Layout constants.
+const (
+	// OffsetBits is the width of the per-node offset field.
+	OffsetBits = 27
+	// OffsetMask extracts the 128 MB segment offset.
+	OffsetMask = int64(1)<<OffsetBits - 1
+	// AnnexEntries is the number of DTB Annex registers.
+	AnnexEntries = 32
+	// LocalAnnex is the Annex index hard-wired to the local node.
+	LocalAnnex = 0
+)
+
+// Annex returns the DTB Annex index encoded in physical address pa.
+func Annex(pa int64) int { return int(pa>>OffsetBits) & (AnnexEntries - 1) }
+
+// Offset returns the per-node segment offset of physical address pa.
+func Offset(pa int64) int64 { return pa & OffsetMask }
+
+// Make builds a physical address from an Annex index and segment offset.
+func Make(annex int, offset int64) int64 {
+	if annex < 0 || annex >= AnnexEntries {
+		panic("addr: annex index out of range")
+	}
+	if offset&^OffsetMask != 0 {
+		panic("addr: offset exceeds 27 bits")
+	}
+	return int64(annex)<<OffsetBits | offset
+}
+
+// IsLocal reports whether pa refers to the local node (Annex index 0).
+func IsLocal(pa int64) bool { return Annex(pa) == LocalAnnex }

@@ -1,0 +1,77 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeAndExtract(t *testing.T) {
+	pa := Make(5, 0x123456)
+	if Annex(pa) != 5 {
+		t.Errorf("Annex = %d", Annex(pa))
+	}
+	if Offset(pa) != 0x123456 {
+		t.Errorf("Offset = %#x", Offset(pa))
+	}
+	if IsLocal(pa) {
+		t.Error("annex 5 reported local")
+	}
+	if !IsLocal(Make(LocalAnnex, 0x10)) {
+		t.Error("annex 0 not local")
+	}
+}
+
+func TestOffsetWidth(t *testing.T) {
+	// The 27-bit offset covers exactly the 128 MB segment of §3.2.
+	if OffsetMask != 128<<20-1 {
+		t.Errorf("OffsetMask = %#x, want 128MB-1", OffsetMask)
+	}
+	if AnnexEntries != 32 {
+		t.Errorf("AnnexEntries = %d", AnnexEntries)
+	}
+}
+
+func TestMakeRangeChecks(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Make(-1, 0) },
+		func() { Make(32, 0) },
+		func() { Make(0, OffsetMask+1) },
+		func() { Make(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range Make did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(annex uint8, off uint32) bool {
+		a := int(annex % AnnexEntries)
+		o := int64(off) & OffsetMask
+		pa := Make(a, o)
+		return Annex(pa) == a && Offset(pa) == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySynonymsDifferOnlyInHighBits(t *testing.T) {
+	// Two addresses with the same offset but different annex indexes
+	// differ only above bit 26 — the property behind both the cache-set
+	// argument (§3.4) and the write-buffer hazard.
+	f := func(a1, a2 uint8, off uint32) bool {
+		o := int64(off) & OffsetMask
+		p1 := Make(int(a1%32), o)
+		p2 := Make(int(a2%32), o)
+		return (p1^p2)&OffsetMask == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package apps contains classic Split-C application kernels built
+// entirely on the public runtime surface: histogram, sample sort, and
+// blocked matrix multiply. Each kernel exists in more than one
+// implementation so the communication trade-offs the paper quantifies
+// (blocking access vs one-way stores vs bulk transfer vs message-driven
+// updates) show up as end-to-end application numbers, EM3D-style.
+//
+// Every kernel validates its simulated result against a host-side
+// reference computation.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/splitc"
+)
+
+// HistogramMethod selects the implementation.
+type HistogramMethod int
+
+const (
+	// HistLocalReduce counts locally, then combines with one-way stores
+	// and a barrier — the bulk-synchronous choice.
+	HistLocalReduce HistogramMethod = iota
+	// HistRemoteRMW updates shared bins with read-modify-write under a
+	// per-bin ticket... no — one global lock would serialize everything;
+	// it uses blocking read+write pairs on owner-distributed bins and is
+	// only safe because a lock protects each update. Deliberately naive.
+	HistRemoteRMW
+	// HistAM ships increments to bin owners as active messages, which
+	// apply them atomically — the §7.4 pattern.
+	HistAM
+)
+
+func (m HistogramMethod) String() string {
+	switch m {
+	case HistLocalReduce:
+		return "local+reduce"
+	case HistRemoteRMW:
+		return "remote-rmw"
+	case HistAM:
+		return "active-message"
+	}
+	return fmt.Sprintf("HistogramMethod(%d)", int(m))
+}
+
+// HistogramResult reports one run.
+type HistogramResult struct {
+	Method    HistogramMethod
+	Cycles    int64
+	Validated bool
+}
+
+// Histogram counts key occurrences into bins spread cyclically over the
+// processors. keys[pe] are the locally generated keys of each thread;
+// the result compares the final distributed bin counts with a host
+// reference.
+func Histogram(rt *splitc.Runtime, keys [][]uint64, bins int64, method HistogramMethod) HistogramResult {
+	nproc := len(rt.M.Nodes)
+	if len(keys) != nproc {
+		panic("apps: need one key slice per processor")
+	}
+	// Host reference.
+	want := make([]uint64, bins)
+	for _, ks := range keys {
+		for _, k := range ks {
+			want[k%uint64(bins)]++
+		}
+	}
+
+	var binSpread splitc.Spread
+	var elapsed int64
+	rt.Run(func(c *splitc.Ctx) {
+		me := c.MyPE()
+		co := c.AllocCollectives(1)
+		binSpread = c.AllocSpread(bins, 8)
+		ep := am.New(c, am.DefaultConfig())
+
+		// Stage this thread's keys into its simulated memory (input
+		// setup, untimed logically but still charged as local stores).
+		keyBase := c.Alloc(int64(len(keys[me])) * 8)
+		for i, k := range keys[me] {
+			c.Node.CPU.Store64(c.P, keyBase+int64(i)*8, k)
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+		start := c.P.Now()
+
+		switch method {
+		case HistLocalReduce:
+			local := c.Alloc(bins * 8)
+			for i := range keys[me] {
+				k := c.Node.CPU.Load64(c.P, keyBase+int64(i)*8)
+				b := int64(k % uint64(bins))
+				c.Compute(3) // mod + index
+				v := c.Node.CPU.Load64(c.P, local+b*8)
+				c.Node.CPU.Store64(c.P, local+b*8, v+1)
+			}
+			c.Node.CPU.MB(c.P)
+			c.Barrier()
+			// Combine: each thread adds its local counts into the owned
+			// bins with one-way stores, one round per contributor to
+			// keep updates race-free (owner applies its own adds).
+			for round := 0; round < c.NProc(); round++ {
+				if round == me {
+					for b := int64(0); b < bins; b++ {
+						v := c.Node.CPU.Load64(c.P, local+b*8)
+						if v == 0 {
+							continue
+						}
+						g := binSpread.Ptr(b)
+						c.Write(g, c.Read(g)+v)
+					}
+				}
+				c.Barrier()
+			}
+			_ = co
+
+		case HistRemoteRMW:
+			// Naive: lock-protected blocking read + write per key.
+			lock := c.AllocSwapLock(0)
+			for i := range keys[me] {
+				k := c.Node.CPU.Load64(c.P, keyBase+int64(i)*8)
+				b := int64(k % uint64(bins))
+				c.Compute(3)
+				g := binSpread.Ptr(b)
+				lock.Lock(c)
+				c.Write(g, c.Read(g)+1)
+				lock.Unlock(c)
+			}
+			c.Barrier()
+
+		case HistAM:
+			// Ship each increment to the bin's owner; owners poll and
+			// apply locally (atomic on the owner, no locks).
+			ep.Register(am.HUser, func(cc *splitc.Ctx, src int, args [4]uint64) {
+				a := int64(args[0])
+				v := cc.Node.CPU.Load64(cc.P, a)
+				cc.Node.CPU.Store64(cc.P, a, v+1)
+			})
+			sent := 0
+			for i := range keys[me] {
+				k := c.Node.CPU.Load64(c.P, keyBase+int64(i)*8)
+				b := int64(k % uint64(bins))
+				c.Compute(3)
+				g := binSpread.Ptr(b)
+				if g.PE() == me {
+					v := c.Node.CPU.Load64(c.P, g.Local())
+					c.Node.CPU.Store64(c.P, g.Local(), v+1)
+				} else {
+					ep.Send(g.PE(), am.HUser, [4]uint64{uint64(g.Local())})
+					sent++
+				}
+				ep.Drain() // service incoming increments as we go
+			}
+			// Quiesce: count sends/receipts machine-wide until stable.
+			total := co.AllReduce(uint64(sent), add)
+			for {
+				got := co.AllReduce(uint64(ep.Received), add)
+				if got == total {
+					break
+				}
+				ep.Drain()
+			}
+			c.Barrier()
+		}
+
+		if me == 0 {
+			elapsed = int64(c.P.Now() - start)
+		}
+	})
+
+	// Validate the distributed bins.
+	ok := true
+	for b := int64(0); b < bins; b++ {
+		g := binSpread.Ptr(b)
+		if got := rt.M.Nodes[g.PE()].DRAM.Read64(g.Local()); got != want[b] {
+			ok = false
+			break
+		}
+	}
+	return HistogramResult{Method: method, Cycles: elapsed, Validated: ok}
+}
+
+func add(a, b uint64) uint64 { return a + b }

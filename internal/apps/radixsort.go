@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/splitc"
+)
+
+// RadixSortResult reports one distributed radix sort.
+type RadixSortResult struct {
+	Cycles    int64
+	Keys      int
+	Passes    int
+	Validated bool
+}
+
+// RadixSort sorts the distributed keys with the classic Split-C radix
+// structure (the counting sort the language's original benchmarks used):
+// per digit pass — local histogram, global rank computation from the
+// all-PE count table, and a scatter of every key straight to its global
+// position with pipelined puts (one-way stores, §7.1). digitBits selects
+// the radix (4 bits = 16 buckets); keyBits bounds the key width.
+func RadixSort(rt *splitc.Runtime, keys [][]uint64, digitBits, keyBits uint) RadixSortResult {
+	nproc := len(rt.M.Nodes)
+	radix := 1 << digitBits
+	passes := int((keyBits + digitBits - 1) / digitBits)
+
+	total := 0
+	var want []uint64
+	for _, ks := range keys {
+		total += len(ks)
+		want = append(want, ks...)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	// Output blocks: position g lives on PE g/blk at offset g%blk.
+	blk := (total + nproc - 1) / nproc
+
+	maxN := 0
+	for _, ks := range keys {
+		if len(ks) > maxN {
+			maxN = len(ks)
+		}
+	}
+
+	var outBase int64
+	counts := make([]int, nproc) // final per-PE key counts
+	var elapsed int64
+	rt.Run(func(c *splitc.Ctx) {
+		me := c.MyPE()
+		// Buffers: current keys (capacity = whole block), histogram
+		// table on PE 0 (radix × nproc), next-pass receive block.
+		capWords := int64(blk)
+		if int64(maxN) > capWords {
+			capWords = int64(maxN)
+		}
+		cur := c.Alloc(capWords * 8)
+		next := c.Alloc(capWords * 8)
+		table := c.Alloc(int64(radix) * int64(nproc) * 8) // live on PE 0
+		tableCopy := c.Alloc(int64(radix) * int64(nproc) * 8)
+
+		n := int64(len(keys[me]))
+		for i, k := range keys[me] {
+			c.Node.CPU.Store64(c.P, cur+int64(i)*8, k)
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+		start := c.P.Now()
+
+		for pass := 0; pass < passes; pass++ {
+			shift := uint(pass) * digitBits
+			// 1. Local histogram.
+			hist := make([]int64, radix)
+			vals := make([]uint64, n)
+			for i := int64(0); i < n; i++ {
+				vals[i] = c.Node.CPU.Load64(c.P, cur+i*8)
+				d := int(vals[i] >> shift & uint64(radix-1))
+				c.Compute(3)
+				hist[d]++
+			}
+			// 2. Publish the histogram column into PE 0's table, fetch
+			// the full table back, and compute each digit's global base.
+			for d := 0; d < radix; d++ {
+				c.Put(splitc.Global(0, table+(int64(d)*int64(nproc)+int64(me))*8), uint64(hist[d]))
+			}
+			c.Sync()
+			c.Barrier()
+			c.BulkRead(tableCopy, splitc.Global(0, table), int64(radix)*int64(nproc)*8)
+			rank := make([]int64, radix) // my first global rank per digit
+			running := int64(0)
+			for d := 0; d < radix; d++ {
+				for pe := 0; pe < nproc; pe++ {
+					v := int64(c.Node.CPU.Load64(c.P, tableCopy+(int64(d)*int64(nproc)+int64(pe))*8))
+					c.Compute(2)
+					if pe == me {
+						rank[d] = running
+					}
+					running += v
+				}
+			}
+			// 3. Scatter: each key goes straight to its global position
+			// with a pipelined put.
+			for i := int64(0); i < n; i++ {
+				d := int(vals[i] >> shift & uint64(radix-1))
+				g := rank[d]
+				rank[d]++
+				c.Compute(4) // digit extract + divide into (pe, offset)
+				dstPE := int(g) / blk
+				dstOff := next + int64(int(g)%blk)*8
+				c.Put(splitc.Global(dstPE, dstOff), vals[i])
+			}
+			c.Sync()
+			c.Barrier()
+			// New local count: how much of the block range landed here.
+			lo, hi := me*blk, (me+1)*blk
+			if hi > total {
+				hi = total
+			}
+			if lo > total {
+				lo = total
+			}
+			n = int64(hi - lo)
+			cur, next = next, cur
+		}
+		c.Barrier()
+		if me == 0 {
+			elapsed = int64(c.P.Now() - start)
+		}
+		outBase = cur
+		counts[me] = int(n)
+	})
+
+	// Validate against the sorted reference.
+	var got []uint64
+	for pe := 0; pe < nproc; pe++ {
+		d := rt.M.Nodes[pe].DRAM
+		for i := 0; i < counts[pe]; i++ {
+			got = append(got, d.Read64(outBase+int64(i)*8))
+		}
+	}
+	ok := len(got) == len(want)
+	if ok {
+		for i := range got {
+			if got[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	return RadixSortResult{Cycles: elapsed, Keys: total, Passes: passes, Validated: ok}
+}

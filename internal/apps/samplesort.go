@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/splitc"
+)
+
+// SampleSortResult reports one distributed sort.
+type SampleSortResult struct {
+	Cycles    int64
+	Keys      int
+	Validated bool
+}
+
+// SampleSort sorts the distributed keys (keys[pe] on processor pe) with
+// the classic Split-C sample-sort structure:
+//
+//  1. local sort;
+//  2. every thread contributes samples, thread 0 selects P-1 splitters
+//     and broadcasts them (collectives over one-way stores);
+//  3. all-to-all exchange with bulk puts into per-source regions;
+//  4. local merge of the received runs.
+//
+// Local computation (sorting, merging) charges per-element costs through
+// the CPU model; all data actually moves through simulated memory, so
+// the validation at the end checks the complete machine state.
+func SampleSort(rt *splitc.Runtime, keys [][]uint64) SampleSortResult {
+	nproc := len(rt.M.Nodes)
+	total := 0
+	var want []uint64
+	for _, ks := range keys {
+		total += len(ks)
+		want = append(want, ks...)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	// Capacity per receive region: assume a modest imbalance factor.
+	capPer := int64(total)/int64(nproc)*3 + 8
+
+	type outcome struct {
+		start int64 // base of this PE's sorted run
+		count int64
+	}
+	results := make([]outcome, nproc)
+	var elapsed int64
+
+	// Allocation symmetry: every thread must allocate identical extents,
+	// so regions are sized by the largest per-PE key count.
+	maxN := int64(0)
+	for _, ks := range keys {
+		if int64(len(ks)) > maxN {
+			maxN = int64(len(ks))
+		}
+	}
+
+	rt.Run(func(c *splitc.Ctx) {
+		me := c.MyPE()
+		n := int64(len(keys[me]))
+		co := c.AllocCollectives(int64(nproc))
+
+		keyBase := c.Alloc(maxN * 8)
+		splitterBase := c.Alloc(int64(nproc) * 8)
+		// Receive regions: one per source, plus per-source counts.
+		recvBase := c.Alloc(int64(nproc) * capPer * 8)
+		countBase := c.Alloc(int64(nproc) * 8)
+		outBase := c.Alloc(int64(nproc) * capPer * 8)
+
+		for i, k := range keys[me] {
+			c.Node.CPU.Store64(c.P, keyBase+int64(i)*8, k)
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+		start := c.P.Now()
+
+		// 1. Local sort: read keys, sort, write back. Charged at
+		// ~12 cycles per element per log2(n) pass.
+		local := loadWords(c, keyBase, n)
+		c.Compute(sortCost(n))
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		storeWords(c, keyBase, local)
+
+		// 2. Splitters: every thread sends its median sample; thread 0
+		// sorts the samples and broadcasts P-1 splitters.
+		sample := uint64(0)
+		if n > 0 {
+			sample = local[n/2]
+		}
+		gathered := c.Alloc(int64(nproc) * 8)
+		co.Gather(0, sample, gathered)
+		if me == 0 {
+			samples := loadWords(c, gathered, int64(nproc))
+			c.Compute(sortCost(int64(nproc)))
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			storeWords(c, splitterBase, samples)
+		}
+		c.Barrier()
+		co.Broadcast(0, splitterBase, splitterBase, int64(nproc))
+
+		// 3. Partition the sorted run by splitter and bulk-put each
+		// slice into its destination's region for this source.
+		splitters := loadWords(c, splitterBase, int64(nproc))
+		lo := int64(0)
+		for dst := 0; dst < nproc; dst++ {
+			hi := lo
+			for hi < n {
+				c.Compute(2) // compare against the splitter
+				if dst < nproc-1 && local[hi] >= splitters[dst+1] {
+					break
+				}
+				hi++
+			}
+			cnt := hi - lo
+			if cnt > capPer {
+				panic("apps: sample sort receive region overflow")
+			}
+			dstRegion := recvBase + int64(me)*capPer*8
+			if cnt > 0 {
+				c.BulkPut(splitc.Global(dst, dstRegion), keyBase+lo*8, cnt*8)
+			}
+			c.Put(splitc.Global(dst, countBase+int64(me)*8), uint64(cnt)+1)
+			lo = hi
+		}
+		c.Sync()
+		c.Barrier()
+
+		// 4. Merge the received runs (each already sorted).
+		var runs [][]uint64
+		for src := 0; src < nproc; src++ {
+			cnt := int64(c.Node.CPU.Load64(c.P, countBase+int64(src)*8)) - 1
+			if cnt < 0 {
+				cnt = 0
+			}
+			runs = append(runs, loadWords(c, recvBase+int64(src)*capPer*8, cnt))
+		}
+		merged := mergeRuns(c, runs)
+		storeWords(c, outBase, merged)
+		c.Barrier()
+		if me == 0 {
+			elapsed = int64(c.P.Now() - start)
+		}
+		results[me] = outcome{start: outBase, count: int64(len(merged))}
+	})
+
+	// Validate: concatenating the per-PE outputs in processor order must
+	// equal the sorted reference.
+	var got []uint64
+	for pe := 0; pe < nproc; pe++ {
+		d := rt.M.Nodes[pe].DRAM
+		for i := int64(0); i < results[pe].count; i++ {
+			got = append(got, d.Read64(results[pe].start+i*8))
+		}
+	}
+	ok := len(got) == len(want)
+	if ok {
+		for i := range got {
+			if got[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	return SampleSortResult{Cycles: elapsed, Keys: total, Validated: ok}
+}
+
+// loadWords reads n words from local memory, charging each load.
+func loadWords(c *splitc.Ctx, base, n int64) []uint64 {
+	out := make([]uint64, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = c.Node.CPU.Load64(c.P, base+i*8)
+	}
+	return out
+}
+
+// storeWords writes the slice to local memory, charging each store.
+func storeWords(c *splitc.Ctx, base int64, vs []uint64) {
+	for i, v := range vs {
+		c.Node.CPU.Store64(c.P, base+int64(i)*8, v)
+	}
+	c.Node.CPU.MB(c.P)
+}
+
+// sortCost approximates a register-resident comparison sort: ~12 cycles
+// per element per log2 pass.
+func sortCost(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	passes := int64(1)
+	for v := n; v > 2; v /= 2 {
+		passes++
+	}
+	return 12 * n * passes
+}
+
+// mergeRuns merges sorted runs, charging a comparison per output element.
+func mergeRuns(c *splitc.Ctx, runs [][]uint64) []uint64 {
+	var out []uint64
+	idx := make([]int, len(runs))
+	for {
+		best := -1
+		for r := range runs {
+			if idx[r] >= len(runs[r]) {
+				continue
+			}
+			c.Compute(2)
+			if best < 0 || runs[r][idx[r]] < runs[best][idx[best]] {
+				best = r
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the "gray box" half of the methodology: given the latency
+// profiles, infer the structural parameters of the machine the way §2 of
+// the paper reads them off the curves — cache size and line size from the
+// first inflections, full memory time from the plateau, associativity
+// from the behaviour at half-array strides, and the write-buffer depth
+// from the ratio of memory time to sustained write cost.
+
+// Inferred holds the parameters read from a read-latency profile.
+type Inferred struct {
+	CacheHitNS   float64
+	CacheSize    int64
+	LineSize     int64
+	MemoryNS     float64 // full access at line strides
+	DirectMapped bool
+	HasL2        bool
+	L2Size       int64
+}
+
+// InferMemory analyzes a read profile (local or workstation).
+func InferMemory(pr *Profile) Inferred {
+	var inf Inferred
+	inf.CacheHitNS = smallestLatency(pr)
+	inf.CacheSize = inferCacheSize(pr, inf.CacheHitNS)
+	inf.LineSize = inferLineSize(pr, inf.CacheSize)
+	inf.MemoryNS = inferMemoryNS(pr, inf.CacheSize, inf.LineSize)
+	inf.DirectMapped = inferDirectMapped(pr, inf.CacheSize, inf.CacheHitNS)
+	inf.HasL2, inf.L2Size = inferL2(pr, inf.CacheSize, inf.CacheHitNS, inf.MemoryNS)
+	return inf
+}
+
+func smallestLatency(pr *Profile) float64 {
+	min := math.Inf(1)
+	for _, c := range pr.Curves {
+		for _, p := range c.Points {
+			if p.AvgNS < min {
+				min = p.AvgNS
+			}
+		}
+	}
+	return min
+}
+
+// inferCacheSize finds the largest array size whose whole curve stays at
+// the hit time: arrays within the cache never miss after warm-up (§2.2).
+func inferCacheSize(pr *Profile, hit float64) int64 {
+	var best int64
+	for _, c := range pr.Curves {
+		flat := true
+		for _, p := range c.Points {
+			if p.AvgNS > hit*1.5 {
+				flat = false
+				break
+			}
+		}
+		if flat && c.ArraySize > best {
+			best = c.ArraySize
+		}
+	}
+	return best
+}
+
+// inferLineSize finds the stride at which a beyond-cache curve stops
+// rising: once every access misses, spreading the stride further cannot
+// hurt (until DRAM paging effects), revealing the line size (§2.2).
+func inferLineSize(pr *Profile, cacheSize int64) int64 {
+	for _, c := range pr.Curves {
+		if c.ArraySize <= cacheSize*2 {
+			continue
+		}
+		for i := 1; i < len(c.Points); i++ {
+			prev, cur := c.Points[i-1], c.Points[i]
+			if prev.AvgNS > 0 && cur.AvgNS/prev.AvgNS < 1.1 {
+				return prev.Stride
+			}
+		}
+	}
+	return 0
+}
+
+// inferMemoryNS reads the all-miss plateau: the LARGEST array (beyond
+// every cache level) at twice the line stride, below DRAM-page-effect
+// strides.
+func inferMemoryNS(pr *Profile, cacheSize, lineSize int64) float64 {
+	if lineSize == 0 {
+		return 0
+	}
+	var ns float64
+	var best int64
+	for _, c := range pr.Curves {
+		if c.ArraySize <= cacheSize*4 || c.ArraySize <= best {
+			continue
+		}
+		for _, p := range c.Points {
+			if p.Stride == lineSize*2 {
+				best = c.ArraySize
+				ns = p.AvgNS
+			}
+		}
+	}
+	return ns
+}
+
+// inferDirectMapped checks the paper's associativity test: "if the cache
+// had an associativity of two there would have been a drop when the
+// stride was half the array size" (§2.2).
+func inferDirectMapped(pr *Profile, cacheSize int64, hit float64) bool {
+	for _, c := range pr.Curves {
+		if c.ArraySize != cacheSize*2 {
+			continue
+		}
+		last := c.Points[len(c.Points)-1] // stride = size/2: two addresses
+		return last.AvgNS > hit*1.5
+	}
+	return true
+}
+
+// inferL2 looks for an intermediate plateau between the L1 hit time and
+// full memory time (§2.2: the workstation shows three distinct sets of
+// curves, the T3D only two).
+func inferL2(pr *Profile, l1Size int64, hit, memNS float64) (bool, int64) {
+	var l2Size int64
+	for _, c := range pr.Curves {
+		if c.ArraySize <= l1Size {
+			continue
+		}
+		// Plateau level for this size at moderate strides.
+		var lv []float64
+		for _, p := range c.Points {
+			if p.Stride >= 64 && p.Stride <= 4096 && p.Stride <= c.ArraySize/4 {
+				lv = append(lv, p.AvgNS)
+			}
+		}
+		if len(lv) == 0 {
+			continue
+		}
+		sort.Float64s(lv)
+		med := lv[len(lv)/2]
+		if med > hit*2 && med < memNS*0.6 {
+			if c.ArraySize > l2Size {
+				l2Size = c.ArraySize
+			}
+		}
+	}
+	return l2Size > 0, l2Size
+}
+
+// InferWriteBufferDepth applies §2.3's estimate: memory access time
+// divided by the sustained line-stride write cost.
+func InferWriteBufferDepth(memoryNS, writePlateauNS float64) int {
+	if writePlateauNS <= 0 {
+		return 0
+	}
+	return int(math.Round(memoryNS / writePlateauNS))
+}

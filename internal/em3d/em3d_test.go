@@ -1,0 +1,146 @@
+package em3d
+
+import (
+	"testing"
+)
+
+func smallCfg(remote float64) Config {
+	return Config{NodesPerPE: 24, Degree: 4, RemoteFrac: remote, Seed: 7, Iters: 2}
+}
+
+func TestAllVersionsValidate(t *testing.T) {
+	for _, v := range Versions {
+		t.Run(v.String(), func(t *testing.T) {
+			m := NewMachine(4)
+			res := Run(m, smallCfg(0.3), v, DefaultKnobs())
+			if !res.Validated {
+				t.Errorf("%v: E values do not match the reference", v)
+			}
+			if res.Cycles <= 0 {
+				t.Errorf("%v: no time elapsed", v)
+			}
+		})
+	}
+}
+
+func TestAllLocalGraphValidates(t *testing.T) {
+	for _, v := range Versions {
+		m := NewMachine(2)
+		res := Run(m, smallCfg(0), v, DefaultKnobs())
+		if !res.Validated {
+			t.Errorf("%v all-local: validation failed", v)
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := NewMachine(1)
+	res := Run(m, smallCfg(0), Unroll, DefaultKnobs())
+	if !res.Validated {
+		t.Error("1-PE run failed validation")
+	}
+}
+
+func TestGraphGeneratorDeterministic(t *testing.T) {
+	a := buildGraph(4, smallCfg(0.4))
+	b := buildGraph(4, smallCfg(0.4))
+	for pe := range a.pes {
+		for e := range a.pes[pe].edges {
+			for d := range a.pes[pe].edges[e] {
+				if a.pes[pe].edges[e][d] != b.pes[pe].edges[e][d] {
+					t.Fatal("graph generation is not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestRemoteFractionRespected(t *testing.T) {
+	g := buildGraph(8, Config{NodesPerPE: 200, Degree: 10, RemoteFrac: 0.3, Seed: 1})
+	remote, total := 0, 0
+	for pe, pg := range g.pes {
+		for _, es := range pg.edges {
+			for _, ed := range es {
+				total++
+				if ed.hPE != pe {
+					remote++
+				}
+			}
+		}
+	}
+	frac := float64(remote) / float64(total)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("remote fraction = %.3f, want ≈ 0.30", frac)
+	}
+}
+
+func TestGhostSlotsConsistentWithSendLists(t *testing.T) {
+	g := buildGraph(4, smallCfg(0.5))
+	for pe, pg := range g.pes {
+		for dst, idxs := range pg.sendTo {
+			if dst == pe {
+				t.Fatal("send list to self")
+			}
+			ghosts := g.pes[dst].ghostBySrc[pe]
+			if len(ghosts) != len(idxs) {
+				t.Fatalf("send list %d->%d has %d entries, ghosts %d", pe, dst, len(idxs), len(ghosts))
+			}
+			for i := range idxs {
+				if idxs[i] != ghosts[i] {
+					t.Fatalf("send order mismatch %d->%d at %d", pe, dst, i)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroRemoteHasNoGhosts(t *testing.T) {
+	g := buildGraph(4, smallCfg(0))
+	for pe := range g.pes {
+		if g.totalGhosts(pe) != 0 {
+			t.Errorf("PE %d has %d ghosts in an all-local graph", pe, g.totalGhosts(pe))
+		}
+	}
+}
+
+func TestLocalEdgeCostNearPaper(t *testing.T) {
+	// §8: with all edges local the optimized versions process an edge in
+	// ≈ 0.37 µs (5.5 MFLOPS per processor). Uses the paper's full-size
+	// per-PE workload on one PE so cache behaviour is realistic.
+	m := NewMachine(1)
+	cfg := Config{NodesPerPE: 500, Degree: 20, RemoteFrac: 0, Seed: 3, Iters: 2}
+	res := Run(m, cfg, Unroll, DefaultKnobs())
+	if !res.Validated {
+		t.Fatal("validation failed")
+	}
+	if res.USPerEdge < 0.32 || res.USPerEdge > 0.42 {
+		t.Errorf("local edge cost = %.3f µs, want ≈ 0.37", res.USPerEdge)
+	}
+	t.Logf("local: %.3f µs/edge, %.1f MFLOPS/PE", res.USPerEdge, res.MFlopsPE)
+}
+
+func TestVersionOrderingAtHighRemoteFraction(t *testing.T) {
+	// Figure 9's load-bearing ordering at a substantial remote fraction:
+	// Simple is worst; pipelined gets beat blocking ghost reads; puts
+	// beat gets; bulk is best.
+	cfg := Config{NodesPerPE: 60, Degree: 6, RemoteFrac: 0.4, Seed: 11, Iters: 2}
+	us := map[Version]float64{}
+	for _, v := range Versions {
+		m := NewMachine(4)
+		res := Run(m, cfg, v, DefaultKnobs())
+		if !res.Validated {
+			t.Fatalf("%v failed validation", v)
+		}
+		us[v] = res.USPerEdge
+	}
+	t.Logf("µs/edge: %v", us)
+	if !(us[Simple] > us[Ghost] && us[Ghost] > us[Get]) {
+		t.Errorf("expected Simple > Ghost > Get, got %v", us)
+	}
+	if !(us[Get] > us[Put]) {
+		t.Errorf("expected Get > Put, got %v", us)
+	}
+	if !(us[Put] > us[Bulk]) {
+		t.Errorf("expected Put > Bulk, got %v", us)
+	}
+}

@@ -1,0 +1,341 @@
+package em3d
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// Version selects one of the paper's six implementations (§8).
+type Version int
+
+const (
+	Simple Version = iota
+	Ghost
+	Unroll
+	Get
+	Put
+	Bulk
+)
+
+// Versions lists all six in the paper's order.
+var Versions = []Version{Simple, Ghost, Unroll, Get, Put, Bulk}
+
+func (v Version) String() string {
+	switch v {
+	case Simple:
+		return "Simple"
+	case Ghost:
+		return "Ghost"
+	case Unroll:
+		return "Unroll"
+	case Get:
+		return "Get"
+	case Put:
+		return "Put"
+	case Bulk:
+		return "Bulk"
+	}
+	return fmt.Sprintf("Version(%d)", int(v))
+}
+
+// Knobs are the per-edge computation costs of the three code-generation
+// qualities the paper distinguishes: the Simple version's interleaved
+// loop, the Ghost version's separated compute phase, and the unrolled,
+// software-pipelined loop of the later versions. They cover floating-
+// point latency, index arithmetic and loop control — everything except
+// the memory operations, which are simulated directly.
+type Knobs struct {
+	Simple   sim.Time
+	Ghost    sim.Time
+	Unrolled sim.Time
+}
+
+// DefaultKnobs is calibrated so the all-local optimized versions process
+// an edge in ≈ 0.37 µs (5.5 MFLOPS/processor), the paper's §8 number.
+func DefaultKnobs() Knobs { return Knobs{Simple: 62, Ghost: 50, Unrolled: 38} }
+
+// Result is one EM3D measurement.
+type Result struct {
+	Version    Version
+	Cfg        Config
+	NProc      int
+	Cycles     sim.Time
+	EdgesPerPE int64
+	USPerEdge  float64 // the paper's Figure 9 metric
+	MFlopsPE   float64 // 2 flops per edge, per processor
+	Validated  bool
+}
+
+// NewMachine builds a T3D sized for EM3D runs (2 MB per node is ample
+// and keeps host memory modest at 32 PEs).
+func NewMachine(nproc int) *machine.T3D {
+	cfg := machine.DefaultConfig(nproc)
+	cfg.MemBytes = 2 << 20
+	return machine.New(cfg)
+}
+
+// Run executes one EM3D experiment: builds the synthetic graph, lays it
+// out in simulated memory, runs one untimed warm-up half-step plus
+// cfg.Iters timed half-steps of the chosen version, validates the
+// computed E values against a host-side reference, and reports the
+// average time per edge.
+func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
+	nproc := len(m.Nodes)
+	g := buildGraph(nproc, cfg)
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	lay := layout(g, rt)
+	seed(g, m, lay)
+
+	edges := g.edgeCount()
+	var elapsed sim.Time
+	rt.Run(func(c *splitc.Ctx) {
+		pe := c.MyPE()
+		step := func() {
+			exchange(c, g, lay, pe, v)
+			compute(c, g, lay, pe, v, knobs)
+			c.Barrier()
+		}
+		step() // warm-up: caches, annex, ghost state
+		c.Barrier()
+		start := c.P.Now()
+		for it := 0; it < cfg.Iters; it++ {
+			step()
+		}
+		if pe == 0 {
+			elapsed = c.P.Now() - start
+		}
+	})
+
+	res := Result{
+		Version:    v,
+		Cfg:        cfg,
+		NProc:      nproc,
+		Cycles:     elapsed,
+		EdgesPerPE: edges,
+		Validated:  validate(g, m, lay),
+	}
+	perEdge := float64(elapsed) / float64(edges*int64(cfg.Iters))
+	res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3
+	res.MFlopsPE = 2 / res.USPerEdge
+	return res
+}
+
+// mem layout: every processor allocates identical (maximum) extents so
+// global pointers into peers' regions are valid.
+type regions struct {
+	hVal, eVal        int64
+	weights, nbrPtr   int64
+	localNbr          int64
+	ghost, fetchList  int64
+	sendList          int64 // (dst global ptr, local addr) pairs, dst-major (Bulk)
+	putList           int64 // same pairs in producer order (Put)
+	stage             int64
+	maxGhost, maxSend int
+	maxPair           int
+}
+
+func layout(g *graph, rt *splitc.Runtime) *regions {
+	cfg := g.cfg
+	edges := int64(cfg.NodesPerPE) * int64(cfg.Degree)
+	r := &regions{}
+	for pe := 0; pe < g.nproc; pe++ {
+		if n := g.totalGhosts(pe); n > r.maxGhost {
+			r.maxGhost = n
+		}
+		send := 0
+		for _, idxs := range g.pes[pe].sendTo {
+			send += len(idxs)
+			if len(idxs) > r.maxPair {
+				r.maxPair = len(idxs)
+			}
+		}
+		if send > r.maxSend {
+			r.maxSend = send
+		}
+	}
+	// One representative context performs the (symmetric) allocation
+	// arithmetic; offsets are identical on every node.
+	base := rt.Cfg.HeapBase
+	alloc := func(n int64) int64 {
+		a := base
+		base += (n + 7) &^ 7
+		return a
+	}
+	r.hVal = alloc(int64(cfg.NodesPerPE) * 8)
+	r.eVal = alloc(int64(cfg.NodesPerPE) * 8)
+	r.weights = alloc(edges * 8)
+	r.nbrPtr = alloc(edges * 8)
+	r.localNbr = alloc(edges * 8)
+	r.ghost = alloc(int64(r.maxGhost) * 8)
+	r.fetchList = alloc(int64(r.maxGhost) * 16) // (source global ptr, ghost addr) pairs
+	r.sendList = alloc(int64(r.maxSend) * 16)
+	r.putList = alloc(int64(r.maxSend) * 16)
+	r.stage = alloc(int64(g.nproc) * int64(r.maxPair) * 8)
+	return r
+}
+
+// seed writes the graph data into simulated memory: the preprocessing
+// step of §8, not part of the timed computation.
+func seed(g *graph, m *machine.T3D, r *regions) {
+	h := g.initialH()
+	for pe, pg := range g.pes {
+		d := m.Nodes[pe].DRAM
+		for i, val := range h[pe] {
+			d.Write64(r.hVal+int64(i)*8, math.Float64bits(val))
+		}
+		k := 0
+		for _, es := range pg.edges {
+			for _, ed := range es {
+				d.Write64(r.weights+int64(k)*8, math.Float64bits(ed.weight))
+				gp := splitc.Global(ed.hPE, r.hVal+int64(ed.hIdx)*8)
+				d.Write64(r.nbrPtr+int64(k)*8, uint64(gp))
+				var local int64
+				if ed.hPE == pe {
+					local = r.hVal + int64(ed.hIdx)*8
+				} else {
+					slot := pg.ghostSlot[[2]int{ed.hPE, ed.hIdx}]
+					local = r.ghost + int64(slot)*8
+				}
+				d.Write64(r.localNbr+int64(k)*8, uint64(local))
+				k++
+			}
+		}
+		// Fetch list, in consumer (graph) order: source global pointer
+		// and destination ghost address per entry.
+		for k, fe := range pg.fetchOrder {
+			gp := splitc.Global(fe.src, r.hVal+int64(fe.hIdx)*8)
+			d.Write64(r.fetchList+int64(k)*16, uint64(gp))
+			d.Write64(r.fetchList+int64(k)*16+8, uint64(r.ghost+int64(fe.slot)*8))
+		}
+		// Send list (dst-major, for Bulk staging): (destination
+		// ghost-slot global ptr, local H address) pairs.
+		entry := 0
+		for dst := 0; dst < g.nproc; dst++ {
+			idxs, ok := pg.sendTo[dst]
+			if !ok {
+				continue
+			}
+			off := g.ghostOffset(dst, pe)
+			for j, idx := range idxs {
+				gp := splitc.Global(dst, r.ghost+int64(off+j)*8)
+				d.Write64(r.sendList+int64(entry)*16, uint64(gp))
+				d.Write64(r.sendList+int64(entry)*16+8, uint64(r.hVal+int64(idx)*8))
+				entry++
+			}
+		}
+		// Put list: the same pairs in producer order.
+		for k, pu := range pg.putOrder {
+			off := g.ghostOffset(pu.dst, pe)
+			gp := splitc.Global(pu.dst, r.ghost+int64(off+pu.dstSlot)*8)
+			d.Write64(r.putList+int64(k)*16, uint64(gp))
+			d.Write64(r.putList+int64(k)*16+8, uint64(r.hVal+int64(pu.hIdx)*8))
+		}
+	}
+}
+
+// exchange is the communication phase of one half-step.
+func exchange(c *splitc.Ctx, g *graph, r *regions, pe int, v Version) {
+	pg := g.pes[pe]
+	nGhost := g.totalGhosts(pe)
+	switch v {
+	case Simple:
+		// No separate phase: values are read inside the compute loop.
+	case Ghost, Unroll:
+		for k := 0; k < nGhost; k++ {
+			gp := splitc.GlobalPtr(c.Node.CPU.Load64(c.P, r.fetchList+int64(k)*16))
+			dst := int64(c.Node.CPU.Load64(c.P, r.fetchList+int64(k)*16+8))
+			val := c.Read(gp)
+			c.Node.CPU.Store64(c.P, dst, val)
+		}
+	case Get:
+		for k := 0; k < nGhost; k++ {
+			gp := splitc.GlobalPtr(c.Node.CPU.Load64(c.P, r.fetchList+int64(k)*16))
+			dst := int64(c.Node.CPU.Load64(c.P, r.fetchList+int64(k)*16+8))
+			c.Get(dst, gp)
+		}
+		c.Sync()
+	case Put:
+		for k := range pg.putOrder {
+			gp := splitc.GlobalPtr(c.Node.CPU.Load64(c.P, r.putList+int64(k)*16))
+			ha := int64(c.Node.CPU.Load64(c.P, r.putList+int64(k)*16+8))
+			v := c.Node.CPU.Load64(c.P, ha)
+			c.Store(gp, v)
+		}
+		c.AllStoreSync()
+	case Bulk:
+		// Gather into per-destination staging buffers...
+		entry := 0
+		for dst := 0; dst < g.nproc; dst++ {
+			idxs := pg.sendTo[dst]
+			for j := range idxs {
+				ha := int64(c.Node.CPU.Load64(c.P, r.sendList+int64(entry)*16+8))
+				val := c.Node.CPU.Load64(c.P, ha)
+				c.Node.CPU.Store64(c.P, r.stage+(int64(dst)*int64(r.maxPair)+int64(j))*8, val)
+				entry++
+			}
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+		// ...then one bulk transfer per source fills the ghost region.
+		for src := 0; src < g.nproc; src++ {
+			count := len(pg.ghostBySrc[src])
+			if count == 0 {
+				continue
+			}
+			remote := splitc.Global(src, r.stage+int64(pe)*int64(r.maxPair)*8)
+			c.BulkRead(r.ghost+int64(g.ghostOffset(pe, src))*8, remote, int64(count)*8)
+		}
+		c.Barrier()
+	}
+}
+
+// compute is the local phase: E values from (ghost or local) H values.
+func compute(c *splitc.Ctx, g *graph, r *regions, pe int, v Version, knobs Knobs) {
+	pg := g.pes[pe]
+	knob := knobs.Unrolled
+	switch v {
+	case Simple:
+		knob = knobs.Simple
+	case Ghost:
+		knob = knobs.Ghost
+	}
+	k := 0
+	for e, es := range pg.edges {
+		acc := 0.0
+		for range es {
+			var bits uint64
+			if v == Simple {
+				gp := splitc.GlobalPtr(c.Node.CPU.Load64(c.P, r.nbrPtr+int64(k)*8))
+				bits = c.Read(gp)
+			} else {
+				a := int64(c.Node.CPU.Load64(c.P, r.localNbr+int64(k)*8))
+				bits = c.Node.CPU.Load64(c.P, a)
+			}
+			w := math.Float64frombits(c.Node.CPU.Load64(c.P, r.weights+int64(k)*8))
+			c.Compute(knob)
+			acc += w * math.Float64frombits(bits)
+			k++
+		}
+		c.Node.CPU.Store64(c.P, r.eVal+int64(e)*8, math.Float64bits(acc))
+	}
+}
+
+// validate compares the simulated E values with the host reference.
+func validate(g *graph, m *machine.T3D, r *regions) bool {
+	want := g.reference(g.initialH())
+	for pe := range g.pes {
+		d := m.Nodes[pe].DRAM
+		for e := 0; e < g.cfg.NodesPerPE; e++ {
+			got := math.Float64frombits(d.Read64(r.eVal + int64(e)*8))
+			if math.Abs(got-want[pe][e]) > 1e-9*math.Max(1, math.Abs(want[pe][e])) {
+				return false
+			}
+		}
+	}
+	return true
+}

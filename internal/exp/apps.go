@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/splitc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extD",
+		Title: "Extension: application kernels on the characterized machine",
+		Paper: "not in the paper; classic Split-C kernels whose version orderings echo the primitive costs, EM3D-style.",
+		Run:   runApps,
+	})
+}
+
+func appsRT(pes int) *splitc.Runtime {
+	cfg := machine.DefaultConfig(pes)
+	cfg.MemBytes = 2 << 20
+	return splitc.NewRuntime(machine.New(cfg), splitc.DefaultConfig())
+}
+
+func runApps(o Options) []report.Table {
+	perPE := 48
+	if o.Quick {
+		perPE = 24
+	}
+	rng := rand.New(rand.NewSource(1995))
+	keys := make([][]uint64, 4)
+	for pe := range keys {
+		for i := 0; i < perPE; i++ {
+			keys[pe] = append(keys[pe], rng.Uint64())
+		}
+	}
+
+	hist := report.Table{
+		Title:   "Histogram: three update strategies (4 PEs)",
+		Headers: []string{"strategy", "cycles", "µs", "validated"},
+	}
+	for _, m := range []apps.HistogramMethod{apps.HistLocalReduce, apps.HistAM, apps.HistRemoteRMW} {
+		res := apps.Histogram(appsRT(4), keys, 16, m)
+		hist.AddRow(m.String(), res.Cycles,
+			fmt.Sprintf("%.1f", float64(res.Cycles)*cpu.NSPerCycle/1e3), res.Validated)
+	}
+	hist.Note = "bulk-synchronous local counts win; shipping updates as active messages beats lock-protected remote read-modify-write"
+
+	other := report.Table{
+		Title:   "Sample sort and matrix multiply (4 PEs)",
+		Headers: []string{"kernel", "size", "cycles", "µs", "validated"},
+	}
+	ss := apps.SampleSort(appsRT(4), keys)
+	other.AddRow("sample sort", fmt.Sprintf("%d keys", ss.Keys), ss.Cycles,
+		fmt.Sprintf("%.1f", float64(ss.Cycles)*cpu.NSPerCycle/1e3), ss.Validated)
+
+	const n = 16
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Float64()
+		}
+	}
+	mm := apps.MatMul(appsRT(4), a)
+	other.AddRow("matmul", fmt.Sprintf("%dx%d", n, n), mm.Cycles,
+		fmt.Sprintf("%.1f", float64(mm.Cycles)*cpu.NSPerCycle/1e3), mm.Validated)
+
+	return []report.Table{hist, other}
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"fig1", "fig2", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab7", "hop", "fig9"}
+	all := All()
+	if len(all) < len(want) {
+		t.Fatalf("registry has %d experiments, want at least %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("position %d = %s, want %s (paper order)", i, all[i].ID, id)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("%s missing title or paper reference", e.ID)
+		}
+	}
+	// Anything beyond the paper's artifacts must be marked an extension.
+	for _, e := range all[len(want):] {
+		if !strings.HasPrefix(e.ID, "ext") {
+			t.Errorf("unexpected non-extension experiment %s after the paper set", e.ID)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig6"); !ok {
+		t.Error("fig6 not found")
+	}
+	if _, ok := Find("fig99"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestHopExperimentShape(t *testing.T) {
+	e, _ := Find("hop")
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 1 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(tables[0].Rows) != 4 {
+		t.Errorf("%d rows", len(tables[0].Rows))
+	}
+}
+
+func TestTab3ExperimentReportsHazard(t *testing.T) {
+	e, _ := Find("tab3")
+	tables := e.Run(Options{Quick: true})
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Render(&sb)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stale (hazard)") {
+		t.Errorf("tab3 did not report the synonym hazard:\n%s", out)
+	}
+	if !strings.Contains(out, "23") {
+		t.Error("tab3 missing the 23-cycle annex update")
+	}
+}
+
+func TestFig6ExperimentShape(t *testing.T) {
+	e, _ := Find("fig6")
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want latency + breakdown", len(tables))
+	}
+	lat := tables[0]
+	if len(lat.Rows) != 6 {
+		t.Errorf("%d group sizes", len(lat.Rows))
+	}
+	// First column of the last row is group 16; raw latency must be far
+	// below the group-1 value.
+	first, last := lat.Rows[0], lat.Rows[len(lat.Rows)-1]
+	if first[0] != "1" || last[0] != "16" {
+		t.Fatalf("group column wrong: %v / %v", first, last)
+	}
+}
+
+func TestRunAndRenderIncludesPaperLine(t *testing.T) {
+	e, _ := Find("hop")
+	var sb strings.Builder
+	e.RunAndRender(&sb, Options{Quick: true})
+	if !strings.Contains(sb.String(), "### hop") || !strings.Contains(sb.String(), "paper:") {
+		t.Errorf("render missing header/paper line:\n%s", sb.String())
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	for _, id := range []string{"extA", "extB", "extC", "extD", "extE"} {
+		if _, ok := Find(id); !ok {
+			t.Errorf("extension %s missing", id)
+		}
+	}
+}
+
+func TestExtDAppsValidate(t *testing.T) {
+	e, _ := Find("extD")
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "true" {
+				t.Errorf("kernel row %v failed validation", row)
+			}
+		}
+	}
+}
+
+func TestExtAHotspotMonotone(t *testing.T) {
+	e, _ := Find("extA")
+	tb := e.Run(Options{Quick: true})[0]
+	var prev float64
+	for i, row := range tb.Rows {
+		var cy float64
+		if _, err := fmt.Sscanf(row[1], "%f", &cy); err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if i > 0 && cy < prev {
+			t.Errorf("hotspot latency decreased with more readers: %v", tb.Rows)
+		}
+		prev = cy
+	}
+}

@@ -1,0 +1,337 @@
+package machine
+
+// Calibration tests: the shell/CPU/DRAM timing constants are component-
+// level parameters; these tests assert that the paper's *measured*
+// end-to-end costs emerge from their composition, within tolerance.
+// Paper references are given per test.
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// tolerate checks got against want within frac (e.g. 0.10 = ±10%).
+func tolerate(t *testing.T, name string, got, want float64, frac float64) {
+	t.Helper()
+	lo, hi := want*(1-frac), want*(1+frac)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.1f, want %.1f ± %.0f%%", name, got, want, frac*100)
+	} else {
+		t.Logf("%s = %.1f (paper: %.1f)", name, got, want)
+	}
+}
+
+// measure runs op n times on a fresh 2-PE machine's node 0 after calling
+// setup once, and returns the average cycles per op.
+func measure(n int, setup, op func(p *sim.Proc, node *Node)) float64 {
+	m := New(DefaultConfig(2))
+	var total sim.Time
+	m.RunOn(0, func(p *sim.Proc, node *Node) {
+		if setup != nil {
+			setup(p, node)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			op(p, node)
+		}
+		total = p.Now() - start
+	})
+	return float64(total) / float64(n)
+}
+
+func TestLocalReadCacheHit(t *testing.T) {
+	// §2.2: reads average one cycle (6.67 ns) for arrays within the 8 KB L1.
+	got := measure(256,
+		func(p *sim.Proc, n *Node) { // warm the cache
+			for a := int64(0); a < 2048; a += 8 {
+				n.CPU.Load64(p, a)
+			}
+		},
+		func(p *sim.Proc, n *Node) { n.CPU.Load64(p, (seq()*8)%2048) })
+	tolerate(t, "local read hit (cy)", got, 1, 0.01)
+}
+
+var seqCtr int64
+
+func seq() int64 { seqCtr++; return seqCtr }
+
+func TestLocalReadMiss(t *testing.T) {
+	// §2.2: full memory access ≈ 145 ns = 22 cycles, measured by striding
+	// at the 32-byte line size through an array larger than the cache.
+	var a int64
+	got := measure(512, nil, func(p *sim.Proc, n *Node) {
+		n.CPU.Load64(p, a%(1<<20))
+		a += 32
+	})
+	tolerate(t, "local read miss (cy)", got, 22, 0.10)
+}
+
+func TestLocalReadOffPage(t *testing.T) {
+	// §2.2: 16 KB strides make every access an off-page DRAM access:
+	// +60 ns ≈ 31 cycles total.
+	var a int64
+	got := measure(256, nil, func(p *sim.Proc, n *Node) {
+		n.CPU.Load64(p, a%(8<<20))
+		a += 16 << 10
+	})
+	tolerate(t, "local read off-page (cy)", got, 31, 0.10)
+}
+
+func TestLocalReadSameBank(t *testing.T) {
+	// §2.2: 64 KB strides hit one bank every time, exposing the full
+	// 264 ns = 40-cycle memory cycle time.
+	var a int64
+	got := measure(128, nil, func(p *sim.Proc, n *Node) {
+		n.CPU.Load64(p, a%(8<<20))
+		a += 64 << 10
+	})
+	tolerate(t, "local read same-bank (cy)", got, 40, 0.10)
+}
+
+func TestLocalWriteMerged(t *testing.T) {
+	// §2.3: small strides see ~20 ns (3 cycles) per write thanks to
+	// write merging.
+	var a int64
+	got := measure(512, nil, func(p *sim.Proc, n *Node) {
+		n.CPU.Store64(p, a%(1<<20), 1)
+		a += 8
+	})
+	tolerate(t, "local write merged (cy)", got, 3, 0.15)
+}
+
+func TestLocalWriteLineStride(t *testing.T) {
+	// §2.3: at the 32-byte line stride each write needs its own buffer
+	// entry and the drain rate shows through: ~35 ns ≈ 5 cycles.
+	var a int64
+	got := measure(512, nil, func(p *sim.Proc, n *Node) {
+		n.CPU.Store64(p, a%(1<<20), 1)
+		a += 32
+	})
+	tolerate(t, "local write line-stride (cy)", got, 5.25, 0.15)
+}
+
+func TestAnnexUpdate(t *testing.T) {
+	// §3.2: annex registers are updated at user level at a measured cost
+	// typical of off-chip access: 23 cycles.
+	got := measure(64, nil, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+	})
+	tolerate(t, "annex update (cy)", got, 23, 0.01)
+}
+
+func TestRemoteUncachedRead(t *testing.T) {
+	// §4.2: an uncached remote read costs roughly 610 ns = 91 cycles.
+	var a int64
+	got := measure(256,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.Load64(p, addr.Make(1, a%(8<<10)))
+			a += 8
+		})
+	tolerate(t, "remote uncached read (cy)", got, 91, 0.08)
+}
+
+func TestRemoteCachedReadLineFill(t *testing.T) {
+	// §4.2: a cached read (line fill) costs 765 ns = 114 cycles. Stride a
+	// line at a time so every access is a fill.
+	var a int64
+	got := measure(256,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, true) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.Load64(p, addr.Make(1, (a*32)%(64<<10)))
+			a++
+		})
+	tolerate(t, "remote cached read fill (cy)", got, 114, 0.08)
+}
+
+func TestRemoteReadOffPage(t *testing.T) {
+	// §4.2: 16 KB strides add ~100 ns (15 cycles) from off-page accesses
+	// in the remote memory controller.
+	var a int64
+	got := measure(128,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.Load64(p, addr.Make(1, a%(8<<20)))
+			a += 16 << 10
+		})
+	tolerate(t, "remote uncached read off-page (cy)", got, 106, 0.10)
+}
+
+func TestBlockingRemoteWrite(t *testing.T) {
+	// §4.3: a blocking remote write — store, drain, poll for the ack —
+	// completes in roughly 850 ns = 130 cycles.
+	var a int64
+	got := measure(256,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.Store64(p, addr.Make(1, a%(8<<10)), 7)
+			a += 8
+			n.CPU.MB(p)
+			n.Shell.WaitWritesComplete(p)
+		})
+	// Tolerance is wider here than elsewhere: completion is detected by
+	// 23-cycle status polls, so measured costs quantize to poll
+	// boundaries (the paper reports "roughly" 850 ns for the same reason).
+	tolerate(t, "blocking remote write (cy)", got, 130, 0.15)
+}
+
+func TestNonBlockingRemoteWrite(t *testing.T) {
+	// §5.3: pipelined remote stores at line stride sustain ~115 ns =
+	// 17 cycles per write.
+	var a int64
+	got := measure(512,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.Store64(p, addr.Make(1, a%(8<<10)), 7)
+			a += 32
+		})
+	tolerate(t, "non-blocking remote write (cy)", got, 17, 0.12)
+}
+
+func TestPrefetchSingle(t *testing.T) {
+	// §5.2: one prefetch/MB/pop sequence is ~15 cycles slower than a
+	// 91-cycle blocking read: ≈ 106 cycles (before the local store).
+	var a int64
+	got := measure(256,
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			n.CPU.FetchHint(p, addr.Make(1, a%(8<<10)))
+			a += 8
+			n.CPU.MB(p)
+			n.Shell.PopPrefetch(p)
+		})
+	tolerate(t, "prefetch single (cy)", got, 106, 0.10)
+}
+
+func TestPrefetchGroup16(t *testing.T) {
+	// §5.2: in groups of 16 the latency pipelines away: ~31 cycles per
+	// prefetch+pop, dominated by the 23-cycle pop and 4-cycle issue.
+	var a int64
+	got := measure(16, // 16 groups of 16
+		func(p *sim.Proc, n *Node) { n.Shell.SetAnnex(p, 1, 1, false) },
+		func(p *sim.Proc, n *Node) {
+			for i := 0; i < 16; i++ {
+				n.CPU.FetchHint(p, addr.Make(1, a%(8<<10)))
+				a += 8
+			}
+			for i := 0; i < 16; i++ {
+				n.Shell.PopPrefetch(p)
+			}
+		})
+	tolerate(t, "prefetch group-16 (cy per op)", got/16, 31, 0.12)
+}
+
+func TestFetchIncrement(t *testing.T) {
+	// §7.4: fetch&increment is "essentially the cost of a remote read,
+	// i.e., about 1 microsecond" ≈ 130 cycles in our calibration.
+	got := measure(128, nil, func(p *sim.Proc, n *Node) {
+		n.Shell.FetchInc(p, 1, 0)
+	})
+	tolerate(t, "fetch&increment (cy)", got, 130, 0.15)
+}
+
+func TestMessageSend(t *testing.T) {
+	// §7.3: injecting a message costs 813 ns = 122 cycles.
+	got := measure(64, nil, func(p *sim.Proc, n *Node) {
+		n.Shell.SendMessage(p, 1, [4]uint64{1, 2, 3, 4})
+	})
+	tolerate(t, "message send (cy)", got, 122, 0.01)
+}
+
+func TestBLTReadBandwidth(t *testing.T) {
+	// §6.2: the block transfer engine peaks at roughly 140 MB/s for
+	// large reads.
+	const size = 1 << 20
+	m := New(DefaultConfig(2))
+	var cycles sim.Time
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		start := p.Now()
+		n.Shell.BLTStart(p, 0, 1, 0, 0, size)
+		n.Shell.BLTWait(p)
+		cycles = p.Now() - start
+	})
+	mbs := float64(size) / (float64(cycles) * 6.67e-9) / 1e6
+	tolerate(t, "BLT read bandwidth (MB/s)", mbs, 140, 0.10)
+}
+
+func TestBulkStoreBandwidth(t *testing.T) {
+	// §6.2: bulk writes through the store path peak at ~90 MB/s
+	// (bus-limited), with 4-to-a-line write merging.
+	const size = 256 << 10
+	m := New(DefaultConfig(2))
+	var cycles sim.Time
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		start := p.Now()
+		for a := int64(0); a < size; a += 8 {
+			n.CPU.Store64(p, addr.Make(1, a), 1)
+		}
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+		cycles = p.Now() - start
+	})
+	mbs := float64(size) / (float64(cycles) * 6.67e-9) / 1e6
+	tolerate(t, "bulk store bandwidth (MB/s)", mbs, 90, 0.12)
+}
+
+func TestNetworkPerHop(t *testing.T) {
+	// §4.2: each network hop adds 13–20 ns (2–3 cycles). Compare uncached
+	// reads to nodes 1 and 3 hops away on an 8x1x1 ring.
+	cfg := DefaultConfig(8)
+	cfg.Net.Shape = [3]int{8, 1, 1}
+	readAvg := func(target int) float64 {
+		m := New(cfg)
+		var total sim.Time
+		m.RunOn(0, func(p *sim.Proc, n *Node) {
+			n.Shell.SetAnnex(p, 1, target, false)
+			start := p.Now()
+			for i := int64(0); i < 128; i++ {
+				n.CPU.Load64(p, addr.Make(1, i*8))
+			}
+			total = p.Now() - start
+		})
+		return float64(total) / 128
+	}
+	perHop := (readAvg(3) - readAvg(1)) / 2 / 2 // 2 extra hops, round trip
+	tolerate(t, "network per-hop (cy)", perHop, 2.5, 0.40)
+}
+
+func TestWorkstationMainMemory(t *testing.T) {
+	// §2.2 / Figure 1: a workstation main-memory access costs ~300 ns =
+	// 45 cycles; stream at line stride through an array beyond the L2.
+	w := NewWorkstation()
+	var total sim.Time
+	var a int64
+	w.Run(func(p *sim.Proc, c *cpu.CPU) {
+		// touch 2 MB once to defeat both caches, then measure
+		start := p.Now()
+		for i := 0; i < 512; i++ {
+			c.Load64(p, a%(4<<20))
+			a += 32
+		}
+		total = p.Now() - start
+	})
+	tolerate(t, "workstation main memory (cy)", float64(total)/512, 45, 0.15)
+}
+
+func TestWorkstationL2Hit(t *testing.T) {
+	w := NewWorkstation()
+	var total sim.Time
+	w.Run(func(p *sim.Proc, c *cpu.CPU) {
+		const span = 64 << 10 // fits L2, exceeds L1
+		for a := int64(0); a < span; a += 32 {
+			c.Load64(p, a) // warm L2
+		}
+		start := p.Now()
+		n := 0
+		for a := int64(0); a < span; a += 32 {
+			c.Load64(p, a)
+			n++
+		}
+		total = (p.Now() - start) / sim.Time(n)
+	})
+	tolerate(t, "workstation L2 hit (cy)", float64(total), 8, 0.20)
+}

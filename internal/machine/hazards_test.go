@@ -1,0 +1,498 @@
+package machine
+
+// Hazard regression tests: the paper's value lies as much in the semantic
+// pitfalls it documents as in the timings. Each test below reproduces one
+// documented hazard (or verifies the corresponding safe path).
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+func TestRemoteWriteDataVisibleAfterAck(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Store64(p, addr.Make(1, 0x100), 0xFEED)
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+		if got := m.Nodes[1].DRAM.Read64(0x100); got != 0xFEED {
+			t.Errorf("remote memory = %#x after acked write, want 0xFEED", got)
+		}
+		if got := n.CPU.Load64(p, addr.Make(1, 0x100)); got != 0xFEED {
+			t.Errorf("remote read-back = %#x, want 0xFEED", got)
+		}
+	})
+}
+
+func TestAnnexSynonymWriteBufferHazard(t *testing.T) {
+	// §3.4: two annex registers pointing at the same processor create
+	// physical synonyms. A write through one followed by a read through
+	// the other bypasses the write buffer's conflict check and returns
+	// stale data. "We have produced probes that exhibit this unpleasant
+	// phenomenon."
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x200, 0x01D) // old value
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.Shell.SetAnnex(p, 2, 1, false) // synonym of annex 1
+		// Back up the write buffer so the synonym write lingers in it,
+		// then read through the other annex: the load bypasses the
+		// buffered writes (no physical-address match) and reaches remote
+		// memory first.
+		for i := int64(0); i < 4; i++ {
+			n.CPU.Store64(p, addr.Make(1, 0x4000+i*64), 1)
+		}
+		n.CPU.Store64(p, addr.Make(1, 0x200), 0x2F2F)
+		got := n.CPU.Load64(p, addr.Make(2, 0x200))
+		if got != 0x01D {
+			t.Errorf("synonym read = %#x, want stale 0x01D (hazard must reproduce)", got)
+		}
+		// Through the SAME annex the conflict is detected and the load
+		// waits; run the completion to also verify eventual visibility.
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+		if got := n.CPU.Load64(p, addr.Make(2, 0x200)); got != 0x2F2F {
+			t.Errorf("post-drain synonym read = %#x, want 0x2F2F", got)
+		}
+	})
+}
+
+func TestSameAnnexReadAfterWriteIsSafe(t *testing.T) {
+	// The counterpart: through the SAME annex register the physical
+	// addresses match, the load conflicts with the buffered write, and
+	// the CPU stalls until it drains — no staleness. (The network then
+	// delivers the read behind the write.)
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x200, 0x01D)
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Store64(p, addr.Make(1, 0x200), 0xAB)
+		got := n.CPU.Load64(p, addr.Make(1, 0x200))
+		if got != 0xAB {
+			t.Errorf("same-annex read = %#x, want 0xAB", got)
+		}
+	})
+}
+
+func TestStatusBitIgnoresBufferedWrites(t *testing.T) {
+	// §4.3: the remote-write status bit is set when writes have left the
+	// processor, but CLEAR while they still sit in the write buffer. A
+	// poll without a preceding MB can falsely conclude completion.
+	cfg := DefaultConfig(2)
+	m := New(cfg)
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		// Saturate the drain path so entries linger in the buffer, then
+		// check status immediately: the fresh writes are invisible.
+		for i := int64(0); i < 8; i++ {
+			n.CPU.Store64(p, addr.Make(1, i*64), 1)
+		}
+		// Some writes are mid-flight (left buffer), but at least one of
+		// the 8 is still buffered; keep storing and sampling.
+		n.CPU.Store64(p, addr.Make(1, 0x1000), 2)
+		if n.WB.Empty() {
+			t.Fatal("test premise broken: write buffer drained instantly")
+		}
+		// The paper's bug: poll says "complete" only counting departed
+		// writes. Wait for those, then observe memory is still stale for
+		// the buffered one... after MB+poll everything is visible.
+		n.Shell.WaitWritesComplete(p) // without MB first: unsound
+		stillBuffered := !n.WB.Empty()
+		complete := m.Nodes[1].DRAM.Read64(0x1000) == 2
+		if !stillBuffered && complete {
+			t.Skip("drain raced ahead; premise gone")
+		}
+		if complete {
+			t.Error("write visible although it never left the buffer")
+		}
+		// The sound sequence:
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+		if got := m.Nodes[1].DRAM.Read64(0x1000); got != 2 {
+			t.Errorf("after MB+poll, remote = %#x, want 2", got)
+		}
+	})
+}
+
+func TestCachedRemoteReadsAreIncoherent(t *testing.T) {
+	// §4.4: caching remote data is not kept coherent. If the owner
+	// updates the line, a remote reader's cached copy goes stale; an
+	// explicit 23-cycle line flush is the price of a fresh value.
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x300, 1)
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, true) // cached function code
+		ga := addr.Make(1, 0x300)
+		if got := n.CPU.Load64(p, ga); got != 1 {
+			t.Fatalf("first cached read = %d, want 1", got)
+		}
+		// The owner updates its memory directly (its local write path).
+		m.Nodes[1].DRAM.Write64(0x300, 2)
+		if got := n.CPU.Load64(p, ga); got != 1 {
+			t.Errorf("cached re-read = %d, want stale 1 (incoherence must reproduce)", got)
+		}
+		n.CPU.FlushLine(p, ga)
+		if got := n.CPU.Load64(p, ga); got != 2 {
+			t.Errorf("read after flush = %d, want 2", got)
+		}
+	})
+}
+
+func TestInvalidateModeFlushesOwnersCache(t *testing.T) {
+	// §4.4: in cache-invalidate mode an incoming remote write flushes the
+	// matching line on the owning node, keeping the owner's own cached
+	// copy coherent with its memory.
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x400, 10)
+	done := make(chan struct{}, 1)
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		// Owner caches its own line.
+		if got := n.CPU.Load64(p, 0x400); got != 10 {
+			t.Errorf("owner initial read = %d", got)
+		}
+		p.Wait(2000) // let PE0's write land
+		if got := n.CPU.Load64(p, 0x400); got != 99 {
+			t.Errorf("owner read after remote write = %d, want 99 (line should have been invalidated)", got)
+		}
+	})
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Store64(p, addr.Make(1, 0x400), 99)
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+		done <- struct{}{}
+	})
+	m.Eng.Run()
+	<-done
+}
+
+func TestInvalidateModeOffLeavesStaleOwnerCache(t *testing.T) {
+	// The ablation: without invalidate mode the owner keeps reading its
+	// stale cached copy — why the mode is mandatory absent higher-level
+	// information.
+	cfg := DefaultConfig(2)
+	cfg.Shell.InvalidateMode = false
+	m := New(cfg)
+	m.Nodes[1].DRAM.Write64(0x400, 10)
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		n.CPU.Load64(p, 0x400)
+		p.Wait(2000)
+		if got := n.CPU.Load64(p, 0x400); got != 10 {
+			t.Errorf("owner read = %d, want stale 10 with invalidate mode off", got)
+		}
+	})
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Store64(p, addr.Make(1, 0x400), 99)
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+	})
+	m.Eng.Run()
+}
+
+func TestPrefetchQueueOrderAndData(t *testing.T) {
+	// §5.2: the FIFO pops values in issue order regardless of response
+	// arrival order.
+	m := New(DefaultConfig(2))
+	for i := int64(0); i < 16; i++ {
+		m.Nodes[1].DRAM.Write64(i*8, uint64(100+i))
+	}
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		for i := int64(0); i < 16; i++ {
+			n.CPU.FetchHint(p, addr.Make(1, i*8))
+		}
+		n.CPU.MB(p)
+		for i := int64(0); i < 16; i++ {
+			if got := n.Shell.PopPrefetch(p); got != uint64(100+i) {
+				t.Fatalf("pop %d = %d, want %d", i, got, 100+i)
+			}
+		}
+	})
+}
+
+func TestPrefetchQueueOverflowPanics(t *testing.T) {
+	m := New(DefaultConfig(2))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("17 outstanding prefetches did not panic")
+		}
+	}()
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		for i := int64(0); i < 17; i++ {
+			n.CPU.FetchHint(p, addr.Make(1, i*8))
+		}
+		n.CPU.MB(p)
+	})
+}
+
+func TestByteWriteClobbering(t *testing.T) {
+	// §4.5: with no byte stores, a byte write is a read-modify-write of
+	// the containing word; two processors updating different bytes of
+	// the same word can lose one update.
+	m := New(DefaultConfig(3))
+	target := int64(0x500) // word on PE 2, starts 0
+	byteRMW := func(p *sim.Proc, n *Node, byteIdx uint, val byte) {
+		ga := addr.Make(1, target)
+		w := n.CPU.Load64(p, ga)                              // read word
+		n.CPU.Compute(p, 2)                                   // insert byte (byte-manipulation ops)
+		w = w&^(0xFF<<(8*byteIdx)) | uint64(val)<<(8*byteIdx) //
+		n.CPU.Store64(p, ga, w)                               // write word
+		n.CPU.MB(p)                                           //
+		n.Shell.WaitWritesComplete(p)                         //
+	}
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 2, false)
+		byteRMW(p, n, 0, 0xAA)
+	})
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 2, false)
+		byteRMW(p, n, 1, 0xBB)
+	})
+	m.Eng.Run()
+	got := m.Nodes[2].DRAM.Read64(target)
+	if got == 0xBBAA {
+		t.Errorf("both byte updates survived (%#x); the clobbering hazard must reproduce", got)
+	}
+	if got != 0xAA && got != 0xBB00 {
+		t.Errorf("word = %#x, want exactly one surviving update", got)
+	}
+}
+
+func TestLocalGlobalConsistencyViolation(t *testing.T) {
+	// §4.5: writes through local pointers sit in the write buffer, so a
+	// remote reader can observe a flag (written with a completed global
+	// write) before the data (written with a buffered local write).
+	m := New(DefaultConfig(2))
+	const dataOff, flagOff = 0x600, 0x9000 // flag on PE1, data on PE0
+	var observed uint64
+	var sawFlag bool
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		// Fill the write buffer so the data store lingers.
+		for i := int64(0); i < 4; i++ {
+			n.CPU.Store64(p, 0x8000+i*64, 1)
+		}
+		n.CPU.Store64(p, dataOff, 42) // LOCAL pointer write: buffered
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Store64(p, addr.Make(1, flagOff), 1) // global write of the flag
+	})
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 0, false)
+		for i := 0; i < 200; i++ {
+			if n.CPU.Load64(p, flagOff) == 1 { // own memory: flag landed?
+				sawFlag = true
+				observed = n.CPU.Load64(p, addr.Make(1, dataOff))
+				return
+			}
+		}
+	})
+	m.Eng.Run()
+	if !sawFlag {
+		t.Fatal("flag never observed")
+	}
+	if observed == 42 {
+		t.Skip("data drained before the remote read; violation did not manifest this run")
+	}
+	if observed != 0 {
+		t.Errorf("observed %d, want 0 (stale) or 42", observed)
+	}
+}
+
+func TestFetchIncrementAtomicity(t *testing.T) {
+	// §7.4: concurrent fetch&increments to one register return distinct
+	// values — the N-to-1 queue building block.
+	m := New(DefaultConfig(4))
+	got := map[uint64]int{}
+	m.Run(func(p *sim.Proc, n *Node) {
+		for i := 0; i < 4; i++ {
+			v := n.Shell.FetchInc(p, 3, 0)
+			got[v]++
+		}
+	})
+	if len(got) != 16 {
+		t.Fatalf("%d distinct tickets for 16 increments", len(got))
+	}
+	for v := uint64(0); v < 16; v++ {
+		if got[v] != 1 {
+			t.Errorf("ticket %d drawn %d times", v, got[v])
+		}
+	}
+	if m.Nodes[3].Shell.FI(0) != 16 {
+		t.Errorf("final register = %d, want 16", m.Nodes[3].Shell.FI(0))
+	}
+}
+
+func TestSwapExchanges(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x700, 5)
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SetAnnex(p, 1, 1, false)
+		old := n.Shell.Swap(p, addr.Make(1, 0x700), 9)
+		if old != 5 {
+			t.Errorf("swap returned %d, want 5", old)
+		}
+	})
+	if got := m.Nodes[1].DRAM.Read64(0x700); got != 9 {
+		t.Errorf("memory after swap = %d, want 9", got)
+	}
+}
+
+func TestFuzzyBarrier(t *testing.T) {
+	// §7.5: no node passes the end-barrier before every node has armed;
+	// work placed between start and end overlaps the wait.
+	m := New(DefaultConfig(4))
+	var exitTimes [4]sim.Time
+	var lastArm sim.Time
+	m.Run(func(p *sim.Proc, n *Node) {
+		p.Wait(sim.Time(100 * (n.PE + 1))) // stagger arrivals
+		tk := n.Shell.BarrierStart(p)
+		if at := p.Now(); at > lastArm {
+			lastArm = at
+		}
+		n.CPU.Compute(p, 50) // fuzzy region: overlapped work
+		n.Shell.BarrierEnd(p, tk)
+		exitTimes[n.PE] = p.Now()
+	})
+	for pe, at := range exitTimes {
+		if at < lastArm {
+			t.Errorf("PE %d exited the barrier at %d, before the last arm at %d", pe, at, lastArm)
+		}
+	}
+	if m.Fabric.Barrier.Crossings != 1 {
+		t.Errorf("crossings = %d, want 1", m.Fabric.Barrier.Crossings)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.Run(func(p *sim.Proc, n *Node) {
+		for i := 0; i < 5; i++ {
+			tk := n.Shell.BarrierStart(p)
+			n.Shell.BarrierEnd(p, tk)
+		}
+	})
+	if m.Fabric.Barrier.Crossings != 5 {
+		t.Errorf("crossings = %d, want 5", m.Fabric.Barrier.Crossings)
+	}
+}
+
+func TestMessageQueueRoundTrip(t *testing.T) {
+	// §7.3: send is cheap (122 cy) but receipt pays a 25 µs interrupt.
+	m := New(DefaultConfig(2))
+	var recvAt, sentAt sim.Time
+	var got shell.Message
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		got = n.Shell.WaitMessage(p)
+		recvAt = p.Now()
+	})
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SendMessage(p, 1, [4]uint64{7, 8, 9, 10})
+		sentAt = p.Now()
+	})
+	m.Eng.Run()
+	if got.Src != 0 || got.Data != [4]uint64{7, 8, 9, 10} {
+		t.Errorf("message = %+v", got)
+	}
+	lat := recvAt - sentAt
+	if lat < 3700 || lat > 4300 {
+		t.Errorf("receive latency = %d cycles, want ≈ interrupt cost 3750", lat)
+	}
+}
+
+func TestMessageHandlerDispatch(t *testing.T) {
+	m := New(DefaultConfig(2))
+	var handledAt sim.Time
+	var handled shell.Message
+	m.Nodes[1].Shell.SetHandler(func(p *sim.Proc, msg shell.Message) {
+		handled = msg
+		handledAt = p.Now()
+	})
+	var sentAt sim.Time
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SendMessage(p, 1, [4]uint64{1, 0, 0, 0})
+		sentAt = p.Now()
+	})
+	if handled.Data[0] != 1 {
+		t.Fatal("handler never ran")
+	}
+	lat := handledAt - sentAt
+	// Interrupt (3750) + handler switch (4950) ≈ 8700.
+	if lat < 8500 || lat > 9300 {
+		t.Errorf("handler dispatch latency = %d, want ≈ 8700", lat)
+	}
+}
+
+func TestMessageInterruptStealsCycles(t *testing.T) {
+	// The receiving processor loses ~25 µs of computation per message.
+	m := New(DefaultConfig(2))
+	var elapsed sim.Time
+	m.Spawn(1, func(p *sim.Proc, n *Node) {
+		p.Wait(500) // let the message arrive mid-computation
+		start := p.Now()
+		for i := 0; i < 100; i++ {
+			n.CPU.Compute(p, 1)
+		}
+		elapsed = p.Now() - start
+	})
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.SendMessage(p, 1, [4]uint64{})
+	})
+	m.Eng.Run()
+	if elapsed < 3750 {
+		t.Errorf("victim computation took %d cycles; interrupt cost not charged", elapsed)
+	}
+}
+
+func TestBLTDataCorrectness(t *testing.T) {
+	m := New(DefaultConfig(2))
+	for i := int64(0); i < 1024; i += 8 {
+		m.Nodes[1].DRAM.Write64(0x4000+i, uint64(i))
+	}
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		n.Shell.BLTStart(p, shell.BLTRead, 1, 0x8000, 0x4000, 1024)
+		n.Shell.BLTWait(p)
+	})
+	for i := int64(0); i < 1024; i += 8 {
+		if got := m.Nodes[0].DRAM.Read64(0x8000 + i); got != uint64(i) {
+			t.Fatalf("BLT read: local[%#x] = %d, want %d", 0x8000+i, got, i)
+		}
+	}
+}
+
+func TestBLTWriteStrided(t *testing.T) {
+	m := New(DefaultConfig(2))
+	for i := int64(0); i < 4; i++ {
+		m.Nodes[0].DRAM.Write64(0x1000+i*8, uint64(50+i))
+	}
+	m.RunOn(0, func(p *sim.Proc, n *Node) {
+		// 4 elements of 8 bytes, remote stride 256.
+		n.Shell.BLTStartStrided(p, shell.BLTWrite, 1, 0x1000, 0x2000, 8, 4, 256)
+		n.Shell.BLTWait(p)
+	})
+	for i := int64(0); i < 4; i++ {
+		if got := m.Nodes[1].DRAM.Read64(0x2000 + i*256); got != uint64(50+i) {
+			t.Fatalf("strided BLT: remote[%d] = %d, want %d", i, got, 50+i)
+		}
+	}
+}
+
+func TestBLTInvalidatesDestinationCache(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.Nodes[1].DRAM.Write64(0x4000, 1)
+	m.Spawn(0, func(p *sim.Proc, n *Node) {
+		if got := n.CPU.Load64(p, 0x8000); got != 0 { // cache the dest line
+			t.Errorf("initial local read = %d", got)
+		}
+		n.Shell.BLTStart(p, shell.BLTRead, 1, 0x8000, 0x4000, 64)
+		n.Shell.BLTWait(p)
+		if got := n.CPU.Load64(p, 0x8000); got != 1 {
+			t.Errorf("post-BLT read = %d, want 1 (destination line must be invalidated)", got)
+		}
+	})
+	m.Eng.Run()
+}

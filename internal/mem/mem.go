@@ -1,0 +1,228 @@
+// Package mem models the local DRAM system of a CRAY-T3D node (and, with
+// different parameters, a workstation's main memory).
+//
+// The model captures the two structural features that drive the paper's
+// local-memory results (§2): page-mode (open-row) DRAM, which makes an
+// access to the currently open row of a bank cheaper than one that must
+// precharge and activate a new row, and bank interleaving, which lets
+// accesses to different banks proceed without waiting out a bank's full
+// cycle time. Banks rotate every RowSize bytes, so addresses within one
+// RowSize-aligned chunk share both a bank and a row.
+//
+// The DRAM also stores real data: loads and stores through the simulated
+// machine move actual bytes, which is what lets the repository reproduce
+// the paper's correctness hazards (stale reads past the write buffer,
+// incoherent cached remote data) and not just its timing curves.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config holds the structural and timing parameters of a DRAM system.
+// All times are in processor cycles.
+type Config struct {
+	Size    int64 // total bytes; must be a multiple of RowSize*Banks
+	Banks   int   // number of interleaved banks
+	RowSize int64 // bytes per row; also the bank-interleave granularity
+
+	// Read timing: latency to return data for an access hitting the open
+	// row, the bank occupancy of such an access (the CAS-to-CAS interval,
+	// shorter than the latency, so independent page-mode reads pipeline),
+	// latency for a row miss, and how long a row miss occupies the bank
+	// (precharge + activate + access + restore).
+	ReadRowHit   sim.Time
+	ReadHitOcc   sim.Time
+	ReadRowMiss  sim.Time
+	ReadMissBusy sim.Time
+
+	// Write timing: the analogous parameters. A row-hit write is cheap
+	// (CAS-only page-mode write); a row-miss write pays the full access.
+	WriteRowHit   sim.Time
+	WriteRowMiss  sim.Time
+	WriteMissBusy sim.Time
+}
+
+// T3DNodeConfig returns the memory parameters of a T3D node as measured in
+// §2 of the paper: no L2 cache, 4 banks, 16 KB DRAM pages, a 22-cycle
+// (145 ns) full access, +9 cycles off-page, and a 40-cycle bank cycle time
+// (the 264 ns worst case at 64 KB strides).
+func T3DNodeConfig(size int64) Config {
+	return Config{
+		Size:    size,
+		Banks:   4,
+		RowSize: 16 << 10,
+
+		ReadRowHit:   22,
+		ReadHitOcc:   5,
+		ReadRowMiss:  31,
+		ReadMissBusy: 40,
+
+		WriteRowHit:   5,
+		WriteRowMiss:  31,
+		WriteMissBusy: 40,
+	}
+}
+
+// WorkstationConfig returns main-memory parameters for the DEC Alpha
+// workstation of Figure 1: a 300 ns (45-cycle) access behind the L2 cache.
+func WorkstationConfig(size int64) Config {
+	return Config{
+		Size:    size,
+		Banks:   2,
+		RowSize: 8 << 10,
+
+		ReadRowHit:   45,
+		ReadHitOcc:   20,
+		ReadRowMiss:  52,
+		ReadMissBusy: 60,
+
+		WriteRowHit:   12,
+		WriteRowMiss:  52,
+		WriteMissBusy: 60,
+	}
+}
+
+// DRAM is a banked page-mode memory holding real data.
+type DRAM struct {
+	cfg   Config
+	data  []byte
+	banks []bank
+}
+
+type bank struct {
+	openRow   int64    // row id currently open; -1 initially
+	freeAt    sim.Time // when the open row can accept another CAS access
+	cycleDone sim.Time // when a new row activation (row miss) may begin
+}
+
+// New returns a DRAM with the given configuration. All bytes are zero and
+// all rows closed.
+func New(cfg Config) *DRAM {
+	if cfg.Size <= 0 || cfg.Banks <= 0 || cfg.RowSize <= 0 {
+		panic(fmt.Sprintf("mem: invalid config %+v", cfg))
+	}
+	if cfg.Size%(cfg.RowSize*int64(cfg.Banks)) != 0 {
+		panic(fmt.Sprintf("mem: size %d not a multiple of RowSize*Banks", cfg.Size))
+	}
+	d := &DRAM{
+		cfg:   cfg,
+		data:  make([]byte, cfg.Size),
+		banks: make([]bank, cfg.Banks),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Config returns the configuration the DRAM was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Size returns the memory size in bytes.
+func (d *DRAM) Size() int64 { return d.cfg.Size }
+
+// rowOf returns the globally unique row id for addr. Rows rotate across
+// banks, so row id modulo Banks identifies the bank.
+func (d *DRAM) rowOf(addr int64) int64 { return addr / d.cfg.RowSize }
+
+// BankOf returns the bank index serving addr.
+func (d *DRAM) BankOf(addr int64) int { return int(d.rowOf(addr) % int64(d.cfg.Banks)) }
+
+func (d *DRAM) access(start sim.Time, addr int64, hitLat, hitOcc, missLat, missBusy sim.Time) (serviceStart, complete sim.Time, rowHit bool) {
+	if addr < 0 || addr >= d.cfg.Size {
+		panic(fmt.Sprintf("mem: access to %#x outside %d-byte memory", addr, d.cfg.Size))
+	}
+	row := d.rowOf(addr)
+	b := &d.banks[row%int64(d.cfg.Banks)]
+	if row == b.openRow {
+		s := start
+		if b.freeAt > s {
+			s = b.freeAt
+		}
+		complete = s + hitLat
+		b.freeAt = s + hitOcc
+		if complete > b.cycleDone {
+			b.cycleDone = complete
+		}
+		return s, complete, true
+	}
+	// Row miss: must wait for the previous full bank cycle (precharge)
+	// before activating the new row.
+	s := start
+	if b.cycleDone > s {
+		s = b.cycleDone
+	}
+	complete = s + missLat
+	b.freeAt = complete
+	b.cycleDone = s + missBusy
+	b.openRow = row
+	return s, complete, false
+}
+
+// ReadAccess models the timing of one read transaction (of any size up to
+// a cache line) starting no earlier than start. It returns the completion
+// time and whether the access hit the bank's open row.
+func (d *DRAM) ReadAccess(start sim.Time, addr int64) (complete sim.Time, rowHit bool) {
+	_, complete, rowHit = d.access(start, addr, d.cfg.ReadRowHit, d.cfg.ReadHitOcc, d.cfg.ReadRowMiss, d.cfg.ReadMissBusy)
+	return complete, rowHit
+}
+
+// ReadAccessTimes is ReadAccess exposing also the bank service-start time:
+// the instant the array is actually sampled, which is when readers must
+// latch data to order correctly against concurrent writes.
+func (d *DRAM) ReadAccessTimes(start sim.Time, addr int64) (serviceStart, complete sim.Time, rowHit bool) {
+	return d.access(start, addr, d.cfg.ReadRowHit, d.cfg.ReadHitOcc, d.cfg.ReadRowMiss, d.cfg.ReadMissBusy)
+}
+
+// WriteAccess models the timing of one write transaction (a drained write
+// buffer entry, up to a cache line wide).
+func (d *DRAM) WriteAccess(start sim.Time, addr int64) (complete sim.Time, rowHit bool) {
+	_, complete, rowHit = d.access(start, addr, d.cfg.WriteRowHit, d.cfg.WriteRowHit, d.cfg.WriteRowMiss, d.cfg.WriteMissBusy)
+	return complete, rowHit
+}
+
+// Read copies len(p) bytes starting at addr into p.
+func (d *DRAM) Read(addr int64, p []byte) {
+	d.checkRange(addr, len(p))
+	copy(p, d.data[addr:])
+}
+
+// Write copies p into memory starting at addr.
+func (d *DRAM) Write(addr int64, p []byte) {
+	d.checkRange(addr, len(p))
+	copy(d.data[addr:], p)
+}
+
+// Read64 returns the little-endian 64-bit word at addr.
+func (d *DRAM) Read64(addr int64) uint64 {
+	d.checkRange(addr, 8)
+	return binary.LittleEndian.Uint64(d.data[addr:])
+}
+
+// Write64 stores v as a little-endian 64-bit word at addr.
+func (d *DRAM) Write64(addr int64, v uint64) {
+	d.checkRange(addr, 8)
+	binary.LittleEndian.PutUint64(d.data[addr:], v)
+}
+
+// Read32 returns the little-endian 32-bit word at addr.
+func (d *DRAM) Read32(addr int64) uint32 {
+	d.checkRange(addr, 4)
+	return binary.LittleEndian.Uint32(d.data[addr:])
+}
+
+// Write32 stores v as a little-endian 32-bit word at addr.
+func (d *DRAM) Write32(addr int64, v uint32) {
+	d.checkRange(addr, 4)
+	binary.LittleEndian.PutUint32(d.data[addr:], v)
+}
+
+func (d *DRAM) checkRange(addr int64, n int) {
+	if addr < 0 || addr+int64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("mem: data access [%#x,%#x) outside %d-byte memory", addr, addr+int64(n), d.cfg.Size))
+	}
+}

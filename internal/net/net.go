@@ -1,0 +1,210 @@
+// Package net models the CRAY-T3D interconnect: a 3-D torus with
+// dimension-order routing.
+//
+// The paper's measurements see the network two ways: as a small per-hop
+// latency (13–20 ns, 2–3 cycles per hop, §4.2 — all headline measurements
+// are to an adjacent node) and as a bandwidth-limiting pipe once bulk
+// mechanisms stream packets through it (§6). The model therefore charges
+// a fixed latency per hop and occupies each traversed link for a
+// header + payload duration, so both effects emerge.
+//
+// The network is payload-agnostic: callers provide a delivery callback
+// and the network invokes it at the arrival time. All shell semantics
+// (what a remote read does at the far end) live in package shell.
+package net
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the torus.
+type Config struct {
+	Shape [3]int // nodes per dimension; product = node count
+
+	HopLatency sim.Time // cycles for a packet head to cross one hop
+	HeaderOcc  sim.Time // link occupancy of the packet header
+	FlitOcc    sim.Time // link occupancy per 8 bytes of payload
+}
+
+// DefaultConfig returns torus parameters matching the paper: 2 cycles per
+// hop (13 ns, the low end of the measured 2–3), with link bandwidth high
+// enough that the shell injection ports and the BLT engine, not the
+// fabric, are the bottlenecks for the single-sender microbenchmarks.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Shape:      ShapeFor(nodes),
+		HopLatency: 2,
+		HeaderOcc:  1,
+		FlitOcc:    2,
+	}
+}
+
+// ShapeFor factors n into three near-equal power-of-two-friendly
+// dimensions. n must be positive.
+func ShapeFor(n int) [3]int {
+	if n <= 0 {
+		panic("net: node count must be positive")
+	}
+	shape := [3]int{1, 1, 1}
+	rem := n
+	// Repeatedly peel the smallest prime factor onto the smallest dim.
+	for rem > 1 {
+		f := smallestFactor(rem)
+		small := 0
+		for d := 1; d < 3; d++ {
+			if shape[d] < shape[small] {
+				small = d
+			}
+		}
+		shape[small] *= f
+		rem /= f
+	}
+	return shape
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// direction indexes a node's six outgoing links.
+const numDirs = 6
+
+// Network is the torus fabric.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes int
+	links [][numDirs]sim.Resource
+	busy  [][numDirs]sim.Time // accumulated occupancy per link
+
+	// Stats.
+	Packets, PayloadBytes int64
+}
+
+// New builds the fabric.
+func New(eng *sim.Engine, cfg Config) *Network {
+	n := cfg.Shape[0] * cfg.Shape[1] * cfg.Shape[2]
+	if n <= 0 {
+		panic(fmt.Sprintf("net: bad shape %v", cfg.Shape))
+	}
+	return &Network{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: n,
+		links: make([][numDirs]sim.Resource, n),
+		busy:  make([][numDirs]sim.Time, n),
+	}
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Config returns the fabric parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Coord maps a node index to torus coordinates.
+func (n *Network) Coord(pe int) [3]int {
+	s := n.cfg.Shape
+	return [3]int{pe % s[0], (pe / s[0]) % s[1], pe / (s[0] * s[1])}
+}
+
+// Index maps torus coordinates to a node index.
+func (n *Network) Index(c [3]int) int {
+	s := n.cfg.Shape
+	return c[0] + s[0]*(c[1]+s[1]*c[2])
+}
+
+// step returns the next coordinate and link direction moving from x toward
+// y along dimension d, taking the shorter way around the torus.
+func step(x, y, size, dim int) (next, dir int) {
+	fwd := (y - x + size) % size
+	back := (x - y + size) % size
+	if fwd <= back {
+		return (x + 1) % size, 2 * dim // positive direction
+	}
+	return (x - 1 + size) % size, 2*dim + 1
+}
+
+// Route returns the dimension-order route from src to dst as a list of
+// (node, direction) link traversals. An empty route means src == dst.
+func (n *Network) Route(src, dst int) [][2]int {
+	var route [][2]int
+	cur := n.Coord(src)
+	want := n.Coord(dst)
+	for d := 0; d < 3; d++ {
+		for cur[d] != want[d] {
+			next, dir := step(cur[d], want[d], n.cfg.Shape[d], d)
+			route = append(route, [2]int{n.Index(cur), dir})
+			cur[d] = next
+		}
+	}
+	return route
+}
+
+// HopCount returns the number of links on the route from src to dst.
+func (n *Network) HopCount(src, dst int) int { return len(n.Route(src, dst)) }
+
+// occupancy returns how long a packet with the given payload holds each
+// link it traverses.
+func (n *Network) occupancy(payloadBytes int) sim.Time {
+	flits := sim.Time((payloadBytes + 7) / 8)
+	return n.cfg.HeaderOcc + flits*n.cfg.FlitOcc
+}
+
+// Send injects a packet at src at the current time and invokes deliver at
+// the moment its tail arrives at dst. The head advances HopLatency per
+// hop; each traversed link is occupied for the packet's full length, so
+// concurrent streams through a link serialize.
+func (n *Network) Send(src, dst, payloadBytes int, deliver func()) {
+	n.Packets++
+	n.PayloadBytes += int64(payloadBytes)
+	occ := n.occupancy(payloadBytes)
+	t := n.eng.Now()
+	route := n.Route(src, dst)
+	for _, hop := range route {
+		link := &n.links[hop[0]][hop[1]]
+		t = link.Acquire(t, occ) + n.cfg.HopLatency
+		n.busy[hop[0]][hop[1]] += occ
+	}
+	// Tail arrives one packet-length after the head on the final hop.
+	arrival := t + occ
+	if len(route) == 0 {
+		arrival = t + 1 // self-send: loopback in the shell
+	}
+	n.eng.At(arrival, deliver)
+}
+
+// LinkBusy returns the accumulated occupancy of the link leaving node in
+// direction dir (0..5: +x,-x,+y,-y,+z,-z).
+func (n *Network) LinkBusy(node, dir int) sim.Time { return n.busy[node][dir] }
+
+// HottestLink reports the most-occupied link and its accumulated busy
+// time — the congestion diagnostic for the contention extensions.
+func (n *Network) HottestLink() (node, dir int, busy sim.Time) {
+	for nd := range n.busy {
+		for d := 0; d < numDirs; d++ {
+			if n.busy[nd][d] > busy {
+				node, dir, busy = nd, d, n.busy[nd][d]
+			}
+		}
+	}
+	return node, dir, busy
+}
+
+// TotalLinkBusy sums occupancy over all links (aggregate traffic·time).
+func (n *Network) TotalLinkBusy() sim.Time {
+	var total sim.Time
+	for nd := range n.busy {
+		for d := 0; d < numDirs; d++ {
+			total += n.busy[nd][d]
+		}
+	}
+	return total
+}

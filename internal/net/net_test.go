@@ -1,0 +1,226 @@
+package net
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestShapeFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want [3]int
+	}{
+		{1, [3]int{1, 1, 1}},
+		{2, [3]int{2, 1, 1}},
+		{8, [3]int{2, 2, 2}},
+		{32, [3]int{4, 4, 2}},
+		{2048, [3]int{16, 16, 8}},
+	}
+	for _, c := range cases {
+		got := ShapeFor(c.n)
+		if got[0]*got[1]*got[2] != c.n {
+			t.Errorf("ShapeFor(%d) = %v, product != n", c.n, got)
+		}
+		if c.n <= 32 && got != c.want {
+			// Exact shapes only asserted for the small, well-known cases.
+			t.Errorf("ShapeFor(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCoordIndexRoundTrip(t *testing.T) {
+	n := New(sim.NewEngine(), DefaultConfig(32))
+	for pe := 0; pe < n.Nodes(); pe++ {
+		if got := n.Index(n.Coord(pe)); got != pe {
+			t.Fatalf("Index(Coord(%d)) = %d", pe, got)
+		}
+	}
+}
+
+func TestAdjacentHopCount(t *testing.T) {
+	n := New(sim.NewEngine(), DefaultConfig(8)) // 2x2x2
+	if h := n.HopCount(0, 1); h != 1 {
+		t.Errorf("adjacent hop count = %d, want 1", h)
+	}
+	if h := n.HopCount(0, 0); h != 0 {
+		t.Errorf("self hop count = %d, want 0", h)
+	}
+	// Opposite corner of a 2x2x2 torus: 3 hops.
+	if h := n.HopCount(0, 7); h != 3 {
+		t.Errorf("corner-to-corner = %d, want 3", h)
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	// In a ring of 4, node 0 -> node 3 is 1 hop backwards, not 3 forwards.
+	cfg := DefaultConfig(4)
+	cfg.Shape = [3]int{4, 1, 1}
+	n := New(sim.NewEngine(), cfg)
+	if h := n.HopCount(0, 3); h != 1 {
+		t.Errorf("wraparound hop count = %d, want 1", h)
+	}
+	if h := n.HopCount(0, 2); h != 2 {
+		t.Errorf("half-ring hop count = %d, want 2", h)
+	}
+}
+
+func TestDeliveryLatencyScalesWithHops(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Shape = [3]int{8, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	times := map[int]sim.Time{}
+	eng.Spawn("sender", func(p *sim.Proc) {
+		for _, dst := range []int{1, 2, 3} {
+			dst := dst
+			n.Send(0, dst, 8, func() { times[dst] = eng.Now() })
+		}
+	})
+	eng.Run()
+	// Per extra hop the head pays HopLatency (2 cycles) once links are
+	// otherwise idle... except these three packets share link 0->1 and
+	// serialize there. Check monotonicity and per-hop increment using
+	// fresh engines instead.
+	for _, dst := range []int{1, 2, 3} {
+		eng2 := sim.NewEngine()
+		n2 := New(eng2, cfg)
+		var at sim.Time
+		eng2.Spawn("s", func(p *sim.Proc) {
+			n2.Send(0, dst, 8, func() { at = eng2.Now() })
+		})
+		eng2.Run()
+		occ := cfg.HeaderOcc + cfg.FlitOcc // 8-byte payload
+		want := sim.Time(dst)*cfg.HopLatency + occ
+		if at != want {
+			t.Errorf("delivery to %d at %d, want %d", dst, at, want)
+		}
+	}
+	_ = times
+}
+
+func TestLinkSerialization(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Shape = [3]int{2, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	var arrivals []sim.Time
+	eng.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			n.Send(0, 1, 8, func() { arrivals = append(arrivals, eng.Now()) })
+		}
+	})
+	eng.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d deliveries", len(arrivals))
+	}
+	occ := cfg.HeaderOcc + cfg.FlitOcc
+	for i := 1; i < 3; i++ {
+		if gap := arrivals[i] - arrivals[i-1]; gap != occ {
+			t.Errorf("arrival gap = %d, want link occupancy %d", gap, occ)
+		}
+	}
+}
+
+func TestDisjointRoutesDoNotSerialize(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Shape = [3]int{4, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	var a1, a2 sim.Time
+	eng.Spawn("s", func(p *sim.Proc) {
+		n.Send(0, 1, 8, func() { a1 = eng.Now() })
+		n.Send(2, 3, 8, func() { a2 = eng.Now() })
+	})
+	eng.Run()
+	if a1 != a2 {
+		t.Errorf("disjoint sends arrived at %d and %d, want equal", a1, a2)
+	}
+}
+
+func TestSelfSendDelivers(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig(8))
+	delivered := false
+	eng.Spawn("s", func(p *sim.Proc) {
+		n.Send(3, 3, 8, func() { delivered = true })
+	})
+	eng.Run()
+	if !delivered {
+		t.Error("self-send never delivered")
+	}
+}
+
+func TestPropertyRouteReachesDestination(t *testing.T) {
+	n := New(sim.NewEngine(), DefaultConfig(32))
+	f := func(a, b uint8) bool {
+		src, dst := int(a)%32, int(b)%32
+		cur := src
+		for _, hop := range n.Route(src, dst) {
+			if hop[0] != cur {
+				return false // route must be contiguous
+			}
+			c := n.Coord(cur)
+			dim, dir := hop[1]/2, hop[1]%2
+			if dir == 0 {
+				c[dim] = (c[dim] + 1) % n.Config().Shape[dim]
+			} else {
+				c[dim] = (c[dim] - 1 + n.Config().Shape[dim]) % n.Config().Shape[dim]
+			}
+			cur = n.Index(c)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHopCountSymmetric(t *testing.T) {
+	// Dimension-order routing on a torus with shortest-way choice gives
+	// symmetric hop counts.
+	n := New(sim.NewEngine(), DefaultConfig(32))
+	f := func(a, b uint8) bool {
+		src, dst := int(a)%32, int(b)%32
+		return n.HopCount(src, dst) == n.HopCount(dst, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHopCountBounded(t *testing.T) {
+	n := New(sim.NewEngine(), DefaultConfig(64))
+	s := n.Config().Shape
+	maxHops := s[0]/2 + s[1]/2 + s[2]/2
+	f := func(a, b uint16) bool {
+		return n.HopCount(int(a)%64, int(b)%64) <= maxHops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkBusyAccounting(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Shape = [3]int{2, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	eng.Spawn("s", func(p *sim.Proc) {
+		n.Send(0, 1, 8, func() {})
+		n.Send(0, 1, 8, func() {})
+	})
+	eng.Run()
+	occ := cfg.HeaderOcc + cfg.FlitOcc
+	if got := n.LinkBusy(0, 0) + n.LinkBusy(0, 1); got != 2*occ {
+		t.Errorf("link busy = %d, want %d", got, 2*occ)
+	}
+	node, _, busy := n.HottestLink()
+	if node != 0 || busy != 2*occ {
+		t.Errorf("hottest link = node %d busy %d", node, busy)
+	}
+	if n.TotalLinkBusy() != 2*occ {
+		t.Errorf("total busy = %d", n.TotalLinkBusy())
+	}
+}

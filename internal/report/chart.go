@@ -1,0 +1,165 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers distinguish series in a chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ChartOptions controls rendering.
+type ChartOptions struct {
+	Width, Height int  // plot area in characters
+	LogX, LogY    bool // logarithmic axes (the paper's figures are log-log)
+	XLabel        string
+	YLabel        string
+}
+
+// DefaultChartOptions matches the paper's log-log latency figures.
+func DefaultChartOptions() ChartOptions {
+	return ChartOptions{Width: 64, Height: 16, LogX: true, LogY: true}
+}
+
+// Chart renders the series as an ASCII line chart — the textual analogue
+// of the paper's latency and bandwidth figures.
+func Chart(w io.Writer, title string, series []Series, opt ChartOptions) {
+	if opt.Width <= 0 || opt.Height <= 0 {
+		panic("report: chart area must be positive")
+	}
+	var xs, ys []float64
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			panic("report: series X/Y length mismatch")
+		}
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	tx := transform(opt.LogX)
+	ty := transform(opt.LogY)
+	xmin, xmax := bounds(xs, tx)
+	ymin, ymax := bounds(ys, ty)
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := scale(tx(s.X[i]), xmin, xmax, opt.Width-1)
+			cy := scale(ty(s.Y[i]), ymin, ymax, opt.Height-1)
+			grid[opt.Height-1-cy][cx] = m
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	yLo, yHi := formatTick(invert(ymin, opt.LogY)), formatTick(invert(ymax, opt.LogY))
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opt.Width))
+	xLo, xHi := formatTick(invert(xmin, opt.LogX)), formatTick(invert(xmax, opt.LogX))
+	pad := opt.Width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", pad), xHi)
+	if opt.XLabel != "" {
+		fmt.Fprintf(w, "  (%s)", opt.XLabel)
+	}
+	fmt.Fprintln(w)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "   "))
+}
+
+func transform(log bool) func(float64) float64 {
+	if log {
+		return func(v float64) float64 {
+			if v <= 0 {
+				return 0
+			}
+			return math.Log2(v)
+		}
+	}
+	return func(v float64) float64 { return v }
+}
+
+func invert(v float64, log bool) float64 {
+	if log {
+		return math.Exp2(v)
+	}
+	return v
+}
+
+func bounds(vs []float64, t func(float64) float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		tv := t(v)
+		if tv < lo {
+			lo = tv
+		}
+		if tv > hi {
+			hi = tv
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+func scale(v, lo, hi float64, max int) int {
+	c := int(math.Round((v - lo) / (hi - lo) * float64(max)))
+	if c < 0 {
+		c = 0
+	}
+	if c > max {
+		c = max
+	}
+	return c
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 1<<20 && math.Mod(v, 1<<20) == 0:
+		return fmt.Sprintf("%.0fM", v/(1<<20))
+	case v >= 1<<10 && math.Mod(v, 1<<10) == 0:
+		return fmt.Sprintf("%.0fK", v/(1<<10))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

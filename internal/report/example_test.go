@@ -1,0 +1,25 @@
+package report_test
+
+import (
+	"os"
+
+	"repro/internal/report"
+)
+
+// Tables render as aligned text with an underlined title.
+func ExampleTable() {
+	t := report.Table{
+		Title:   "Costs",
+		Headers: []string{"op", "cycles"},
+	}
+	t.AddRow("annex update", 23)
+	t.AddRow("pop", 23)
+	t.Render(os.Stdout)
+	// Output:
+	// Costs
+	// =====
+	//             op  cycles
+	//   ------------  ------
+	//   annex update      23
+	//            pop      23
+}

@@ -1,0 +1,219 @@
+package scc
+
+import "repro/internal/splitc"
+
+// The annex-grouping pass (§3.4): each switch of target processor costs
+// a 23-cycle annex reload, so accesses that are provably independent can
+// be reordered to visit processors in groups. The pass runs constant
+// propagation over the register file to learn each access's target PE
+// statically, then stably reorders independent access runs by PE. It
+// composes with the split-phase pass: grouping first, then conversion,
+// yields pipelined gets that also reload the annex once per group.
+
+// OptimizeAnnexGrouping returns a program with independent remote-access
+// runs reordered by destination processor. The input is not modified.
+func OptimizeAnnexGrouping(p *Program) *Program {
+	out := &Program{NumRegs: p.NumRegs}
+	consts := map[Reg]uint64{}
+	out.Body = groupBlock(p.Body, consts)
+	return out
+}
+
+// groupBlock processes one straight-line block, tracking constants.
+func groupBlock(body []Stmt, consts map[Reg]uint64) []Stmt {
+	var out []Stmt
+	for i := 0; i < len(body); {
+		s := body[i]
+		if s.Loop != nil {
+			l := *s.Loop
+			// The counter varies: drop it (and anything it taints) from
+			// the constant set inside the loop, conservatively by
+			// starting fresh.
+			l.Body = groupBlock(l.Body, map[Reg]uint64{})
+			out = append(out, Stmt{Loop: &l})
+			i++
+			continue
+		}
+		in := *s.Instr
+		if in.Op == OpRead || in.Op == OpWrite {
+			if win := scanGroupWindow(body[i:], in.Op, consts); win != nil && win.worthIt() {
+				emitted := win.emit()
+				for _, g := range emitted {
+					propagate(*g.Instr, consts)
+				}
+				out = append(out, emitted...)
+				i += win.length
+				continue
+			}
+		}
+		propagate(in, consts)
+		out = append(out, s)
+		i++
+	}
+	return out
+}
+
+// propagate updates the constant map for one instruction.
+func propagate(in Instr, consts map[Reg]uint64) {
+	switch in.Op {
+	case OpConst:
+		consts[in.Dst] = in.Imm
+	case OpAddImm:
+		if v, ok := consts[in.A]; ok {
+			consts[in.Dst] = v + in.Imm
+		} else {
+			delete(consts, in.Dst)
+		}
+	case OpAdd:
+		a, okA := consts[in.A]
+		b, okB := consts[in.B]
+		if okA && okB {
+			consts[in.Dst] = a + b
+		} else {
+			delete(consts, in.Dst)
+		}
+	case OpMul:
+		a, okA := consts[in.A]
+		b, okB := consts[in.B]
+		if okA && okB {
+			consts[in.Dst] = a * b
+		} else {
+			delete(consts, in.Dst)
+		}
+	case OpMkGlobal:
+		a, okA := consts[in.A]
+		b, okB := consts[in.B]
+		if okA && okB {
+			consts[in.Dst] = uint64(splitc.Global(int(a), int64(b)))
+		} else {
+			delete(consts, in.Dst)
+		}
+	default:
+		if defines(in, in.Dst) {
+			delete(consts, in.Dst)
+		}
+	}
+}
+
+// groupWindow is a scanned candidate region: pure arithmetic (kept in
+// order, moved ahead of the accesses) plus same-kind accesses with
+// statically known targets (re-emitted sorted by target PE).
+type groupWindow struct {
+	length   int
+	arith    []Stmt
+	accesses []Stmt
+	pes      []int // target PE per access
+}
+
+func (w *groupWindow) worthIt() bool {
+	if len(w.accesses) < 2 {
+		return false
+	}
+	distinct := map[int]bool{}
+	for _, pe := range w.pes {
+		distinct[pe] = true
+	}
+	// Grouping only pays when destinations actually interleave.
+	switches := 0
+	for i := 1; i < len(w.pes); i++ {
+		if w.pes[i] != w.pes[i-1] {
+			switches++
+		}
+	}
+	return len(distinct) >= 2 && switches >= len(distinct)
+}
+
+// emit produces the reordered window: arithmetic first (original order),
+// then accesses stably sorted by destination processor.
+func (w *groupWindow) emit() []Stmt {
+	out := append([]Stmt(nil), w.arith...)
+	idx := make([]int, len(w.accesses))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable insertion sort by PE (windows are short: ≤ maxWindow).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && w.pes[idx[j]] < w.pes[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	for _, k := range idx {
+		out = append(out, w.accesses[k])
+	}
+	return out
+}
+
+// scanGroupWindow collects a reorderable window starting at body[0] (an
+// access of kind op). Accesses are moved to the window's end, so every
+// collected access must tolerate all the window's arithmetic running
+// first: arithmetic may not redefine a collected access's operand
+// registers, consume a collected read's destination, or redefine it.
+// Writes to the same (static) address keep their order by ending the
+// window. Returns nil if no valid window forms.
+func scanGroupWindow(body []Stmt, op Op, outer map[Reg]uint64) *groupWindow {
+	consts := make(map[Reg]uint64, len(outer))
+	for k, v := range outer {
+		consts[k] = v
+	}
+	w := &groupWindow{}
+	seenAddr := map[uint64]bool{}
+	var readDsts []Reg
+	touches := func(in Instr, r Reg) bool { return uses(in, r) || defines(in, r) }
+	for k := 0; k < len(body) && k < maxWindow; k++ {
+		if body[k].Loop != nil {
+			break
+		}
+		in := *body[k].Instr
+		switch {
+		case in.Op == op:
+			gp, known := consts[in.A]
+			if !known {
+				return w.close(k)
+			}
+			// Independence with already-collected reads.
+			bad := false
+			for _, d := range readDsts {
+				if touches(in, d) {
+					bad = true
+				}
+			}
+			if bad {
+				return w.close(k)
+			}
+			if op == OpRead {
+				readDsts = append(readDsts, in.Dst)
+			} else {
+				if seenAddr[gp] {
+					return w.close(k)
+				}
+				seenAddr[gp] = true
+			}
+			w.accesses = append(w.accesses, body[k])
+			w.pes = append(w.pes, splitc.GlobalPtr(gp).PE())
+		case pureArith(in.Op):
+			// Arithmetic will run before the moved accesses: it must not
+			// disturb any collected access's registers.
+			for _, a := range w.accesses {
+				acc := *a.Instr
+				if defines(in, acc.A) || (op == OpWrite && defines(in, acc.B)) ||
+					(op == OpRead && touches(in, acc.Dst)) {
+					return w.close(k)
+				}
+			}
+			w.arith = append(w.arith, body[k])
+			propagate(in, consts)
+		default:
+			return w.close(k)
+		}
+	}
+	n := len(body)
+	if n > maxWindow {
+		n = maxWindow
+	}
+	return w.close(n)
+}
+
+func (w *groupWindow) close(length int) *groupWindow {
+	w.length = length
+	return w
+}

@@ -1,0 +1,211 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/splitc"
+)
+
+// interleavedProgram reads words alternating between PEs 1 and 2 — the
+// worst case for single-annex management.
+func interleavedProgram(n int, base int64) (*Program, Reg) {
+	b := NewBuilder()
+	sum := b.R()
+	b.I(Instr{Op: OpConst, Dst: sum, Imm: 0})
+	vals := make([]Reg, n)
+	for i := 0; i < n; i++ {
+		gp := b.R()
+		pe := 1 + i%2
+		b.I(Instr{Op: OpConst, Dst: gp, Imm: uint64(splitc.Global(pe, base+int64(i)*8))})
+		vals[i] = b.R()
+		b.I(Instr{Op: OpRead, Dst: vals[i], A: gp})
+	}
+	for i := 0; i < n; i++ {
+		b.I(Instr{Op: OpAdd, Dst: sum, A: sum, B: vals[i]})
+	}
+	return b.Build(), sum
+}
+
+func TestAnnexGroupingReducesReloads(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	p, sum := interleavedProgram(8, base)
+	grouped := OptimizeAnnexGrouping(p)
+
+	run := func(prog *Program) (uint64, int64, int64) {
+		rt := newRTFor(3)
+		for i := int64(0); i < 8; i++ {
+			rt.M.Nodes[1].DRAM.Write64(base+i*8, uint64(i+1))
+			rt.M.Nodes[2].DRAM.Write64(base+i*8, uint64(i+1))
+		}
+		var val uint64
+		var annex, cycles int64
+		rt.RunOn(0, func(c *splitc.Ctx) {
+			start := c.P.Now()
+			regs := Exec(c, prog)
+			cycles = int64(c.P.Now() - start)
+			val = regs[sum]
+			annex = c.Node.Shell.AnnexUpdates
+		})
+		return val, annex, cycles
+	}
+
+	nv, nAnnex, nCy := run(p)
+	gv, gAnnex, gCy := run(grouped)
+	want := uint64(8 * 9 / 2) // words 1..8 once each
+	if nv != want || gv != want {
+		t.Fatalf("sums = %d / %d, want %d", nv, gv, want)
+	}
+	if nAnnex != 8 {
+		t.Fatalf("naive annex updates = %d, want 8 (alternating PEs)", nAnnex)
+	}
+	if gAnnex != 2 {
+		t.Errorf("grouped annex updates = %d, want 2", gAnnex)
+	}
+	if gCy >= nCy {
+		t.Errorf("grouped %d cycles vs naive %d", gCy, nCy)
+	}
+}
+
+func TestAnnexGroupingComposesWithSplitPhase(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	p, sum := interleavedProgram(8, base)
+	both := OptimizeSplitPhase(OptimizeAnnexGrouping(p))
+
+	rt := newRTFor(3)
+	for i := int64(0); i < 8; i++ {
+		rt.M.Nodes[1].DRAM.Write64(base+i*8, uint64(i+1))
+		rt.M.Nodes[2].DRAM.Write64(base+i*8, uint64(i+1))
+	}
+	var val uint64
+	var annex int64
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		regs := Exec(c, both)
+		val = regs[sum]
+		annex = c.Node.Shell.AnnexUpdates
+	})
+	if val != 36 {
+		t.Fatalf("sum = %d", val)
+	}
+	if annex != 2 {
+		t.Errorf("composed passes: %d annex updates, want 2", annex)
+	}
+	// Structure check: gets present, grouped by PE.
+	if countOp(both.Body, OpGetTo) != 8 {
+		t.Errorf("%d gets after composition", countOp(both.Body, OpGetTo))
+	}
+}
+
+func TestAnnexGroupingPreservesSameAddressWriteOrder(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	b := NewBuilder()
+	gp1, gp2, v1, v2 := b.R(), b.R(), b.R(), b.R()
+	b.I(Instr{Op: OpConst, Dst: gp2, Imm: uint64(splitc.Global(2, base))})
+	b.I(Instr{Op: OpConst, Dst: gp1, Imm: uint64(splitc.Global(1, base))})
+	b.I(Instr{Op: OpConst, Dst: v1, Imm: 111})
+	b.I(Instr{Op: OpConst, Dst: v2, Imm: 222})
+	// write pe2; write pe1; write pe2 SAME address again: the second
+	// pe2 write must not be hoisted past the first.
+	b.I(Instr{Op: OpWrite, A: gp2, B: v1})
+	b.I(Instr{Op: OpWrite, A: gp1, B: v1})
+	b.I(Instr{Op: OpWrite, A: gp2, B: v2})
+	p := b.Build()
+	g := OptimizeAnnexGrouping(p)
+
+	rt := newRTFor(3)
+	rt.RunOn(0, func(c *splitc.Ctx) { Exec(c, g) })
+	if got := rt.M.Nodes[2].DRAM.Read64(base); got != 222 {
+		t.Errorf("PE2 word = %d, want the later write's 222", got)
+	}
+	if got := rt.M.Nodes[1].DRAM.Read64(base); got != 111 {
+		t.Errorf("PE1 word = %d", got)
+	}
+}
+
+func TestAnnexGroupingSkipsUnknownTargets(t *testing.T) {
+	// A pointer loaded from memory has no static PE: the run must end.
+	base := splitc.DefaultConfig().HeapBase
+	b := NewBuilder()
+	addr := b.R()
+	b.I(Instr{Op: OpConst, Dst: addr, Imm: 0x100})
+	gp := b.R()
+	b.I(Instr{Op: OpLoadL, Dst: gp, A: addr}) // dynamic pointer
+	v := b.R()
+	b.I(Instr{Op: OpRead, Dst: v, A: gp})
+	gp2 := b.R()
+	b.I(Instr{Op: OpConst, Dst: gp2, Imm: uint64(splitc.Global(1, base))})
+	v2 := b.R()
+	b.I(Instr{Op: OpRead, Dst: v2, A: gp2})
+	p := b.Build()
+	g := OptimizeAnnexGrouping(p)
+	// Nothing should have been reordered: instruction count identical
+	// and first read still targets the dynamic pointer.
+	if len(g.Body) != len(p.Body) {
+		t.Errorf("body length changed: %d vs %d", len(g.Body), len(p.Body))
+	}
+}
+
+// Differential check under both passes composed.
+func TestDifferentialWithGrouping(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	const words = 12
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		b := NewBuilder()
+		ptrs := make([]Reg, words)
+		for i := range ptrs {
+			ptrs[i] = b.R()
+			pe := 1 + i%2
+			b.I(Instr{Op: OpConst, Dst: ptrs[i], Imm: uint64(splitc.Global(pe, base+int64(i)*8))})
+		}
+		vals := make([]Reg, 4)
+		for i := range vals {
+			vals[i] = b.R()
+			b.I(Instr{Op: OpConst, Dst: vals[i], Imm: uint64(i + 7)})
+		}
+		for k := 0; k < 24; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.I(Instr{Op: OpRead, Dst: vals[rng.Intn(len(vals))], A: ptrs[rng.Intn(words)]})
+			case 1:
+				b.I(Instr{Op: OpWrite, A: ptrs[rng.Intn(words)], B: vals[rng.Intn(len(vals))]})
+			case 2:
+				b.I(Instr{Op: OpAdd, Dst: vals[rng.Intn(len(vals))],
+					A: vals[rng.Intn(len(vals))], B: vals[rng.Intn(len(vals))]})
+			}
+		}
+		p := b.Build()
+		opt := OptimizeSplitPhase(OptimizeAnnexGrouping(p))
+		exec := func(prog *Program) ([]uint64, [2][]uint64) {
+			rt := newRTFor(3)
+			for pe := 1; pe <= 2; pe++ {
+				for i := int64(0); i < words; i++ {
+					rt.M.Nodes[pe].DRAM.Write64(base+i*8, uint64(int64(pe)*100+i))
+				}
+			}
+			var regs []uint64
+			rt.RunOn(0, func(c *splitc.Ctx) { regs = Exec(c, prog) })
+			var mem [2][]uint64
+			for pe := 1; pe <= 2; pe++ {
+				for i := int64(0); i < words; i++ {
+					mem[pe-1] = append(mem[pe-1], rt.M.Nodes[pe].DRAM.Read64(base+i*8))
+				}
+			}
+			return regs, mem
+		}
+		nr, nm := exec(p)
+		or, om := exec(opt)
+		for r := 0; r < p.NumRegs; r++ {
+			if nr[r] != or[r] {
+				t.Fatalf("seed %d: reg %d diverged", seed, r)
+			}
+		}
+		for pe := range nm {
+			for i := range nm[pe] {
+				if nm[pe][i] != om[pe][i] {
+					t.Fatalf("seed %d: memory pe%d word %d diverged", seed, pe+1, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package scc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/splitc"
+)
+
+// Disassemble renders a program in the assembler syntax Parse accepts.
+// Registers print as %rN; global-pointer-looking constants print as
+// pe:offset literals. Optimizer-internal scratch ops print as comments
+// plus equivalent instructions, so a disassembled optimized program is
+// still inspectable (though not necessarily reparseable when it uses
+// executor scratch).
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	disasmBlock(&sb, p.Body, 0)
+	return sb.String()
+}
+
+func disasmBlock(sb *strings.Builder, body []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range body {
+		if s.Loop != nil {
+			fmt.Fprintf(sb, "%sloop %%r%d %d {\n", indent, s.Loop.Counter, s.Loop.N)
+			disasmBlock(sb, s.Loop.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+			continue
+		}
+		fmt.Fprintf(sb, "%s%s\n", indent, disasmInstr(*s.Instr))
+	}
+}
+
+func disasmInstr(in Instr) string {
+	r := func(x Reg) string { return fmt.Sprintf("%%r%d", x) }
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %s", r(in.Dst), immStr(in.Imm))
+	case OpAdd:
+		return fmt.Sprintf("%s = add %s %s", r(in.Dst), r(in.A), r(in.B))
+	case OpAddImm:
+		return fmt.Sprintf("%s = addimm %s %s", r(in.Dst), r(in.A), immStr(in.Imm))
+	case OpMul:
+		return fmt.Sprintf("%s = mul %s %s", r(in.Dst), r(in.A), r(in.B))
+	case OpMkGlobal:
+		return fmt.Sprintf("%s = mkglobal %s %s", r(in.Dst), r(in.A), r(in.B))
+	case OpLoadL:
+		return fmt.Sprintf("%s = loadl %s", r(in.Dst), r(in.A))
+	case OpStoreL:
+		return fmt.Sprintf("storel %s %s", r(in.A), r(in.B))
+	case OpRead:
+		return fmt.Sprintf("%s = read %s", r(in.Dst), r(in.A))
+	case OpWrite:
+		return fmt.Sprintf("write %s %s", r(in.A), r(in.B))
+	case OpPut:
+		return fmt.Sprintf("put %s %s", r(in.A), r(in.B))
+	case OpStoreSig:
+		return fmt.Sprintf("store %s %s", r(in.A), r(in.B))
+	case OpGetTo:
+		return fmt.Sprintf("get %s -> %s", r(in.A), r(in.B))
+	case OpSync:
+		return "sync"
+	case OpBarrier:
+		return "barrier"
+	case opScratchAddr:
+		return fmt.Sprintf("%s = scratchaddr %d   ; optimizer-internal", r(in.Dst), in.Imm)
+	}
+	return fmt.Sprintf("; unknown %v", in)
+}
+
+// immStr prints plausible global pointers as pe:offset literals.
+func immStr(v uint64) string {
+	gp := splitc.GlobalPtr(v)
+	if gp.PE() > 0 && gp.PE() < 1<<12 && gp.Local() < 1<<32 {
+		return fmt.Sprintf("%d:%#x", gp.PE(), gp.Local())
+	}
+	return fmt.Sprint(v)
+}

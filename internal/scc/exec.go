@@ -1,0 +1,88 @@
+package scc
+
+import (
+	"fmt"
+
+	"repro/internal/splitc"
+)
+
+// Exec runs a program on a Split-C thread context. Register arithmetic
+// charges one cycle per instruction (the dual-issue Alpha's integer
+// units); memory and global operations charge through the runtime.
+// It returns the final register file.
+func Exec(c *splitc.Ctx, p *Program) []uint64 {
+	regs := make([]uint64, p.NumRegs)
+	var x executor
+	x.c = c
+	x.regs = regs
+	// Scratch slots for split-phase gets (the local targets of §5.4),
+	// reused window to window: windows are bounded by maxWindow and
+	// always synced before the next begins.
+	x.scratch = c.Alloc(maxWindow * 8)
+	x.run(p.Body)
+	return regs
+}
+
+type executor struct {
+	c       *splitc.Ctx
+	regs    []uint64
+	scratch int64
+}
+
+func (x *executor) run(body []Stmt) {
+	for _, s := range body {
+		if s.Loop != nil {
+			for i := int64(0); i < s.Loop.N; i++ {
+				x.regs[s.Loop.Counter] = uint64(i)
+				x.c.Compute(2) // loop bookkeeping: increment + branch
+				x.run(s.Loop.Body)
+			}
+			continue
+		}
+		x.instr(*s.Instr)
+	}
+}
+
+func (x *executor) instr(i Instr) {
+	c, r := x.c, x.regs
+	switch i.Op {
+	case OpConst:
+		c.Compute(1)
+		r[i.Dst] = i.Imm
+	case OpAdd:
+		c.Compute(1)
+		r[i.Dst] = r[i.A] + r[i.B]
+	case OpAddImm:
+		c.Compute(1)
+		r[i.Dst] = r[i.A] + i.Imm
+	case OpMul:
+		c.Compute(1)
+		r[i.Dst] = r[i.A] * r[i.B]
+	case OpMkGlobal:
+		c.Compute(int64(splitc.PtrOpCost))
+		r[i.Dst] = uint64(splitc.Global(int(r[i.A]), int64(r[i.B])))
+	case OpLoadL:
+		r[i.Dst] = c.Node.CPU.Load64(c.P, int64(r[i.A]))
+	case OpStoreL:
+		c.Node.CPU.Store64(c.P, int64(r[i.A]), r[i.B])
+	case OpRead:
+		r[i.Dst] = c.Read(splitc.GlobalPtr(r[i.A]))
+	case OpWrite:
+		c.Write(splitc.GlobalPtr(r[i.A]), r[i.B])
+	case OpPut:
+		c.Put(splitc.GlobalPtr(r[i.A]), r[i.B])
+	case OpStoreSig:
+		c.Store(splitc.GlobalPtr(r[i.A]), r[i.B])
+	case OpGetTo:
+		c.Get(int64(r[i.B]), splitc.GlobalPtr(r[i.A]))
+	case OpSync:
+		c.Sync()
+	case OpBarrier:
+		c.Barrier()
+	case opScratchAddr:
+		c.Compute(1)
+		r[i.Dst] = uint64(x.scratch + int64(i.Imm)*8)
+	default:
+		panic(fmt.Sprintf("scc: unknown op %v", i.Op))
+	}
+}

@@ -1,0 +1,126 @@
+// Package scc is a miniature Split-C compiler back end: a small IR, an
+// optimizer, and an executor that runs compiled programs on the simulated
+// T3D through the splitc runtime.
+//
+// It exists to make the paper's central activity — choosing instruction
+// sequences for language primitives (§4–§6) — executable. The headline
+// pass is split-phase conversion (§5.4): runs of independent blocking
+// reads become pipelined gets with one sync, and runs of blocking writes
+// become puts with deferred completion. The same program compiled naive
+// and optimized returns identical results (asserted by tests) at very
+// different simulated costs.
+package scc
+
+import "fmt"
+
+// Reg is a virtual register index. Registers hold 64-bit words; global
+// pointers are ordinary register values (§3.3 — one of the things the
+// 64-bit Alpha makes easy).
+type Reg int
+
+// Op enumerates the IR operations.
+type Op int
+
+const (
+	// OpConst: dst = Imm.
+	OpConst Op = iota
+	// OpAdd: dst = a + b.
+	OpAdd
+	// OpAddImm: dst = a + Imm.
+	OpAddImm
+	// OpMul: dst = a * b.
+	OpMul
+	// OpMkGlobal: dst = Global(pe=a, addr=b) — pointer construction.
+	OpMkGlobal
+	// OpLoadL: dst = local memory[a].
+	OpLoadL
+	// OpStoreL: local memory[a] = b.
+	OpStoreL
+	// OpRead: dst = *global(a) — blocking (§4.2).
+	OpRead
+	// OpWrite: *global(a) = b — blocking (§4.3).
+	OpWrite
+	// OpPut: split-phase write (§5.3).
+	OpPut
+	// OpStoreSig: one-way signaling store (§7.1).
+	OpStoreSig
+	// OpGetTo: split-phase read of *global(a) into local memory[b] (§5.2).
+	OpGetTo
+	// OpSync: complete outstanding split-phase operations.
+	OpSync
+	// OpBarrier: machine-wide barrier.
+	OpBarrier
+)
+
+func (o Op) String() string {
+	names := [...]string{"const", "add", "addimm", "mul", "mkglobal", "loadl",
+		"storel", "read", "write", "put", "storesig", "getto", "sync", "barrier"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op  Op
+	Dst Reg
+	A   Reg
+	B   Reg
+	Imm uint64
+}
+
+func (i Instr) String() string {
+	return fmt.Sprintf("%v dst=r%d a=r%d b=r%d imm=%d", i.Op, i.Dst, i.A, i.B, i.Imm)
+}
+
+// Stmt is an element of a program body: a plain instruction or a counted
+// loop whose body is executed N times with the loop counter in Counter.
+type Stmt struct {
+	Instr *Instr
+	Loop  *Loop
+}
+
+// Loop is a counted loop.
+type Loop struct {
+	Counter Reg
+	N       int64
+	Body    []Stmt
+}
+
+// Program is a compiled unit: the number of virtual registers and a body.
+type Program struct {
+	NumRegs int
+	Body    []Stmt
+}
+
+// B is a small builder for programs.
+type B struct {
+	nreg int
+	body []Stmt
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *B { return &B{} }
+
+// R allocates a fresh virtual register.
+func (b *B) R() Reg {
+	b.nreg++
+	return Reg(b.nreg - 1)
+}
+
+// I appends an instruction.
+func (b *B) I(i Instr) { b.body = append(b.body, Stmt{Instr: &i}) }
+
+// LoopN appends a counted loop built by fn, which receives the counter
+// register and must append only to the returned inner builder.
+func (b *B) LoopN(n int64, fn func(inner *B, counter Reg)) {
+	counter := b.R()
+	inner := &B{nreg: b.nreg}
+	fn(inner, counter)
+	b.nreg = inner.nreg
+	b.body = append(b.body, Stmt{Loop: &Loop{Counter: counter, N: n, Body: inner.body}})
+}
+
+// Build finalizes the program.
+func (b *B) Build() *Program { return &Program{NumRegs: b.nreg, Body: b.body} }

@@ -1,0 +1,212 @@
+package scc
+
+// The split-phase conversion pass (§5.4): the optimization the paper's
+// measurements exist to justify. Blocking reads cost ≈128 cycles each;
+// pipelined gets approach 31 cycles once grouped (Figure 6). Blocking
+// writes cost ≈147 cycles; puts ≈45 with completion deferred to one sync
+// (Figure 7). The pass finds windows of independent accesses inside each
+// straight-line block and converts them.
+//
+// Validity: like the paper's compiler, the pass assumes data-race-free
+// phases (accesses between two synchronization points touch disjoint
+// data or are ordered by the program). Within a window it proves
+// register-level independence: no converted access's result is consumed,
+// and no register an access depends on is redefined, before the sync it
+// inserts.
+
+// OptimizeSplitPhase returns a new program with read→get and write→put
+// windows converted. The input is not modified.
+func OptimizeSplitPhase(p *Program) *Program {
+	out := &Program{NumRegs: p.NumRegs}
+	out.Body = optimizeBlock(p.Body, &out.NumRegs)
+	return out
+}
+
+// maxWindow bounds a conversion window: the prefetch FIFO holds 16
+// entries, and the runtime drains automatically beyond that anyway.
+const maxWindow = 16
+
+func optimizeBlock(body []Stmt, nreg *int) []Stmt {
+	var out []Stmt
+	for i := 0; i < len(body); {
+		s := body[i]
+		if s.Loop != nil {
+			l := *s.Loop
+			l.Body = optimizeBlock(l.Body, nreg)
+			out = append(out, Stmt{Loop: &l})
+			i++
+			continue
+		}
+		switch s.Instr.Op {
+		case OpRead:
+			win := readWindow(body[i:])
+			if countOp(body[i:i+win], OpRead) >= 2 {
+				out = append(out, convertReads(body[i:i+win], nreg)...)
+				i += win
+				continue
+			}
+		case OpWrite:
+			win := writeWindow(body[i:])
+			if countOp(body[i:i+win], OpWrite) >= 2 {
+				out = append(out, convertWrites(body[i:i+win])...)
+				i += win
+				continue
+			}
+		}
+		out = append(out, s)
+		i++
+	}
+	return out
+}
+
+// pureArith reports whether the instruction touches only registers.
+func pureArith(op Op) bool {
+	switch op {
+	case OpConst, OpAdd, OpAddImm, OpMul, OpMkGlobal:
+		return true
+	}
+	return false
+}
+
+// uses reports whether instruction in reads register r.
+func uses(in Instr, r Reg) bool {
+	switch in.Op {
+	case OpConst:
+		return false
+	case OpAddImm:
+		return in.A == r
+	case OpLoadL, OpRead:
+		return in.A == r
+	case OpStoreL, OpWrite, OpPut, OpStoreSig, OpGetTo:
+		return in.A == r || in.B == r
+	default: // Add, Mul, MkGlobal
+		return in.A == r || in.B == r
+	}
+}
+
+// defines reports whether the instruction writes register r.
+func defines(in Instr, r Reg) bool {
+	switch in.Op {
+	case OpStoreL, OpWrite, OpPut, OpStoreSig, OpGetTo, OpSync, OpBarrier:
+		return false
+	}
+	return in.Dst == r
+}
+
+// readWindow finds the extent of a convertible read window starting at
+// body[0] (an OpRead): OpReads plus pure arithmetic, stopping when an
+// instruction consumes a pending read result, redefines a pending
+// read's destination, or has side effects.
+func readWindow(body []Stmt) int {
+	var pendingDst []Reg
+	reads := 0
+	for k := 0; k < len(body) && k < maxWindow; k++ {
+		if body[k].Loop != nil {
+			return k
+		}
+		in := *body[k].Instr
+		for _, d := range pendingDst {
+			if uses(in, d) || defines(in, d) {
+				return k
+			}
+		}
+		switch {
+		case in.Op == OpRead:
+			pendingDst = append(pendingDst, in.Dst)
+			reads++
+		case pureArith(in.Op) || in.Op == OpLoadL:
+			// keeps its place; local loads cannot observe remote reads
+		default:
+			return k
+		}
+	}
+	n := len(body)
+	if n > maxWindow {
+		n = maxWindow
+	}
+	_ = reads
+	return n
+}
+
+// writeWindow finds the extent of a convertible write window starting at
+// body[0] (an OpWrite): writes plus pure arithmetic. Any load-like or
+// synchronizing instruction ends the window — a read must not bypass the
+// deferred writes.
+func writeWindow(body []Stmt) int {
+	for k := 0; k < len(body) && k < maxWindow; k++ {
+		if body[k].Loop != nil {
+			return k
+		}
+		op := body[k].Instr.Op
+		if op == OpWrite || pureArith(op) {
+			continue
+		}
+		return k
+	}
+	n := len(body)
+	if n > maxWindow {
+		n = maxWindow
+	}
+	return n
+}
+
+// convertReads rewrites a read window: each OpRead issues a get into a
+// fresh scratch slot; a single sync follows; the destinations then
+// materialize with local loads from the scratch slots.
+func convertReads(window []Stmt, nreg *int) []Stmt {
+	var out []Stmt
+	type pending struct {
+		dst  Reg
+		slot Reg // register holding the scratch address
+	}
+	var gets []pending
+	for _, s := range window {
+		in := *s.Instr
+		if in.Op != OpRead {
+			out = append(out, s)
+			continue
+		}
+		slotReg := Reg(*nreg)
+		*nreg++
+		slot := len(gets)
+		out = append(out,
+			Stmt{Instr: &Instr{Op: opScratchAddr, Dst: slotReg, Imm: uint64(slot)}},
+			Stmt{Instr: &Instr{Op: OpGetTo, A: in.A, B: slotReg}},
+		)
+		gets = append(gets, pending{dst: in.Dst, slot: slotReg})
+	}
+	out = append(out, Stmt{Instr: &Instr{Op: OpSync}})
+	for _, g := range gets {
+		out = append(out, Stmt{Instr: &Instr{Op: OpLoadL, Dst: g.dst, A: g.slot}})
+	}
+	return out
+}
+
+// convertWrites rewrites a write window: writes become puts, one sync at
+// the end restores completion before anything else runs.
+func convertWrites(window []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range window {
+		in := *s.Instr
+		if in.Op == OpWrite {
+			out = append(out, Stmt{Instr: &Instr{Op: OpPut, A: in.A, B: in.B}})
+			continue
+		}
+		out = append(out, s)
+	}
+	return append(out, Stmt{Instr: &Instr{Op: OpSync}})
+}
+
+func countOp(body []Stmt, op Op) int {
+	n := 0
+	for _, s := range body {
+		if s.Instr != nil && s.Instr.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// opScratchAddr is an internal op emitted by the optimizer: dst = the
+// address of executor scratch slot Imm.
+const opScratchAddr Op = 100

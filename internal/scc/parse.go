@@ -1,0 +1,283 @@
+package scc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/splitc"
+)
+
+// Parse assembles a textual program into IR. The syntax is one statement
+// per line, with named virtual registers (%name), integer literals, and
+// global-pointer literals pe:offset. Comments run from ';' to end of line.
+//
+//	%sum   = const 0
+//	%p     = const 1:0x10000        ; global pointer literal
+//	%v     = read %p
+//	%sum   = add %sum %v
+//	%q     = addimm %p 8
+//	write %q %sum
+//	put %q %sum
+//	store %q %sum
+//	get %p -> %slotaddr
+//	%x     = loadl %addr
+//	storel %addr %x
+//	sync
+//	barrier
+//	loop %i 16 {
+//	  ...body using %i...
+//	}
+//
+// Loops nest. Parse returns a descriptive error with the line number on
+// malformed input.
+func Parse(src string) (*Program, error) {
+	p := &parser{regs: map[string]Reg{}, b: NewBuilder()}
+	lines := strings.Split(src, "\n")
+	body, rest, err := p.block(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("line %d: unexpected '}'", len(lines)-len(rest)+1)
+	}
+	return &Program{NumRegs: p.b.nreg, Body: body}, nil
+}
+
+// MustParse is Parse, panicking on error (for tests and examples).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	regs map[string]Reg
+	b    *B
+	line int
+}
+
+func (p *parser) reg(name string) (Reg, error) {
+	if !strings.HasPrefix(name, "%") || len(name) < 2 {
+		return 0, fmt.Errorf("line %d: %q is not a register (%%name)", p.line, name)
+	}
+	if r, ok := p.regs[name]; ok {
+		return r, nil
+	}
+	r := p.b.R()
+	p.regs[name] = r
+	return r, nil
+}
+
+// imm parses an integer or a pe:offset global-pointer literal.
+func (p *parser) imm(tok string) (uint64, error) {
+	if pe, off, ok := strings.Cut(tok, ":"); ok {
+		peN, err1 := strconv.ParseInt(pe, 0, 32)
+		offN, err2 := strconv.ParseInt(off, 0, 64)
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("line %d: bad global literal %q", p.line, tok)
+		}
+		return uint64(splitc.Global(int(peN), offN)), nil
+	}
+	v, err := strconv.ParseUint(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad immediate %q", p.line, tok)
+	}
+	return v, nil
+}
+
+// block parses statements until a lone '}' or end of input, returning the
+// statements and the remaining lines.
+func (p *parser) block(lines []string, depth int) ([]Stmt, []string, error) {
+	var out []Stmt
+	for len(lines) > 0 {
+		raw := lines[0]
+		lines = lines[1:]
+		p.line++
+		if i := strings.IndexByte(raw, ';'); i >= 0 {
+			raw = raw[:i]
+		}
+		f := strings.Fields(raw)
+		if len(f) == 0 {
+			continue
+		}
+		if f[0] == "}" {
+			if depth == 0 {
+				return out, append([]string{raw}, lines...), nil
+			}
+			return out, lines, nil
+		}
+		if f[0] == "loop" {
+			// loop %i N {
+			if len(f) != 4 || f[3] != "{" {
+				return nil, nil, fmt.Errorf("line %d: loop syntax is 'loop %%i N {'", p.line)
+			}
+			ctr, err := p.reg(f[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			n, err := strconv.ParseInt(f[2], 0, 64)
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("line %d: bad loop count %q", p.line, f[2])
+			}
+			body, rest, err := p.block(lines, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			lines = rest
+			out = append(out, Stmt{Loop: &Loop{Counter: ctr, N: n, Body: body}})
+			continue
+		}
+		in, err := p.statement(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Stmt{Instr: in})
+	}
+	if depth != 0 {
+		return nil, nil, fmt.Errorf("line %d: missing '}'", p.line)
+	}
+	return out, lines, nil
+}
+
+func (p *parser) statement(f []string) (*Instr, error) {
+	// Destination form: %dst = op args...
+	if len(f) >= 3 && f[1] == "=" {
+		dst, err := p.reg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		op, args := f[2], f[3:]
+		switch op {
+		case "const":
+			if len(args) != 1 {
+				return nil, p.arity("const", 1)
+			}
+			imm, err := p.imm(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &Instr{Op: OpConst, Dst: dst, Imm: imm}, nil
+		case "add", "mul":
+			if len(args) != 2 {
+				return nil, p.arity(op, 2)
+			}
+			a, err1 := p.reg(args[0])
+			b, err2 := p.reg(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, firstErr(err1, err2)
+			}
+			o := OpAdd
+			if op == "mul" {
+				o = OpMul
+			}
+			return &Instr{Op: o, Dst: dst, A: a, B: b}, nil
+		case "addimm":
+			if len(args) != 2 {
+				return nil, p.arity(op, 2)
+			}
+			a, err := p.reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			imm, err := p.imm(args[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Instr{Op: OpAddImm, Dst: dst, A: a, Imm: imm}, nil
+		case "mkglobal":
+			if len(args) != 2 {
+				return nil, p.arity(op, 2)
+			}
+			a, err1 := p.reg(args[0])
+			b, err2 := p.reg(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, firstErr(err1, err2)
+			}
+			return &Instr{Op: OpMkGlobal, Dst: dst, A: a, B: b}, nil
+		case "read", "loadl":
+			if len(args) != 1 {
+				return nil, p.arity(op, 1)
+			}
+			a, err := p.reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			o := OpRead
+			if op == "loadl" {
+				o = OpLoadL
+			}
+			return &Instr{Op: o, Dst: dst, A: a}, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown operation %q", p.line, op)
+	}
+	// Statement form: op args...
+	op, args := f[0], f[1:]
+	twoRegs := func(o Op) (*Instr, error) {
+		if len(args) != 2 {
+			return nil, p.arity(op, 2)
+		}
+		a, err1 := p.reg(args[0])
+		b, err2 := p.reg(args[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return &Instr{Op: o, A: a, B: b}, nil
+	}
+	switch op {
+	case "write":
+		return twoRegs(OpWrite)
+	case "put":
+		return twoRegs(OpPut)
+	case "store":
+		return twoRegs(OpStoreSig)
+	case "storel":
+		return twoRegs(OpStoreL)
+	case "get":
+		// get %gp -> %localaddr
+		if len(args) != 3 || args[1] != "->" {
+			return nil, fmt.Errorf("line %d: get syntax is 'get %%gp -> %%addr'", p.line)
+		}
+		a, err1 := p.reg(args[0])
+		b, err2 := p.reg(args[2])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return &Instr{Op: OpGetTo, A: a, B: b}, nil
+	case "sync":
+		return &Instr{Op: OpSync}, nil
+	case "barrier":
+		return &Instr{Op: OpBarrier}, nil
+	}
+	return nil, fmt.Errorf("line %d: unknown statement %q", p.line, op)
+}
+
+func (p *parser) arity(op string, n int) error {
+	return fmt.Errorf("line %d: %s takes %d operand(s)", p.line, op, n)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// RegNamed resolves a register by its source name, for reading results
+// out of an Exec register file.
+func RegNamed(src string, name string) (Reg, bool) {
+	// Re-parse the names deterministically: registers are allocated in
+	// first-appearance order, so a fresh scan reproduces the mapping.
+	pp := &parser{regs: map[string]Reg{}, b: NewBuilder()}
+	lines := strings.Split(src, "\n")
+	_, _, err := pp.block(lines, 0)
+	if err != nil {
+		return 0, false
+	}
+	r, ok := pp.regs[name]
+	return r, ok
+}

@@ -1,0 +1,128 @@
+package scc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/splitc"
+)
+
+const gatherSrc = `
+; sum four remote words
+%sum = const 0
+loop %i 4 {
+  %off  = addimm %i 0
+  %eight = const 8
+  %off  = mul %off %eight
+  %gp   = addimm %off 1:0x10000     ; base pointer on PE 1
+  %v    = read %gp
+  %sum  = add %sum %v
+}
+`
+
+func TestParseAndExecute(t *testing.T) {
+	p := MustParse(gatherSrc)
+	rt := newRT(2)
+	for i := int64(0); i < 4; i++ {
+		rt.M.Nodes[1].DRAM.Write64(0x10000+i*8, uint64(10+i))
+	}
+	sum, ok := RegNamed(gatherSrc, "%sum")
+	if !ok {
+		t.Fatal("register not found: sum")
+	}
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		regs := Exec(c, p)
+		if regs[sum] != 46 { // 10+11+12+13
+			t.Errorf("sum = %d, want 46", regs[sum])
+		}
+	})
+}
+
+func TestParsedProgramOptimizes(t *testing.T) {
+	src := `
+%p0 = const 1:0x10000
+%p1 = const 1:0x10008
+%a = read %p0
+%b = read %p1
+%s = add %a %b
+write %p0 %s
+`
+	p := MustParse(src)
+	opt := OptimizeSplitPhase(p)
+	if countOp(opt.Body, OpGetTo) != 2 {
+		t.Errorf("parsed reads not converted: %d gets", countOp(opt.Body, OpGetTo))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"%a = bogus 1":              "unknown operation",
+		"frobnicate":                "unknown statement",
+		"%a = const":                "takes 1 operand",
+		"%a = const zz":             "bad immediate",
+		"loop %i x {":               "bad loop count",
+		"loop %i 3 {\n%a = const 1": "missing '}'",
+		"}":                         "unexpected '}'",
+		"%a = add %b c":             "not a register",
+		"get %a %b":                 "get syntax",
+		"%a = const 9:zz":           "bad global literal",
+	}
+	for src, want := range cases {
+		_, err := Parse(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", src, err, want)
+		}
+	}
+}
+
+func TestParseGlobalLiteral(t *testing.T) {
+	p := MustParse("%g = const 3:0x40")
+	in := p.Body[0].Instr
+	gp := splitc.GlobalPtr(in.Imm)
+	if gp.PE() != 3 || gp.Local() != 0x40 {
+		t.Errorf("global literal = %v", gp)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustParse("\n; only a comment\n\n%a = const 5 ; trailing\n")
+	if len(p.Body) != 1 {
+		t.Errorf("%d statements", len(p.Body))
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Unoptimized programs round-trip: parse(disassemble(p)) executes
+	// identically to p.
+	p := MustParse(gatherSrc)
+	p2 := MustParse(Disassemble(p))
+	exec := func(prog *Program) []uint64 {
+		rt := newRT(2)
+		for i := int64(0); i < 4; i++ {
+			rt.M.Nodes[1].DRAM.Write64(0x10000+i*8, uint64(10+i))
+		}
+		var regs []uint64
+		rt.RunOn(0, func(c *splitc.Ctx) { regs = Exec(c, prog) })
+		return regs
+	}
+	a, b := exec(p), exec(p2)
+	if len(a) != len(b) {
+		t.Fatalf("register files differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reg %d: %d vs %d after round trip", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDisassembleShowsGlobalLiterals(t *testing.T) {
+	p := MustParse("%g = const 2:0x80\nloop %i 3 {\n%v = read %g\n}\n")
+	out := Disassemble(p)
+	if !strings.Contains(out, "2:0x80") {
+		t.Errorf("global literal not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "loop %r") || !strings.Contains(out, "}") {
+		t.Errorf("loop structure not rendered:\n%s", out)
+	}
+}

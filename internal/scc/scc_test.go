@@ -1,0 +1,231 @@
+package scc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+func newRT(pes int) *splitc.Runtime {
+	return splitc.NewRuntime(machine.New(machine.DefaultConfig(pes)), splitc.DefaultConfig())
+}
+
+// gatherProgram builds the canonical fetch loop: read n remote words and
+// accumulate their sum — the shape the split-phase pass targets.
+func gatherProgram(n int, remoteBase int64) (*Program, Reg) {
+	b := NewBuilder()
+	sum := b.R()
+	b.I(Instr{Op: OpConst, Dst: sum, Imm: 0})
+	vals := make([]Reg, n)
+	// One window of independent reads...
+	for i := 0; i < n; i++ {
+		gp := b.R()
+		b.I(Instr{Op: OpConst, Dst: gp, Imm: uint64(splitc.Global(1, remoteBase+int64(i)*8))})
+		vals[i] = b.R()
+		b.I(Instr{Op: OpRead, Dst: vals[i], A: gp})
+	}
+	// ...then the uses.
+	for i := 0; i < n; i++ {
+		b.I(Instr{Op: OpAdd, Dst: sum, A: sum, B: vals[i]})
+	}
+	return b.Build(), sum
+}
+
+// run executes p on a fresh 2-PE machine, seeding PE 1's heap, and
+// returns (chosen register value, elapsed cycles, annex updates).
+func run(t *testing.T, p *Program, want Reg, seed func(rt *splitc.Runtime)) (uint64, sim.Time, int64) {
+	t.Helper()
+	rt := newRT(2)
+	seed(rt)
+	var val uint64
+	var cycles sim.Time
+	var annex int64
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		start := c.P.Now()
+		regs := Exec(c, p)
+		cycles = c.P.Now() - start
+		val = regs[want]
+		annex = c.Node.Shell.AnnexUpdates
+	})
+	return val, cycles, annex
+}
+
+func seedWords(rt *splitc.Runtime, base int64, vals []uint64) {
+	for i, v := range vals {
+		rt.M.Nodes[1].DRAM.Write64(base+int64(i)*8, v)
+	}
+}
+
+func TestSplitPhaseReadsPreserveSemantics(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	p, sum := gatherProgram(8, base)
+	opt := OptimizeSplitPhase(p)
+	seed := func(rt *splitc.Runtime) {
+		seedWords(rt, base, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	naiveVal, naiveCy, _ := run(t, p, sum, seed)
+	optVal, optCy, _ := run(t, opt, sum, seed)
+	if naiveVal != 36 || optVal != 36 {
+		t.Fatalf("sums = %d / %d, want 36", naiveVal, optVal)
+	}
+	// §5.4: pipelined gets must clearly beat blocking reads.
+	if float64(optCy) > 0.65*float64(naiveCy) {
+		t.Errorf("optimized %d cycles vs naive %d: expected a large win", optCy, naiveCy)
+	}
+}
+
+func TestSplitPhaseWritesPreserveSemantics(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	b := NewBuilder()
+	for i := 0; i < 8; i++ {
+		gp, v := b.R(), b.R()
+		b.I(Instr{Op: OpConst, Dst: gp, Imm: uint64(splitc.Global(1, base+int64(i)*8))})
+		b.I(Instr{Op: OpConst, Dst: v, Imm: uint64(100 + i)})
+		b.I(Instr{Op: OpWrite, A: gp, B: v})
+	}
+	p := b.Build()
+	opt := OptimizeSplitPhase(p)
+
+	check := func(prog *Program) sim.Time {
+		rt := newRT(2)
+		var cy sim.Time
+		rt.RunOn(0, func(c *splitc.Ctx) {
+			start := c.P.Now()
+			Exec(c, prog)
+			cy = c.P.Now() - start
+		})
+		for i := 0; i < 8; i++ {
+			if v := rt.M.Nodes[1].DRAM.Read64(base + int64(i)*8); v != uint64(100+i) {
+				t.Fatalf("word %d = %d after run", i, v)
+			}
+		}
+		return cy
+	}
+	naive := check(p)
+	fast := check(opt)
+	if float64(fast) > 0.65*float64(naive) {
+		t.Errorf("optimized writes %d cycles vs naive %d", fast, naive)
+	}
+}
+
+func TestDependentReadsNotConverted(t *testing.T) {
+	// A pointer-chase (each read's result feeds the next address) must
+	// not be converted: the pass proves independence first.
+	b := NewBuilder()
+	gp := b.R()
+	b.I(Instr{Op: OpConst, Dst: gp, Imm: uint64(splitc.Global(1, splitc.DefaultConfig().HeapBase))})
+	v1 := b.R()
+	b.I(Instr{Op: OpRead, Dst: v1, A: gp})
+	v2 := b.R()
+	b.I(Instr{Op: OpRead, Dst: v2, A: v1}) // depends on v1
+	p := b.Build()
+	opt := OptimizeSplitPhase(p)
+	if countOp(opt.Body, OpGetTo) != 0 {
+		t.Error("dependent reads were converted to gets")
+	}
+
+	// Execute the chase for real: word A holds a global pointer to B.
+	base := splitc.DefaultConfig().HeapBase
+	rt := newRT(2)
+	rt.M.Nodes[1].DRAM.Write64(base, uint64(splitc.Global(1, base+64)))
+	rt.M.Nodes[1].DRAM.Write64(base+64, 777)
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		regs := Exec(c, opt)
+		if regs[v2] != 777 {
+			t.Errorf("pointer chase = %d", regs[v2])
+		}
+	})
+}
+
+func TestLoopBodiesOptimized(t *testing.T) {
+	base := splitc.DefaultConfig().HeapBase
+	b := NewBuilder()
+	sum := b.R()
+	b.I(Instr{Op: OpConst, Dst: sum, Imm: 0})
+	b.LoopN(4, func(in *B, ctr Reg) {
+		// Two independent reads per iteration: gp = base + 16*ctr.
+		off := in.R()
+		in.I(Instr{Op: OpMul, Dst: off, A: ctr, B: ctr}) // placeholder arith
+		g1, g2 := in.R(), in.R()
+		in.I(Instr{Op: OpAddImm, Dst: g1, A: ctr, Imm: 0}) // g1 = ctr
+		in.I(Instr{Op: OpMul, Dst: g1, A: g1, B: g1})      // keep pure
+		in.I(Instr{Op: OpConst, Dst: g1, Imm: 16})
+		in.I(Instr{Op: OpMul, Dst: g1, A: ctr, B: g1}) // 16*ctr
+		in.I(Instr{Op: OpAddImm, Dst: g1, A: g1, Imm: uint64(splitc.Global(1, base))})
+		in.I(Instr{Op: OpAddImm, Dst: g2, A: g1, Imm: 8})
+		v1, v2 := in.R(), in.R()
+		in.I(Instr{Op: OpRead, Dst: v1, A: g1})
+		in.I(Instr{Op: OpRead, Dst: v2, A: g2})
+		in.I(Instr{Op: OpAdd, Dst: sum, A: sum, B: v1})
+		in.I(Instr{Op: OpAdd, Dst: sum, A: sum, B: v2})
+	})
+	p := b.Build()
+	opt := OptimizeSplitPhase(p)
+	// The loop body must contain gets after optimization.
+	var loop *Loop
+	for _, s := range opt.Body {
+		if s.Loop != nil {
+			loop = s.Loop
+		}
+	}
+	if loop == nil || countOp(loop.Body, OpGetTo) != 2 {
+		t.Fatalf("loop body not converted: %+v", loop)
+	}
+
+	vals := []uint64{1, 2, 10, 20, 100, 200, 1000, 2000}
+	seed := func(rt *splitc.Runtime) { seedWords(rt, base, vals) }
+	want := uint64(3333)
+	nv, ncy, _ := run(t, p, sum, seed)
+	ov, ocy, _ := run(t, opt, sum, seed)
+	if nv != want || ov != want {
+		t.Fatalf("sums = %d / %d, want %d", nv, ov, want)
+	}
+	if ocy >= ncy {
+		t.Errorf("optimized loop %d cycles vs naive %d", ocy, ncy)
+	}
+}
+
+func TestSingleReadLeftAlone(t *testing.T) {
+	b := NewBuilder()
+	gp := b.R()
+	b.I(Instr{Op: OpConst, Dst: gp, Imm: uint64(splitc.Global(1, splitc.DefaultConfig().HeapBase))})
+	v := b.R()
+	b.I(Instr{Op: OpRead, Dst: v, A: gp})
+	opt := OptimizeSplitPhase(b.Build())
+	if countOp(opt.Body, OpRead) != 1 || countOp(opt.Body, OpGetTo) != 0 {
+		t.Error("lone read should not be converted")
+	}
+}
+
+func TestOptimizerDoesNotMutateInput(t *testing.T) {
+	p, _ := gatherProgram(4, splitc.DefaultConfig().HeapBase)
+	before := countOp(p.Body, OpRead)
+	OptimizeSplitPhase(p)
+	if countOp(p.Body, OpRead) != before {
+		t.Error("optimizer mutated its input")
+	}
+}
+
+func TestBuilderLoopCounters(t *testing.T) {
+	b := NewBuilder()
+	total := b.R()
+	b.I(Instr{Op: OpConst, Dst: total, Imm: 0})
+	b.LoopN(5, func(in *B, ctr Reg) {
+		in.I(Instr{Op: OpAdd, Dst: total, A: total, B: ctr})
+	})
+	p := b.Build()
+	rt := newRT(1)
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		regs := Exec(c, p)
+		if regs[total] != 10 { // 0+1+2+3+4
+			t.Errorf("loop sum = %d", regs[total])
+		}
+	})
+}
+
+// newRTFor builds a runtime over a pes-processor machine.
+func newRTFor(pes int) *splitc.Runtime {
+	return splitc.NewRuntime(machine.New(machine.DefaultConfig(pes)), splitc.DefaultConfig())
+}

@@ -1,0 +1,125 @@
+package shell
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BLTDir selects the block-transfer direction.
+type BLTDir int
+
+const (
+	// BLTRead pulls remote memory into local memory.
+	BLTRead BLTDir = iota
+	// BLTWrite pushes local memory into remote memory.
+	BLTWrite
+)
+
+// BLTStart initiates a contiguous block transfer of nbytes between
+// localOff in local memory and remoteOff on node peer. The call blocks
+// for the 180 µs operating-system invocation (§6.2 — the BLT is reachable
+// only through a system call); the transfer itself then proceeds
+// asynchronously and is awaited with BLTWait.
+func (s *Shell) BLTStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff, nbytes int64) {
+	s.bltStart(p, dir, peer, localOff, remoteOff, nbytes, int64(s.cfg.BLTChunk), 0)
+}
+
+// BLTStartStrided initiates a strided transfer: count elements of
+// elemSize bytes, contiguous locally, separated by remoteStride bytes on
+// the remote side. Element-granularity packets make small-element strided
+// transfers slow, as on the real engine.
+func (s *Shell) BLTStartStrided(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff, elemSize, count, remoteStride int64) {
+	s.bltStart(p, dir, peer, localOff, remoteOff, elemSize*count, elemSize, remoteStride)
+}
+
+func (s *Shell) bltStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff, nbytes, chunk, remoteStride int64) {
+	if s.bltBusy {
+		panic(fmt.Sprintf("shell: PE %d started a BLT transfer while one is active", s.pe))
+	}
+	if nbytes <= 0 || chunk <= 0 {
+		panic("shell: BLT transfer of non-positive size")
+	}
+	p.Wait(s.cfg.BLTTrap)
+	s.bltBusy = true
+	s.eng.Trace("shell.blt", "pe%d BLT dir=%d peer=%d %dB", s.pe, dir, peer, nbytes)
+
+	pace := s.cfg.BLTReadCycles
+	if dir == BLTWrite {
+		pace = s.cfg.BLTWriteCycles
+	}
+	srcPE, dstPE := peer, s.pe
+	if dir == BLTWrite {
+		srcPE, dstPE = s.pe, peer
+	}
+
+	type chunkDesc struct {
+		src, dst int64
+		n        int64
+	}
+	var chunks []chunkDesc
+	local, remote := localOff, remoteOff
+	for left := nbytes; left > 0; left -= chunk {
+		n := chunk
+		if n > left {
+			n = left
+		}
+		src, dst := remote, local
+		if dir == BLTWrite {
+			src, dst = local, remote
+		}
+		chunks = append(chunks, chunkDesc{src, dst, n})
+		local += n
+		if remoteStride > 0 {
+			remote += remoteStride
+		} else {
+			remote += n
+		}
+	}
+
+	remaining := len(chunks)
+	s.eng.Spawn(fmt.Sprintf("blt-pe%d", s.pe), func(bp *sim.Proc) {
+		for _, ch := range chunks {
+			// Engine pacing: the DMA moves one chunk per pace interval,
+			// scaled for sub-chunk (strided) elements.
+			cycles := (pace*sim.Time(ch.n) + sim.Time(s.cfg.BLTChunk) - 1) / sim.Time(s.cfg.BLTChunk)
+			if cycles < 8 {
+				cycles = 8
+			}
+			bp.Wait(cycles)
+			srcNode := s.node(srcPE)
+			// The DMA engine pipelines: it starts the source access and
+			// moves on; the packet departs when the data is ready.
+			complete, _ := srcNode.DRAM.ReadAccess(bp.Now(), ch.src)
+			src, dst, n := ch.src, ch.dst, ch.n
+			s.eng.At(complete, func() {
+				data := make([]byte, n)
+				srcNode.DRAM.Read(src, data)
+				s.fab.Net.Send(srcPE, dstPE, int(n), func() {
+					dn := s.node(dstPE)
+					dn.DRAM.Write(dst, data)
+					if s.cfg.InvalidateMode {
+						// Data changed beneath the destination's cache.
+						for line := dn.L1.LineAddr(dst); line < dst+n; line += dn.L1.Config().LineSize {
+							dn.L1.Invalidate(line)
+						}
+					}
+					remaining--
+					if remaining == 0 {
+						s.bltBusy = false
+						s.eng.Trace("shell.blt", "pe%d BLT complete", s.pe)
+						s.bltSig.Fire(s.eng)
+					}
+				})
+			})
+		}
+	})
+}
+
+// BLTWait blocks until the in-flight block transfer completes.
+func (s *Shell) BLTWait(p *sim.Proc) {
+	sim.Await(p, s.bltSig, func() bool { return !s.bltBusy })
+}
+
+// BLTBusy reports whether a transfer is in flight.
+func (s *Shell) BLTBusy() bool { return s.bltBusy }

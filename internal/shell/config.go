@@ -1,0 +1,110 @@
+package shell
+
+import "repro/internal/sim"
+
+// Config holds the shell's timing parameters, in cycles. The defaults are
+// the "gray-box" component costs: individually plausible pieces whose
+// sums reproduce the paper's measured end-to-end numbers (91-cycle
+// uncached reads, 80-cycle prefetch round trip, 23-cycle annex updates,
+// and so on). Calibration tests in package machine assert the emergent
+// totals.
+type Config struct {
+	// Annex.
+	AnnexUpdate sim.Time // store-conditional annex write: 23 (§3.2)
+
+	// Remote read path (uncached and cached).
+	IssueExtra         sim.Time // load issue + annex mux + register writeback
+	ReqInject          sim.Time // request packet injection at the source shell
+	RemoteReadProc     sim.Time // remote shell processing before DRAM access
+	RespInject         sim.Time // response injection at the remote shell
+	RespAccept         sim.Time // response acceptance into the register
+	RemoteRowMissExtra sim.Time // extra remote-controller penalty off-page (§4.2: ~15 cy total vs 9 local)
+	CachedFillExtra    sim.Time // extra line-fill transaction for cached reads (114 vs 91 cy)
+
+	// Remote write path.
+	WriteHeader     sim.Time // injection header occupancy
+	WriteFlit8      sim.Time // injection occupancy per 8 bytes of data
+	WriteRemoteProc sim.Time // remote shell processing before the DRAM commit
+	WriteAckExtra   sim.Time // remote commit pipeline before the ack is generated
+	AckInject       sim.Time // ack packet injection
+	StatusRead      sim.Time // shell status-register read: off-chip, 23
+
+	// Prefetch queue.
+	FetchInject       sim.Time // prefetch request injection
+	PrefetchFillExtra sim.Time // FIFO management on the response path (§9: tracking the queue is costly)
+	PopCost           sim.Time // memory-mapped pop load: 23 (§5.2)
+	PrefetchEntries   int      // FIFO depth: 16
+
+	// Fetch&increment and atomic swap.
+	FIAccess   sim.Time // register access at the remote shell
+	SwapAccess sim.Time
+
+	// Message queue.
+	MsgSend      sim.Time // PAL send call: 122 (§7.3)
+	MsgPayload   int      // bytes on the wire: 4 data + 1 control word
+	MsgInterrupt sim.Time // receive interrupt: 25 µs = 3750 (§7.3)
+	MsgDispatch  sim.Time // switch to a message handler: +33 µs = 4950
+	MsgPoll      sim.Time // user-level queue poll (local memory)
+
+	// Block transfer engine.
+	BLTTrap        sim.Time // OS invocation: 180 µs = 27000 (§6.3)
+	BLTChunk       int      // DMA transfer granule in bytes
+	BLTReadCycles  sim.Time // pacing per chunk, read direction (140 MB/s peak)
+	BLTWriteCycles sim.Time // pacing per chunk, write direction
+
+	// Barrier wire.
+	BarrierArm  sim.Time // arming the barrier bit
+	BarrierProp sim.Time // AND-tree propagation after the last arrival
+
+	// InvalidateMode runs remote caches in cache-invalidate mode: an
+	// incoming remote write flushes the matching line whether or not it
+	// is resident (§4.4). Required for correctness absent higher-level
+	// information, at the price of spurious flushes.
+	InvalidateMode bool
+}
+
+// DefaultConfig returns the calibrated T3D shell parameters.
+func DefaultConfig() Config {
+	return Config{
+		AnnexUpdate: 23,
+
+		IssueExtra:         11,
+		ReqInject:          18,
+		RemoteReadProc:     5,
+		RespInject:         5,
+		RespAccept:         22,
+		RemoteRowMissExtra: 6,
+		CachedFillExtra:    17,
+
+		WriteHeader:     5,
+		WriteFlit8:      12,
+		WriteRemoteProc: 10,
+		WriteAckExtra:   61,
+		AckInject:       5,
+		StatusRead:      23,
+
+		FetchInject:       4,
+		PrefetchFillExtra: 14,
+		PopCost:           23,
+		PrefetchEntries:   16,
+
+		FIAccess:   64,
+		SwapAccess: 64,
+
+		MsgSend:      122,
+		MsgPayload:   40,
+		MsgInterrupt: 3750,
+		MsgDispatch:  4950,
+		MsgPoll:      6,
+
+		BLTTrap:        27000,
+		BLTChunk:       64,
+		BLTReadCycles:  68,  // 64 B / 68 cy @150 MHz ≈ 141 MB/s
+		BLTWriteCycles: 120, // ≈ 80 MB/s: the write path is bus-limited
+
+		BarrierArm:  3,
+		BarrierProp: 16,
+
+		InvalidateMode: true,
+	}
+}

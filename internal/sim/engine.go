@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in simulated time, measured in cycles.
+type Time = int64
+
+// event is a scheduled occurrence: either a plain callback or the
+// resumption of a blocked proc.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break so equal-time events fire in schedule order
+	fn    func()
+	proc  *Proc
+	epoch uint64 // wakeup generation; stale if != proc.epoch
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	procs   []*Proc
+	yield   chan yieldMsg // procs -> engine handoff
+	running bool
+	tracer  Tracer
+
+	// Limit guards against runaway simulations; 0 means no limit.
+	Limit Time
+}
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota // proc parked itself (event or signal pending)
+	yieldDone                     // proc body returned
+	yieldPanic                    // proc body panicked
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	proc  *Proc
+	panic any
+}
+
+// NewEngine returns an engine with time zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan yieldMsg)}
+}
+
+// Now reports the current simulated time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at the given absolute time, which must not be in
+// the past. fn runs inline in the engine loop and must not block.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// scheduleEpoch arranges for p to resume at time t, tagged with the wakeup
+// generation so stale events are skipped.
+func (e *Engine) scheduleEpoch(p *Proc, t Time, epoch uint64) {
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p, epoch: epoch})
+}
+
+// Spawn creates a proc named name running body. The proc starts when the
+// engine reaches the current time in its event loop (immediately if the
+// engine is already running). Spawn may be called before Run or from
+// within a running proc.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.state = procDone
+				e.yield <- yieldMsg{kind: yieldPanic, proc: p, panic: r}
+				return
+			}
+			p.state = procDone
+			e.yield <- yieldMsg{kind: yieldDone, proc: p}
+		}()
+		body(p)
+	}()
+	p.state = procReady
+	p.epoch = 1
+	e.scheduleEpoch(p, e.now, p.epoch)
+	return p
+}
+
+// SpawnDaemon is like Spawn, but the proc is exempt from deadlock
+// detection: it is expected to idle forever (device drain loops, pollers).
+func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	p := e.Spawn(name, body)
+	p.daemon = true
+	return p
+}
+
+// Run processes events until the queue is empty or the optional Limit is
+// reached. It returns the final simulated time. Run panics if, at the end,
+// some proc is still blocked on a signal that can never fire (deadlock) or
+// if any proc body panicked.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Engine.Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if e.Limit > 0 && ev.at > e.Limit {
+			panic(fmt.Sprintf("sim: time limit %d exceeded", e.Limit))
+		}
+		if ev.at < e.now {
+			panic("sim: event in the past")
+		}
+		e.now = ev.at
+		if ev.proc != nil {
+			p := ev.proc
+			if p.state == procDone || p.state == procRunning || ev.epoch != p.epoch {
+				continue // stale wakeup (finished proc or superseded event)
+			}
+			p.state = procRunning
+			p.epoch++ // invalidate any sibling wakeups for the old park
+			p.resume <- struct{}{}
+			msg := <-e.yield
+			if msg.kind == yieldPanic {
+				panic(fmt.Sprintf("sim: proc %q panicked: %v", msg.proc.name, msg.panic))
+			}
+			continue
+		}
+		ev.fn()
+	}
+
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state == procBlocked && !p.daemon {
+			stuck = append(stuck, p.name)
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		panic(fmt.Sprintf("sim: deadlock — no events pending but procs blocked: %s",
+			strings.Join(stuck, ", ")))
+	}
+	return e.now
+}
+
+// Idle reports whether the engine has no pending events.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCallbackOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: schedule order
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("end time = %d, want 10", end)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestProcWait(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.Spawn("w", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Wait(7)
+		at = append(at, p.Now())
+		p.Wait(0) // no-op
+		at = append(at, p.Now())
+		p.Wait(3)
+		at = append(at, p.Now())
+	})
+	e.Run()
+	want := []Time{0, 7, 7, 10}
+	if len(at) != len(want) {
+		t.Fatalf("times = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("times = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestWaitNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "panicked") {
+			t.Errorf("negative Wait: recover = %v", r)
+		}
+	}()
+	e.Spawn("bad", func(p *Proc) { p.Wait(-1) })
+	e.Run()
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("s")
+	var woke []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.WaitSignal(s)
+			woke = append(woke, name)
+			if p.Now() != 42 {
+				t.Errorf("%s woke at %d, want 42", name, p.Now())
+			}
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Wait(42)
+		s.Fire(e)
+	})
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v, want 3 procs", woke)
+	}
+	// Wakeups run in blocking order.
+	if woke[0] != "a" || woke[1] != "b" || woke[2] != "c" {
+		t.Fatalf("wake order = %v", woke)
+	}
+}
+
+func TestSignalTimeout(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("s")
+	var fired, timedOut bool
+	e.Spawn("timeout", func(p *Proc) {
+		ok := p.WaitSignalTimeout(s, 10)
+		timedOut = !ok
+		if p.Now() != 10 {
+			t.Errorf("timeout at %d, want 10", p.Now())
+		}
+	})
+	e.Spawn("signaled", func(p *Proc) {
+		ok := p.WaitSignalTimeout(s, 100)
+		fired = ok
+		if p.Now() != 50 {
+			t.Errorf("signaled at %d, want 50", p.Now())
+		}
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Wait(50)
+		s.Fire(e)
+	})
+	e.Run()
+	if !timedOut {
+		t.Error("first waiter should have timed out")
+	}
+	if !fired {
+		t.Error("second waiter should have been signaled")
+	}
+}
+
+func TestStaleSignalAfterTimeout(t *testing.T) {
+	// A proc that times out and parks again must not be woken by a Fire
+	// aimed at its earlier park.
+	e := NewEngine()
+	s := NewSignal("s")
+	var resumes []Time
+	e.Spawn("w", func(p *Proc) {
+		p.WaitSignalTimeout(s, 5) // times out at 5
+		resumes = append(resumes, p.Now())
+		p.Wait(100) // parked 5..105; stale Fire at 50 must not wake it
+		resumes = append(resumes, p.Now())
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Wait(50)
+		s.Fire(e)
+	})
+	e.Run()
+	if len(resumes) != 2 || resumes[0] != 5 || resumes[1] != 105 {
+		t.Fatalf("resumes = %v, want [5 105]", resumes)
+	}
+}
+
+func TestAwait(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("cond")
+	count := 0
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(10)
+			count++
+			s.Fire(e)
+		}
+	})
+	var doneAt Time
+	e.Spawn("consumer", func(p *Proc) {
+		Await(p, s, func() bool { return count >= 3 })
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 30 {
+		t.Fatalf("Await completed at %d, want 30", doneAt)
+	}
+}
+
+func TestAwaitAlreadyTrue(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("cond")
+	e.Spawn("c", func(p *Proc) {
+		Await(p, s, func() bool { return true })
+		if p.Now() != 0 {
+			t.Errorf("Await blocked until %d on true condition", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("never")
+	e.Spawn("stuck", func(p *Proc) { p.WaitSignal(s) })
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "deadlock") {
+			t.Errorf("recover = %v, want deadlock panic", r)
+		}
+		if !strings.Contains(r.(string), "stuck") {
+			t.Errorf("deadlock report %q does not name the proc", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Wait(5)
+		e.Spawn("child", func(c *Proc) {
+			c.Wait(3)
+			childAt = c.Now()
+		})
+		p.Wait(1)
+	})
+	e.Run()
+	if childAt != 8 {
+		t.Fatalf("child finished at %d, want 8", childAt)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Wait(1)
+		panic("kaboom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "kaboom") {
+			t.Errorf("recover = %v, want proc panic", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestTimeLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 100
+	e.Spawn("loop", func(p *Proc) {
+		for {
+			p.Wait(30)
+		}
+	})
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "limit") {
+			t.Errorf("recover = %v, want limit panic", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := "a1 b1 a2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestResource(t *testing.T) {
+	var r Resource
+	if s := r.Acquire(10, 5); s != 10 {
+		t.Fatalf("first acquire starts at %d, want 10", s)
+	}
+	if s := r.Acquire(11, 5); s != 15 {
+		t.Fatalf("overlapping acquire starts at %d, want 15", s)
+	}
+	if s := r.Acquire(100, 5); s != 100 {
+		t.Fatalf("late acquire starts at %d, want 100", s)
+	}
+	if r.FreeAt() != 105 {
+		t.Fatalf("FreeAt = %d, want 105", r.FreeAt())
+	}
+}
+
+func TestResourceZeroOccupancy(t *testing.T) {
+	var r Resource
+	r.Acquire(10, 0)
+	if s := r.Acquire(10, 3); s != 10 {
+		t.Fatalf("zero-occupancy acquire blocked: start %d, want 10", s)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Spawn("setup", func(p *Proc) {
+		p.Wait(20)
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 25 {
+		t.Fatalf("After fired at %d, want 25", at)
+	}
+}
+
+func TestPropertyEventsFireInTimeOrder(t *testing.T) {
+	// Property: callbacks scheduled at arbitrary times fire in
+	// non-decreasing time order, with schedule order breaking ties.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

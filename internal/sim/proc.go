@@ -1,0 +1,133 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procReady   procState = iota // has a scheduled wakeup event
+	procRunning                  // currently executing
+	procBlocked                  // parked on a Signal, no scheduled event
+	procDone                     // body returned
+)
+
+// Proc is a simulated thread of control. Procs run one at a time under
+// strict handoff with the engine; all methods must be called from the
+// proc's own body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	state  procState
+
+	// epoch distinguishes wakeup generations: any event scheduled for an
+	// earlier park is stale and skipped by the engine.
+	epoch    uint64
+	sigFired bool
+	daemon   bool
+}
+
+// Name returns the proc's name (used in deadlock reports).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park hands control back to the engine and blocks until resumed.
+func (p *Proc) park(st procState) {
+	p.state = st
+	p.eng.yield <- yieldMsg{kind: yieldBlocked, proc: p}
+	<-p.resume
+}
+
+// Wait advances the proc's time by d cycles.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Wait(%d) negative", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.epoch++
+	p.eng.scheduleEpoch(p, p.eng.now+d, p.epoch)
+	p.park(procReady)
+}
+
+// WaitUntil blocks the proc until absolute time t. If t is not after the
+// current time it returns immediately.
+func (p *Proc) WaitUntil(t Time) {
+	if d := t - p.eng.now; d > 0 {
+		p.Wait(d)
+	}
+}
+
+// Yield reschedules the proc at the current time, letting other
+// equal-time events run first.
+func (p *Proc) Yield() {
+	p.epoch++
+	p.eng.scheduleEpoch(p, p.eng.now, p.epoch)
+	p.park(procReady)
+}
+
+// WaitSignal blocks until s fires.
+func (p *Proc) WaitSignal(s *Signal) {
+	p.epoch++
+	s.waiters = append(s.waiters, waiter{p, p.epoch})
+	p.park(procBlocked)
+}
+
+// WaitSignalTimeout blocks until s fires or d cycles elapse. It reports
+// whether the signal fired (as opposed to the timeout expiring).
+func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
+	if d <= 0 {
+		return false
+	}
+	p.epoch++
+	p.sigFired = false
+	s.waiters = append(s.waiters, waiter{p, p.epoch})
+	p.eng.scheduleEpoch(p, p.eng.now+d, p.epoch)
+	p.park(procBlocked)
+	return p.sigFired
+}
+
+// Signal is a broadcast wakeup point: any number of procs may block on it
+// and are all released when it fires. Signals carry no state; a fire with
+// no waiters is a no-op (use a separate flag for level-sensitive waits).
+type Signal struct {
+	name    string
+	waiters []waiter
+}
+
+type waiter struct {
+	proc  *Proc
+	epoch uint64
+}
+
+// NewSignal returns a named signal.
+func NewSignal(name string) *Signal { return &Signal{name: name} }
+
+// Fire wakes all procs currently blocked on the signal. The wakeups are
+// scheduled at the current time and run in blocking order.
+func (s *Signal) Fire(e *Engine) {
+	for _, w := range s.waiters {
+		if w.proc.epoch != w.epoch || w.proc.state != procBlocked {
+			continue // stale: proc already resumed some other way
+		}
+		w.proc.sigFired = true
+		w.proc.state = procReady
+		e.scheduleEpoch(w.proc, e.now, w.epoch)
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Await blocks p until cond() is true, re-testing each time s fires.
+// It tests once before blocking, so a condition that already holds
+// returns immediately.
+func Await(p *Proc, s *Signal, cond func() bool) {
+	for !cond() {
+		p.WaitSignal(s)
+	}
+}

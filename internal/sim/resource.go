@@ -1,0 +1,27 @@
+package sim
+
+// Resource models a device that serves one request at a time (a DRAM bank,
+// a network link, a DMA engine). It tracks only the time at which it next
+// becomes free; callers compute their own completion times from the
+// returned service-start time.
+type Resource struct {
+	freeAt Time
+}
+
+// Acquire reserves the resource for occupancy cycles starting no earlier
+// than start, and returns the time service actually begins (start, or
+// later if the resource is busy).
+func (r *Resource) Acquire(start, occupancy Time) Time {
+	if occupancy < 0 {
+		panic("sim: negative occupancy")
+	}
+	if start > r.freeAt {
+		r.freeAt = start
+	}
+	s := r.freeAt
+	r.freeAt = s + occupancy
+	return s
+}
+
+// FreeAt reports when the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }

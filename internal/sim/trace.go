@@ -1,0 +1,57 @@
+package sim
+
+import "fmt"
+
+// Tracer receives simulation trace events: the simulated time, a short
+// category ("shell.read", "net.send", "barrier", ...), and a formatted
+// message. Tracing is off (nil) by default and costs one nil check per
+// potential event when disabled.
+type Tracer func(t Time, category, msg string)
+
+// SetTracer installs (or, with nil, removes) the engine's tracer.
+func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
+
+// Tracing reports whether a tracer is installed, so callers can avoid
+// building expensive messages that would be dropped.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Trace emits one event if tracing is enabled.
+func (e *Engine) Trace(category, format string, args ...any) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer(e.now, category, fmt.Sprintf(format, args...))
+}
+
+// TraceBuffer is a convenience Tracer that records events in memory.
+type TraceBuffer struct {
+	Events []TraceEvent
+	// Limit caps stored events; 0 means unlimited.
+	Limit int
+}
+
+// TraceEvent is one recorded trace entry.
+type TraceEvent struct {
+	At       Time
+	Category string
+	Msg      string
+}
+
+// Add implements Tracer.
+func (b *TraceBuffer) Add(t Time, category, msg string) {
+	if b.Limit > 0 && len(b.Events) >= b.Limit {
+		return
+	}
+	b.Events = append(b.Events, TraceEvent{t, category, msg})
+}
+
+// ByCategory returns the recorded events matching category.
+func (b *TraceBuffer) ByCategory(category string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range b.Events {
+		if e.Category == category {
+			out = append(out, e)
+		}
+	}
+	return out
+}

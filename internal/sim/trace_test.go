@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	e := NewEngine()
+	if e.Tracing() {
+		t.Error("tracing on by default")
+	}
+	e.Trace("x", "should be dropped") // must not panic
+}
+
+func TestTraceBufferRecords(t *testing.T) {
+	e := NewEngine()
+	var buf TraceBuffer
+	e.SetTracer(buf.Add)
+	if !e.Tracing() {
+		t.Error("Tracing() false after SetTracer")
+	}
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(5)
+		e.Trace("cat.a", "event %d", 1)
+		p.Wait(5)
+		e.Trace("cat.b", "event %d", 2)
+	})
+	e.Run()
+	if len(buf.Events) != 2 {
+		t.Fatalf("%d events", len(buf.Events))
+	}
+	if buf.Events[0].At != 5 || buf.Events[0].Category != "cat.a" || buf.Events[0].Msg != "event 1" {
+		t.Errorf("event 0 = %+v", buf.Events[0])
+	}
+	if got := buf.ByCategory("cat.b"); len(got) != 1 || got[0].At != 10 {
+		t.Errorf("ByCategory = %+v", got)
+	}
+}
+
+func TestTraceBufferLimit(t *testing.T) {
+	e := NewEngine()
+	buf := TraceBuffer{Limit: 2}
+	e.SetTracer(buf.Add)
+	for i := 0; i < 5; i++ {
+		e.Trace("x", "e%d", i)
+	}
+	if len(buf.Events) != 2 {
+		t.Errorf("limit not enforced: %d events", len(buf.Events))
+	}
+}
+
+func TestTracerRemovable(t *testing.T) {
+	e := NewEngine()
+	var buf TraceBuffer
+	e.SetTracer(buf.Add)
+	e.Trace("x", "one")
+	e.SetTracer(nil)
+	e.Trace("x", "two")
+	if len(buf.Events) != 1 {
+		t.Errorf("%d events after removal", len(buf.Events))
+	}
+}

@@ -1,0 +1,222 @@
+package splitc
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/shell"
+)
+
+// Mechanism names a bulk-transfer implementation, for the Figure 8
+// comparison and the mechanism-selection ablation (§6.2).
+type Mechanism int
+
+const (
+	// MechAuto applies the paper's production selection policy (§6.3).
+	MechAuto Mechanism = iota
+	// MechUncached reads one word at a time with blocking uncached loads.
+	MechUncached
+	// MechCached reads a cache line at a time, flushing afterwards to
+	// preserve coherence (batched into a whole-cache flush past 8 KB).
+	MechCached
+	// MechPrefetch pipelines words through the 16-entry prefetch FIFO.
+	MechPrefetch
+	// MechBLT uses the block transfer engine (180 µs OS trap to start).
+	MechBLT
+	// MechStore writes with pipelined non-blocking stores (writes only).
+	MechStore
+)
+
+func (m Mechanism) String() string {
+	switch m {
+	case MechAuto:
+		return "auto"
+	case MechUncached:
+		return "uncached"
+	case MechCached:
+		return "cached"
+	case MechPrefetch:
+		return "prefetch"
+	case MechBLT:
+		return "blt"
+	case MechStore:
+		return "store"
+	}
+	return fmt.Sprintf("mechanism(%d)", int(m))
+}
+
+// BulkRead copies n bytes (8-byte multiple) from the global region at g
+// into local memory at dst, blocking until complete. With MechAuto it
+// uses the measured policy: a single word uncached, the prefetch queue
+// below the ~16 KB crossover, the BLT above it (§6.3).
+func (c *Ctx) BulkRead(dst int64, g GlobalPtr, n int64) {
+	c.BulkReadVia(MechAuto, dst, g, n)
+}
+
+// BulkReadVia is BulkRead with an explicit mechanism (the Figure 8 knob).
+func (c *Ctx) BulkReadVia(mech Mechanism, dst int64, g GlobalPtr, n int64) {
+	checkBulk(n)
+	c.Compute(PtrOpCost)
+	if g.PE() == c.MyPE() {
+		c.localCopy(dst, g.Local(), n)
+		return
+	}
+	if mech == MechAuto {
+		switch {
+		case n <= 8:
+			mech = MechUncached
+		case n < c.rt.Cfg.BulkBLTMin:
+			mech = MechPrefetch
+		default:
+			mech = MechBLT
+		}
+	}
+	switch mech {
+	case MechUncached:
+		c.bulkReadUncached(dst, g, n)
+	case MechCached:
+		c.bulkReadCached(dst, g, n)
+	case MechPrefetch:
+		c.bulkReadPrefetch(dst, g, n)
+	case MechBLT:
+		c.Node.Shell.BLTStart(c.P, shell.BLTRead, g.PE(), dst, g.Local(), n)
+		c.Node.Shell.BLTWait(c.P)
+	default:
+		panic("splitc: " + mech.String() + " is not a read mechanism")
+	}
+}
+
+func (c *Ctx) bulkReadUncached(dst int64, g GlobalPtr, n int64) {
+	idx := c.bind(g.PE(), false)
+	base := addr.Make(idx, g.Local())
+	for i := int64(0); i < n; i += 8 {
+		v := c.Node.CPU.Load64(c.P, base+i)
+		c.Node.CPU.Store64(c.P, dst+i, v)
+	}
+}
+
+func (c *Ctx) bulkReadCached(dst int64, g GlobalPtr, n int64) {
+	idx := c.bind(g.PE(), true)
+	base := addr.Make(idx, g.Local())
+	for i := int64(0); i < n; i += 8 {
+		v := c.Node.CPU.Load64(c.P, base+i)
+		c.Node.CPU.Store64(c.P, dst+i, v)
+	}
+	// Coherence: flush what was cached. Past 8 KB a single whole-cache
+	// flush is cheaper than per-line flushes (§6.2 footnote).
+	if n >= c.Node.L1.Config().Size {
+		c.Node.CPU.FlushCache(c.P)
+		return
+	}
+	for line := int64(0); line < n; line += c.Node.L1.Config().LineSize {
+		c.Node.CPU.FlushLine(c.P, base+line)
+	}
+}
+
+func (c *Ctx) bulkReadPrefetch(dst int64, g GlobalPtr, n int64) {
+	idx := c.bind(g.PE(), false)
+	base := addr.Make(idx, g.Local())
+	words := n / 8
+	depth := int64(c.Node.Shell.Config().PrefetchEntries)
+	var issued, popped int64
+	for popped < words {
+		for issued < words && issued-popped < depth {
+			c.Node.CPU.FetchHint(c.P, base+issued*8)
+			issued++
+		}
+		if issued-popped < 4 {
+			// With fewer than 4 outstanding the hints may still sit in
+			// the write buffer; the barrier pushes them out (§5.2).
+			c.Node.CPU.MB(c.P)
+		}
+		v := c.Node.Shell.PopPrefetch(c.P)
+		c.Node.CPU.Store64(c.P, dst+popped*8, v)
+		popped++
+	}
+}
+
+// BulkWrite copies n bytes from local memory at src into the global
+// region at g, blocking until acknowledged. Non-blocking stores beat the
+// BLT at every size the paper measured (§6.2), so MechAuto always picks
+// them; MechBLT remains available as the ablation.
+func (c *Ctx) BulkWrite(g GlobalPtr, src int64, n int64) {
+	c.BulkWriteVia(MechAuto, g, src, n)
+}
+
+// BulkWriteVia is BulkWrite with an explicit mechanism.
+func (c *Ctx) BulkWriteVia(mech Mechanism, g GlobalPtr, src int64, n int64) {
+	checkBulk(n)
+	c.Compute(PtrOpCost)
+	if g.PE() == c.MyPE() {
+		c.localCopy(g.Local(), src, n)
+		return
+	}
+	if mech == MechAuto {
+		mech = MechStore
+	}
+	switch mech {
+	case MechStore:
+		c.bulkWriteStores(g, src, n)
+		c.Node.CPU.MB(c.P)
+		c.Node.Shell.WaitWritesComplete(c.P)
+	case MechBLT:
+		c.Node.Shell.BLTStart(c.P, shell.BLTWrite, g.PE(), src, g.Local(), n)
+		c.Node.Shell.BLTWait(c.P)
+	default:
+		panic("splitc: " + mech.String() + " is not a write mechanism")
+	}
+}
+
+func (c *Ctx) bulkWriteStores(g GlobalPtr, src int64, n int64) {
+	idx := c.bind(g.PE(), false)
+	base := addr.Make(idx, g.Local())
+	for i := int64(0); i < n; i += 8 {
+		v := c.Node.CPU.Load64(c.P, src+i)
+		c.Node.CPU.Store64(c.P, base+i, v)
+	}
+}
+
+// BulkGet is the split-phase bulk read: it returns as soon as the
+// transfer is initiated and Sync awaits completion. Below the ~7.9 KB
+// threshold the prefetch pipeline outruns the BLT's 180 µs initiation,
+// so the transfer is effectively synchronous; above it the BLT runs
+// concurrently with computation (§6.3).
+func (c *Ctx) BulkGet(dst int64, g GlobalPtr, n int64) {
+	checkBulk(n)
+	c.Compute(PtrOpCost)
+	if g.PE() == c.MyPE() {
+		c.localCopy(dst, g.Local(), n)
+		return
+	}
+	if n < c.rt.Cfg.BulkGetBLTMin {
+		c.bulkReadPrefetch(dst, g, n)
+		return
+	}
+	c.Node.Shell.BLTStart(c.P, shell.BLTRead, g.PE(), dst, g.Local(), n)
+}
+
+// BulkPut is the split-phase bulk write: pipelined non-blocking stores,
+// with completion deferred to Sync (§6.3).
+func (c *Ctx) BulkPut(g GlobalPtr, src int64, n int64) {
+	checkBulk(n)
+	c.Compute(PtrOpCost)
+	if g.PE() == c.MyPE() {
+		c.localCopy(g.Local(), src, n)
+		return
+	}
+	c.bulkWriteStores(g, src, n)
+}
+
+// localCopy moves n bytes between local addresses through the processor.
+func (c *Ctx) localCopy(dst, src, n int64) {
+	for i := int64(0); i < n; i += 8 {
+		v := c.Node.CPU.Load64(c.P, src+i)
+		c.Node.CPU.Store64(c.P, dst+i, v)
+	}
+}
+
+func checkBulk(n int64) {
+	if n <= 0 || n%8 != 0 {
+		panic(fmt.Sprintf("splitc: bulk transfer of %d bytes (must be a positive multiple of 8)", n))
+	}
+}

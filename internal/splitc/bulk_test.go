@@ -1,0 +1,218 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// fillRemote seeds PE 1's memory with a recognizable pattern.
+func fillRemote(rt *Runtime, base, n int64) {
+	for i := int64(0); i < n; i += 8 {
+		rt.M.Nodes[1].DRAM.Write64(base+i, uint64(0xA0000000+i))
+	}
+}
+
+func checkLocal(t *testing.T, rt *Runtime, base, n int64) {
+	t.Helper()
+	for i := int64(0); i < n; i += 8 {
+		if v := rt.M.Nodes[0].DRAM.Read64(base + i); v != uint64(0xA0000000+i) {
+			t.Fatalf("dst[%#x] = %#x, want %#x", i, v, 0xA0000000+i)
+		}
+	}
+}
+
+func TestBulkReadAllMechanismsCorrect(t *testing.T) {
+	for _, mech := range []Mechanism{MechUncached, MechCached, MechPrefetch, MechBLT, MechAuto} {
+		t.Run(mech.String(), func(t *testing.T) {
+			rt := newRT(2)
+			const n = 2048
+			src := rt.Cfg.HeapBase
+			fillRemote(rt, src, n)
+			var dst int64
+			rt.RunOn(0, func(c *Ctx) {
+				c.Alloc(4096) // skip the region symmetric with src
+				dst = c.Alloc(n)
+				c.BulkReadVia(mech, dst, Global(1, src), n)
+			})
+			checkLocal(t, rt, dst, n)
+		})
+	}
+}
+
+func TestBulkWriteBothMechanismsCorrect(t *testing.T) {
+	for _, mech := range []Mechanism{MechStore, MechBLT, MechAuto} {
+		t.Run(mech.String(), func(t *testing.T) {
+			rt := newRT(2)
+			const n = 1024
+			rt.RunOn(0, func(c *Ctx) {
+				src := c.Alloc(n)
+				for i := int64(0); i < n; i += 8 {
+					c.Node.CPU.Store64(c.P, src+i, uint64(0xB0000000+i))
+				}
+				c.Node.CPU.MB(c.P)
+				dst := c.Alloc(n)
+				c.BulkWriteVia(mech, Global(1, dst), src, n)
+				for i := int64(0); i < n; i += 8 {
+					if v := rt.M.Nodes[1].DRAM.Read64(dst + i); v != uint64(0xB0000000+i) {
+						t.Fatalf("%v: remote[%#x] = %#x", mech, i, v)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestBulkReadLocalFastPath(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		src := c.Alloc(64)
+		for i := int64(0); i < 64; i += 8 {
+			c.Node.CPU.Store64(c.P, src+i, uint64(i))
+		}
+		c.Node.CPU.MB(c.P)
+		dst := c.Alloc(64)
+		c.BulkRead(dst, Global(0, src), 64)
+		for i := int64(0); i < 64; i += 8 {
+			if v := c.Node.CPU.Load64(c.P, dst+i); v != uint64(i) {
+				t.Fatalf("local bulk copy wrong at %d: %d", i, v)
+			}
+		}
+	})
+}
+
+func TestBulkGetOverlapsBLT(t *testing.T) {
+	// §6.3: above the ~7.9 KB threshold a bulk get starts the BLT and
+	// returns; computation overlaps the transfer, and Sync completes it.
+	rt := newRT(2)
+	const n = 32 << 10
+	fillRemote(rt, rt.Cfg.HeapBase, n)
+	var initiate, total sim.Time
+	var dst int64
+	rt.RunOn(0, func(c *Ctx) {
+		c.Alloc(n)
+		dst = c.Alloc(n)
+		start := c.P.Now()
+		c.BulkGet(dst, Global(1, rt.Cfg.HeapBase), n)
+		initiate = c.P.Now() - start
+		c.Sync()
+		total = c.P.Now() - start
+	})
+	checkLocal(t, rt, dst, n)
+	// Initiation should be roughly the 27000-cycle OS trap, far below
+	// the full transfer time.
+	if initiate < 26000 || initiate > 30000 {
+		t.Errorf("BulkGet initiation = %d cycles, want ≈ 27000 (the BLT trap)", initiate)
+	}
+	if total < initiate*2 {
+		t.Errorf("transfer completed suspiciously fast: total %d vs initiate %d", total, initiate)
+	}
+}
+
+func TestBulkGetSmallUsesPrefetch(t *testing.T) {
+	rt := newRT(2)
+	const n = 512
+	fillRemote(rt, rt.Cfg.HeapBase, n)
+	var dst int64
+	rt.RunOn(0, func(c *Ctx) {
+		c.Alloc(n)
+		dst = c.Alloc(n)
+		c.BulkGet(dst, Global(1, rt.Cfg.HeapBase), n)
+		c.Sync()
+		if c.Node.Shell.Prefetches == 0 {
+			t.Error("small bulk get did not use the prefetch queue")
+		}
+	})
+	checkLocal(t, rt, dst, n)
+}
+
+func TestBulkPutDeferredCompletion(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		src := c.Alloc(256)
+		for i := int64(0); i < 256; i += 8 {
+			c.Node.CPU.Store64(c.P, src+i, 7)
+		}
+		dst := c.Alloc(256)
+		c.BulkPut(Global(1, dst), src, 256)
+		c.Sync()
+		for i := int64(0); i < 256; i += 8 {
+			if v := rt.M.Nodes[1].DRAM.Read64(dst + i); v != 7 {
+				t.Fatalf("bulk put incomplete after sync at %d", i)
+			}
+		}
+	})
+}
+
+func TestBulkMechanismOrderingMatchesFigure8(t *testing.T) {
+	// The load-bearing shape of Figure 8: at 8 bytes uncached wins; in
+	// the middle the prefetch queue wins; at 64 KB the BLT wins.
+	rt := newRT(2)
+	const maxN = 64 << 10
+	fillRemote(rt, rt.Cfg.HeapBase, maxN)
+	timeOf := func(mech Mechanism, n int64) sim.Time {
+		rt := newRT(2)
+		fillRemote(rt, rt.Cfg.HeapBase, n)
+		var d sim.Time
+		rt.RunOn(0, func(c *Ctx) {
+			c.Alloc(maxN)
+			dst := c.Alloc(n)
+			// Warm-up transfer, then average a few repetitions — the
+			// probe methodology of §2.1.
+			c.BulkReadVia(mech, dst, Global(1, rt.Cfg.HeapBase), n)
+			const reps = 4
+			start := c.P.Now()
+			for r := 0; r < reps; r++ {
+				c.BulkReadVia(mech, dst, Global(1, rt.Cfg.HeapBase), n)
+			}
+			d = (c.P.Now() - start) / reps
+		})
+		return d
+	}
+	if u, p := timeOf(MechUncached, 8), timeOf(MechPrefetch, 8); u >= p {
+		t.Errorf("at 8 B uncached (%d) should beat prefetch (%d)", u, p)
+	}
+	for _, n := range []int64{1 << 10, 8 << 10} {
+		u := timeOf(MechUncached, n)
+		ca := timeOf(MechCached, n)
+		pf := timeOf(MechPrefetch, n)
+		blt := timeOf(MechBLT, n)
+		if pf >= u || pf >= ca || pf >= blt {
+			t.Errorf("at %d B prefetch (%d) should win (uncached %d, cached %d, blt %d)", n, pf, u, ca, blt)
+		}
+	}
+	if blt, pf := timeOf(MechBLT, 64<<10), timeOf(MechPrefetch, 64<<10); blt >= pf {
+		t.Errorf("at 64 KB the BLT (%d) should beat prefetch (%d)", blt, pf)
+	}
+}
+
+func TestBulkPanicsOnBadSize(t *testing.T) {
+	rt := newRT(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned bulk size did not panic")
+		}
+	}()
+	rt.RunOn(0, func(c *Ctx) {
+		c.BulkRead(c.Alloc(16), Global(1, rt.Cfg.HeapBase), 12)
+	})
+}
+
+func TestBulkWriteBandwidthNearPeak(t *testing.T) {
+	// §6.2: the store path peaks near 90 MB/s.
+	rt := newRT(2)
+	const n = 128 << 10
+	var d sim.Time
+	rt.RunOn(0, func(c *Ctx) {
+		src := c.Alloc(n)
+		dst := c.Alloc(n)
+		start := c.P.Now()
+		c.BulkWrite(Global(1, dst), src, n)
+		d = c.P.Now() - start
+	})
+	mbs := float64(n) / (float64(d) * cpu.NSPerCycle * 1e-9) / 1e6
+	if mbs < 75 || mbs > 100 {
+		t.Errorf("bulk write bandwidth = %.1f MB/s, want ≈ 90", mbs)
+	}
+}

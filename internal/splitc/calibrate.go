@@ -1,0 +1,87 @@
+package splitc
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// CalibratedThresholds are the bulk-transfer policy constants of §6.3,
+// derived from measurement rather than typed in.
+type CalibratedThresholds struct {
+	// PrefetchCyPerByte is the sustained pipelined-prefetch cost.
+	PrefetchCyPerByte float64
+	// BLTStartupCy is the operating-system invocation cost of the BLT.
+	BLTStartupCy float64
+	// BLTCyPerByte is the BLT's marginal per-byte cost.
+	BLTCyPerByte float64
+	// BulkBLTMin is the size where a blocking bulk read should switch to
+	// the BLT: prefetch time exceeds startup + BLT transfer time.
+	BulkBLTMin int64
+	// BulkGetBLTMin is the non-blocking threshold: the BLT initiation
+	// alone buys this many bytes of prefetch-path progress (§6.3's
+	// "about 7,900 bytes").
+	BulkGetBLTMin int64
+}
+
+// CalibrateBulkThresholds reproduces the paper's methodology as a runtime
+// feature: probe the prefetch path and the BLT on a scratch machine, fit
+// the startup + rate model, and solve for the crossover sizes. Apply the
+// result to a Config to run with measured rather than published policy.
+func CalibrateBulkThresholds() CalibratedThresholds {
+	var ct CalibratedThresholds
+
+	// Prefetch path: one warmed bulk read well inside the pipelined
+	// regime gives the per-byte cost.
+	{
+		rt := NewRuntime(machine.New(machine.DefaultConfig(2)), DefaultConfig())
+		const n = 8 << 10
+		var cy sim.Time
+		rt.RunOn(0, func(c *Ctx) {
+			c.Alloc(n)
+			dst := c.Alloc(n)
+			g := Global(1, rt.Cfg.HeapBase)
+			c.BulkReadVia(MechPrefetch, dst, g, n) // warm
+			start := c.P.Now()
+			c.BulkReadVia(MechPrefetch, dst, g, n)
+			cy = c.P.Now() - start
+		})
+		ct.PrefetchCyPerByte = float64(cy) / n
+	}
+
+	// BLT: two sizes separate the fixed startup from the per-byte rate.
+	{
+		rt := NewRuntime(machine.New(machine.DefaultConfig(2)), DefaultConfig())
+		const n1, n2 = 32 << 10, 256 << 10
+		var cy1, cy2 sim.Time
+		rt.RunOn(0, func(c *Ctx) {
+			c.Alloc(n2)
+			dst := c.Alloc(n2)
+			g := Global(1, rt.Cfg.HeapBase)
+			start := c.P.Now()
+			c.BulkReadVia(MechBLT, dst, g, n1)
+			cy1 = c.P.Now() - start
+			start = c.P.Now()
+			c.BulkReadVia(MechBLT, dst, g, n2)
+			cy2 = c.P.Now() - start
+		})
+		ct.BLTCyPerByte = float64(cy2-cy1) / float64(n2-n1)
+		ct.BLTStartupCy = float64(cy1) - ct.BLTCyPerByte*float64(n1)
+	}
+
+	// Solve the crossovers.
+	if ct.PrefetchCyPerByte > ct.BLTCyPerByte {
+		ct.BulkBLTMin = int64(ct.BLTStartupCy / (ct.PrefetchCyPerByte - ct.BLTCyPerByte))
+	}
+	ct.BulkGetBLTMin = int64(ct.BLTStartupCy / ct.PrefetchCyPerByte)
+	return ct
+}
+
+// Apply installs the calibrated thresholds into a runtime Config.
+func (ct CalibratedThresholds) Apply(cfg *Config) {
+	if ct.BulkBLTMin > 0 {
+		cfg.BulkBLTMin = ct.BulkBLTMin
+	}
+	if ct.BulkGetBLTMin > 0 {
+		cfg.BulkGetBLTMin = ct.BulkGetBLTMin
+	}
+}

@@ -1,0 +1,68 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCalibrateBulkThresholds(t *testing.T) {
+	ct := CalibrateBulkThresholds()
+	t.Logf("prefetch %.3f cy/B, BLT startup %.0f cy + %.3f cy/B, blocking crossover %dB, get threshold %dB",
+		ct.PrefetchCyPerByte, ct.BLTStartupCy, ct.BLTCyPerByte, ct.BulkBLTMin, ct.BulkGetBLTMin)
+
+	// The BLT startup must recover the 180 µs trap (27000 cycles).
+	if ct.BLTStartupCy < 24000 || ct.BLTStartupCy > 31000 {
+		t.Errorf("BLT startup = %.0f cycles, want ≈ 27000", ct.BLTStartupCy)
+	}
+	// The blocking crossover lands in the paper's "about 16 KB"
+	// neighbourhood (within a factor of two: it depends on both rates).
+	if ct.BulkBLTMin < 8<<10 || ct.BulkBLTMin > 32<<10 {
+		t.Errorf("blocking crossover = %d bytes, want ≈ 16K", ct.BulkBLTMin)
+	}
+	// The non-blocking threshold reproduces §6.3's ≈7,900 bytes.
+	if ct.BulkGetBLTMin < 5000 || ct.BulkGetBLTMin > 11000 {
+		t.Errorf("bulk-get threshold = %d bytes, want ≈ 7900", ct.BulkGetBLTMin)
+	}
+}
+
+func TestCalibratedThresholdsSelfConsistent(t *testing.T) {
+	// At the calibrated crossover the two mechanisms should measure
+	// within ~20% of each other — the definition of a crossover.
+	ct := CalibrateBulkThresholds()
+	n := (ct.BulkBLTMin + 4095) &^ 4095
+	timeOf := func(mech Mechanism) int64 {
+		rt := NewRuntime(machine.New(machine.DefaultConfig(2)), DefaultConfig())
+		var cy int64
+		rt.RunOn(0, func(c *Ctx) {
+			c.Alloc(n)
+			dst := c.Alloc(n)
+			g := Global(1, rt.Cfg.HeapBase)
+			c.BulkReadVia(mech, dst, g, n) // warm
+			start := c.P.Now()
+			c.BulkReadVia(mech, dst, g, n)
+			cy = int64(c.P.Now() - start)
+		})
+		return cy
+	}
+	pf, blt := timeOf(MechPrefetch), timeOf(MechBLT)
+	ratio := float64(pf) / float64(blt)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("at the crossover (%d bytes) prefetch/BLT = %.2f, want ≈ 1", n, ratio)
+	}
+}
+
+func TestApplyThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	ct := CalibratedThresholds{BulkBLTMin: 12345, BulkGetBLTMin: 678}
+	ct.Apply(&cfg)
+	if cfg.BulkBLTMin != 12345 || cfg.BulkGetBLTMin != 678 {
+		t.Errorf("Apply did not install thresholds: %+v", cfg)
+	}
+	zero := CalibratedThresholds{}
+	before := cfg
+	zero.Apply(&cfg)
+	if cfg != before {
+		t.Error("zero thresholds overwrote config")
+	}
+}

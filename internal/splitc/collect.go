@@ -1,0 +1,195 @@
+package splitc
+
+import "fmt"
+
+// Collective operations in the bulk-synchronous style of §7: one-way
+// signaling stores move the data, the fuzzy hardware barrier closes the
+// phase. All threads must call each collective at the same program point
+// with the same arguments (the usual SPMD contract).
+//
+// The helpers allocate their staging space from the symmetric heap on
+// first use via AllocCollectives.
+
+// Collectives holds the per-thread staging state.
+type Collectives struct {
+	c       *Ctx
+	maxElem int64
+	gather  int64 // nproc slots for Gather/Reduce
+	bcast   int64 // one slot for Broadcast
+}
+
+// AllocCollectives reserves staging space for collectives over vectors of
+// up to maxElems words. Collective: every thread calls it at the same
+// point.
+func (c *Ctx) AllocCollectives(maxElems int64) *Collectives {
+	if maxElems <= 0 {
+		panic("splitc: collectives need at least one element")
+	}
+	return &Collectives{
+		c:       c,
+		maxElem: maxElems,
+		gather:  c.Alloc(int64(c.NProc()) * maxElems * 8),
+		bcast:   c.Alloc(maxElems * 8),
+	}
+}
+
+func (co *Collectives) check(n int64) {
+	if n <= 0 || n > co.maxElem {
+		panic(fmt.Sprintf("splitc: collective of %d elements exceeds staging %d", n, co.maxElem))
+	}
+}
+
+// Broadcast sends n words starting at the root's local address src to
+// every thread's dst. The root pushes with one-way stores; one
+// AllStoreSync closes the phase.
+func (co *Collectives) Broadcast(root int, src, dst int64, n int64) {
+	co.check(n)
+	c := co.c
+	if c.MyPE() == root {
+		for pe := 0; pe < c.NProc(); pe++ {
+			if pe == root {
+				if src != co.bcast {
+					c.localCopy(co.bcast, src, n*8)
+				}
+				continue
+			}
+			c.BulkPut(Global(pe, co.bcast), src, n*8)
+		}
+	}
+	c.AllStoreSync()
+	if dst != co.bcast {
+		c.localCopy(dst, co.bcast, n*8)
+	}
+	c.Barrier()
+}
+
+// Gather collects one word from every thread into the root's dst array
+// (dst[pe] = contribution of pe). Non-roots' dst is untouched.
+func (co *Collectives) Gather(root int, val uint64, dst int64) {
+	c := co.c
+	c.Store(Global(root, co.gather+int64(c.MyPE())*8), val)
+	c.AllStoreSync()
+	if c.MyPE() == root {
+		for pe := 0; pe < c.NProc(); pe++ {
+			v := c.Node.CPU.Load64(c.P, co.gather+int64(pe)*8)
+			c.Node.CPU.Store64(c.P, dst+int64(pe)*8, v)
+		}
+		c.Node.CPU.MB(c.P)
+	}
+	c.Barrier()
+}
+
+// Reduce combines one word from every thread at the root with fn (which
+// must be associative and commutative) and returns the result on the
+// root; other threads receive 0. Cost: P pipelined stores into the
+// root's staging array, one AllStoreSync, and a local combine.
+func (co *Collectives) Reduce(root int, val uint64, fn func(a, b uint64) uint64) uint64 {
+	c := co.c
+	c.Store(Global(root, co.gather+int64(c.MyPE())*8), val)
+	c.AllStoreSync()
+	var acc uint64
+	if c.MyPE() == root {
+		acc = c.Node.CPU.Load64(c.P, co.gather)
+		for pe := 1; pe < c.NProc(); pe++ {
+			v := c.Node.CPU.Load64(c.P, co.gather+int64(pe)*8)
+			c.Compute(2) // the combine op
+			acc = fn(acc, v)
+		}
+	}
+	c.Barrier()
+	return acc
+}
+
+// AllReduce is Reduce followed by a broadcast of the result: every thread
+// returns the combined value.
+func (co *Collectives) AllReduce(val uint64, fn func(a, b uint64) uint64) uint64 {
+	c := co.c
+	r := co.Reduce(0, val, fn)
+	if c.MyPE() == 0 {
+		c.Node.CPU.Store64(c.P, co.bcast, r)
+		c.Node.CPU.MB(c.P)
+		for pe := 1; pe < c.NProc(); pe++ {
+			c.Store(Global(pe, co.bcast), r)
+		}
+	}
+	c.AllStoreSync()
+	return c.Node.CPU.Load64(c.P, co.bcast)
+}
+
+// AllGather collects one word from every thread into every thread's dst
+// array (dst[pe] = contribution of pe): P² one-way stores, fully
+// pipelined, closed by one AllStoreSync.
+func (co *Collectives) AllGather(val uint64, dst int64) {
+	c := co.c
+	for pe := 0; pe < c.NProc(); pe++ {
+		c.Store(Global(pe, co.gather+int64(c.MyPE())*8), val)
+	}
+	c.AllStoreSync()
+	c.localCopy(dst, co.gather, int64(c.NProc())*8)
+	c.Node.CPU.MB(c.P)
+	c.Barrier()
+}
+
+// TreeBroadcast is the log-depth alternative to Broadcast: the value
+// hops down a binomial tree, each round doubling the set of holders.
+// At P processors the flat broadcast costs the root P-1 sequential bulk
+// puts; the tree finishes in ceil(log2 P) store+barrier rounds — the
+// classic trade once machines grow past a few dozen nodes.
+func (co *Collectives) TreeBroadcast(root int, src, dst int64, n int64) {
+	co.check(n)
+	c := co.c
+	nproc := c.NProc()
+	me := (c.MyPE() - root + nproc) % nproc // rank relative to the root
+	if me == 0 && src != co.bcast {
+		c.localCopy(co.bcast, src, n*8)
+		c.Node.CPU.MB(c.P)
+	}
+	for step := 1; step < nproc; step *= 2 {
+		if me < step && me+step < nproc {
+			peer := (me + step + root) % nproc
+			c.BulkPut(Global(peer, co.bcast), co.bcast, n*8)
+		}
+		// The round closes with machine-wide store completion: holders'
+		// puts are acknowledged and everyone crosses the barrier.
+		c.AllStoreSync()
+	}
+	if dst != co.bcast {
+		c.localCopy(dst, co.bcast, n*8)
+	}
+	c.Barrier()
+}
+
+// TreeReduce combines one word per thread up a binomial tree in
+// ceil(log2 P) rounds, returning the result on the root (0 elsewhere).
+func (co *Collectives) TreeReduce(root int, val uint64, fn func(a, b uint64) uint64) uint64 {
+	c := co.c
+	nproc := c.NProc()
+	me := (c.MyPE() - root + nproc) % nproc
+	// Each thread's partial lives in its own gather slot 0.
+	c.Node.CPU.Store64(c.P, co.gather, val)
+	c.Node.CPU.MB(c.P)
+	for step := 1; step < nproc; step *= 2 {
+		send := me%(2*step) == step
+		if send {
+			peer := (me - step + root) % nproc
+			v := c.Node.CPU.Load64(c.P, co.gather)
+			// Deposit into the parent's slot for this round.
+			c.Store(Global(peer, co.gather+8), v)
+		}
+		c.AllStoreSync()
+		if !send && me%(2*step) == 0 && me+step < nproc {
+			mine := c.Node.CPU.Load64(c.P, co.gather)
+			theirs := c.Node.CPU.Load64(c.P, co.gather+8)
+			c.Compute(2)
+			c.Node.CPU.Store64(c.P, co.gather, fn(mine, theirs))
+			c.Node.CPU.MB(c.P)
+		}
+		c.AllStoreSync()
+	}
+	var out uint64
+	if me == 0 {
+		out = c.Node.CPU.Load64(c.P, co.gather)
+	}
+	c.Barrier()
+	return out
+}

@@ -1,0 +1,429 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestBroadcast(t *testing.T) {
+	rt := newRT(4)
+	var bad int
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(8)
+		src := c.Alloc(8 * 8)
+		dst := c.Alloc(8 * 8)
+		if c.MyPE() == 2 { // root
+			for i := int64(0); i < 8; i++ {
+				c.Node.CPU.Store64(c.P, src+i*8, uint64(70+i))
+			}
+			c.Node.CPU.MB(c.P)
+		}
+		co.Broadcast(2, src, dst, 8)
+		for i := int64(0); i < 8; i++ {
+			if v := c.Node.CPU.Load64(c.P, dst+i*8); v != uint64(70+i) {
+				bad++
+			}
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d wrong broadcast words", bad)
+	}
+}
+
+func TestGather(t *testing.T) {
+	rt := newRT(4)
+	var rootVals []uint64
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(4)
+		dst := c.Alloc(4 * 8)
+		co.Gather(1, uint64(10*c.MyPE()+5), dst)
+		if c.MyPE() == 1 {
+			for pe := 0; pe < 4; pe++ {
+				rootVals = append(rootVals, c.Node.CPU.Load64(c.P, dst+int64(pe)*8))
+			}
+		}
+	})
+	for pe, v := range rootVals {
+		if v != uint64(10*pe+5) {
+			t.Errorf("gather[%d] = %d", pe, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	rt := newRT(8)
+	var result uint64
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(1)
+		r := co.Reduce(0, uint64(c.MyPE()+1), func(a, b uint64) uint64 { return a + b })
+		if c.MyPE() == 0 {
+			result = r
+		} else if r != 0 {
+			t.Errorf("non-root PE %d got %d", c.MyPE(), r)
+		}
+	})
+	if result != 36 { // 1+2+...+8
+		t.Errorf("reduce sum = %d, want 36", result)
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	rt := newRT(4)
+	results := make([]uint64, 4)
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(1)
+		val := uint64((c.MyPE()*7 + 3) % 11)
+		results[c.MyPE()] = co.AllReduce(val, func(a, b uint64) uint64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	})
+	want := uint64(10) // max of {3, 10, 6, 2}
+	for pe, r := range results {
+		if r != want {
+			t.Errorf("PE %d allreduce = %d, want %d", pe, r, want)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	rt := newRT(4)
+	var bad int
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(1)
+		dst := c.Alloc(4 * 8)
+		co.AllGather(uint64(100+c.MyPE()), dst)
+		for pe := 0; pe < 4; pe++ {
+			if v := c.Node.CPU.Load64(c.P, dst+int64(pe)*8); v != uint64(100+pe) {
+				bad++
+			}
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d wrong allgather words", bad)
+	}
+}
+
+func TestCollectiveSizeChecked(t *testing.T) {
+	rt := newRT(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized collective did not panic")
+		}
+	}()
+	rt.Run(func(c *Ctx) {
+		co := c.AllocCollectives(2)
+		co.Broadcast(0, c.Alloc(64), c.Alloc(64), 8)
+	})
+}
+
+func TestSwapLockMutualExclusion(t *testing.T) {
+	rt := newRT(4)
+	var inCS, maxInCS, entries int
+	var counterAddr int64
+	rt.Run(func(c *Ctx) {
+		l := c.AllocSwapLock(0)
+		counter := c.Alloc(8) // shared counter on PE 0, updated under the lock
+		counterAddr = counter
+		for i := 0; i < 3; i++ {
+			l.Lock(c)
+			inCS++
+			if inCS > maxInCS {
+				maxInCS = inCS
+			}
+			entries++
+			g := Global(0, counter)
+			v := c.Read(g)
+			c.Compute(20)
+			c.Write(g, v+1)
+			inCS--
+			l.Unlock(c)
+		}
+	})
+	if maxInCS != 1 {
+		t.Errorf("critical-section occupancy reached %d", maxInCS)
+	}
+	if entries != 12 {
+		t.Errorf("%d entries", entries)
+	}
+	if v := rt.M.Nodes[0].DRAM.Read64(counterAddr); v != 12 {
+		t.Errorf("protected counter = %d, want 12 (lost updates)", v)
+	}
+}
+
+func TestSwapTryLock(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		l := c.AllocSwapLock(1)
+		if !l.TryLock(c) {
+			t.Error("first TryLock failed")
+		}
+		if l.TryLock(c) {
+			t.Error("second TryLock succeeded while held")
+		}
+		l.Unlock(c)
+		if !l.TryLock(c) {
+			t.Error("TryLock after Unlock failed")
+		}
+	})
+}
+
+func TestTicketLockFIFOAndExclusion(t *testing.T) {
+	rt := newRT(4)
+	var order []int
+	var counterAddr int64
+	rt.Run(func(c *Ctx) {
+		l := c.AllocTicketLock(0, 1)
+		counter := c.Alloc(8)
+		counterAddr = counter
+		c.Compute(sim50(c.MyPE())) // stagger arrivals
+		l.Lock(c)
+		order = append(order, c.MyPE())
+		g := Global(0, counter)
+		c.Write(g, c.Read(g)+1)
+		l.Unlock(c)
+	})
+	if len(order) != 4 {
+		t.Fatalf("%d acquisitions", len(order))
+	}
+	if v := rt.M.Nodes[0].DRAM.Read64(counterAddr); v != 4 {
+		t.Errorf("counter = %d", v)
+	}
+	// Fairness: the staggered arrival order is the service order.
+	for i, pe := range order {
+		if pe != i {
+			t.Errorf("service order %v, want FIFO by arrival", order)
+			break
+		}
+	}
+}
+
+func sim50(pe int) int64 { return int64(400 * pe) }
+
+func TestLocksOnBiggerMachine(t *testing.T) {
+	rt := NewRuntime(machine.New(machine.DefaultConfig(8)), DefaultConfig())
+	var counterAddr int64
+	rt.Run(func(c *Ctx) {
+		l := c.AllocTicketLock(3, 0)
+		counter := c.Alloc(8)
+		counterAddr = counter
+		for i := 0; i < 2; i++ {
+			l.Lock(c)
+			g := Global(3, counter)
+			c.Write(g, c.Read(g)+1)
+			l.Unlock(c)
+		}
+	})
+	if v := rt.M.Nodes[3].DRAM.Read64(counterAddr); v != 16 {
+		t.Errorf("counter = %d, want 16", v)
+	}
+}
+
+func TestEurekaEarlyTermination(t *testing.T) {
+	// Parallel search with the global-OR wire: each PE scans its shard
+	// of a haystack; the finder raises eureka and everyone else stops
+	// early instead of finishing the scan.
+	rt := newRT(4)
+	const perPE = 4096
+	const needle = 2*perPE + 137 // lives on PE 2
+	scanned := make([]int, 4)
+	found := -1
+	rt.Run(func(c *Ctx) {
+		base := c.Alloc(perPE * 8)
+		for i := int64(0); i < perPE; i++ {
+			c.Node.CPU.Store64(c.P, base+i*8, uint64(c.MyPE()*perPE)+uint64(i))
+		}
+		c.Node.CPU.MB(c.P)
+		c.Barrier()
+		for i := int64(0); i < perPE; i++ {
+			if i%64 == 0 && c.EurekaPoll() {
+				break // someone found it
+			}
+			v := c.Node.CPU.Load64(c.P, base+i*8)
+			scanned[c.MyPE()]++
+			c.Compute(2)
+			if v == needle {
+				found = c.MyPE()
+				c.EurekaTrigger()
+				break
+			}
+		}
+		c.Barrier()
+	})
+	if found != 2 {
+		t.Fatalf("needle found by PE %d", found)
+	}
+	if scanned[2] != 138 {
+		t.Errorf("finder scanned %d elements, want 138", scanned[2])
+	}
+	for pe, n := range scanned {
+		if pe != 2 && n >= perPE {
+			t.Errorf("PE %d scanned its whole shard (%d); eureka did not terminate it", pe, n)
+		}
+	}
+}
+
+func TestLocalGetPutFastPaths(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		a := c.Alloc(16)
+		g := Global(0, a)
+		c.Put(g, 5)
+		c.Get(a+8, g)
+		c.Sync()
+		if v := c.Node.CPU.Load64(c.P, a+8); v != 5 {
+			t.Errorf("local get = %d", v)
+		}
+		if c.Node.Shell.Prefetches != 0 || c.Node.Shell.RemoteWrites != 0 {
+			t.Error("local fast paths touched the shell")
+		}
+	})
+}
+
+func TestSyncWithNothingPending(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		start := c.P.Now()
+		c.Sync()
+		if d := c.P.Now() - start; d > 60 {
+			t.Errorf("idle sync cost %d cycles", d)
+		}
+		if c.PendingGets() != 0 {
+			t.Error("pending gets nonzero")
+		}
+	})
+}
+
+func TestRemote32BitAccess(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		g := Global(1, rt.Cfg.HeapBase)
+		c.Write32(g, 0xBEEF)
+		c.Write32(g.AddLocal(4), 0x1234)
+		if v := c.Read32(g); v != 0xBEEF {
+			t.Errorf("Read32 = %#x", v)
+		}
+		if v := c.Read(g); v != 0x1234_0000_BEEF {
+			t.Errorf("combined word = %#x", v)
+		}
+	})
+}
+
+func TestHeapOverflowPanics(t *testing.T) {
+	rt := newRT(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("heap overflow did not panic")
+		}
+	}()
+	rt.RunOn(0, func(c *Ctx) {
+		c.Alloc(1 << 40)
+	})
+}
+
+func TestSpreadIndexBounds(t *testing.T) {
+	rt := newRT(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range spread index did not panic")
+		}
+	}()
+	rt.RunOn(0, func(c *Ctx) {
+		s := c.AllocSpread(4, 8)
+		s.Ptr(4)
+	})
+}
+
+func TestMultiAnnexEviction(t *testing.T) {
+	// More distinct targets than data registers: the round-robin victim
+	// selection must keep the table consistent.
+	cfg := DefaultConfig()
+	cfg.Annex = MultiAnnex
+	rt := NewRuntime(machine.New(machine.DefaultConfig(32)), cfg)
+	rt.M.Nodes[31].DRAM.Write64(rt.Cfg.HeapBase, 77)
+	rt.RunOn(0, func(c *Ctx) {
+		for pe := 1; pe < 32; pe++ { // 31 targets > 29 data registers
+			c.Read(Global(pe, rt.Cfg.HeapBase))
+		}
+		// Re-read an evicted binding; data must still be right.
+		if v := c.Read(Global(31, rt.Cfg.HeapBase)); v != 77 {
+			t.Errorf("re-read after eviction = %d", v)
+		}
+	})
+}
+
+func TestTreeBroadcastMatchesFlat(t *testing.T) {
+	for _, pes := range []int{2, 4, 8} {
+		rt := NewRuntime(machine.New(machine.DefaultConfig(pes)), DefaultConfig())
+		var bad int
+		rt.Run(func(c *Ctx) {
+			co := c.AllocCollectives(4)
+			src := c.Alloc(32)
+			dst := c.Alloc(32)
+			if c.MyPE() == 1%pes {
+				for i := int64(0); i < 4; i++ {
+					c.Node.CPU.Store64(c.P, src+i*8, uint64(900+i))
+				}
+				c.Node.CPU.MB(c.P)
+			}
+			co.TreeBroadcast(1%pes, src, dst, 4)
+			for i := int64(0); i < 4; i++ {
+				if v := c.Node.CPU.Load64(c.P, dst+i*8); v != uint64(900+i) {
+					bad++
+				}
+			}
+		})
+		if bad != 0 {
+			t.Errorf("pes=%d: %d wrong words after tree broadcast", pes, bad)
+		}
+	}
+}
+
+func TestTreeReduceMatchesFlat(t *testing.T) {
+	for _, pes := range []int{2, 3, 8} {
+		rt := NewRuntime(machine.New(machine.DefaultConfig(pes)), DefaultConfig())
+		var got uint64
+		rt.Run(func(c *Ctx) {
+			co := c.AllocCollectives(1)
+			r := co.TreeReduce(0, uint64(c.MyPE()+1), func(a, b uint64) uint64 { return a + b })
+			if c.MyPE() == 0 {
+				got = r
+			}
+		})
+		want := uint64(pes * (pes + 1) / 2)
+		if got != want {
+			t.Errorf("pes=%d: tree reduce = %d, want %d", pes, got, want)
+		}
+	}
+}
+
+func TestTreeBroadcastBeatsFlatAtScale(t *testing.T) {
+	// At 16 PEs the root-serialized flat broadcast loses to the tree.
+	time := func(tree bool) int64 {
+		rt := NewRuntime(machine.New(machine.DefaultConfig(16)), DefaultConfig())
+		var cy int64
+		rt.Run(func(c *Ctx) {
+			co := c.AllocCollectives(8)
+			src := c.Alloc(64)
+			dst := c.Alloc(64)
+			c.Barrier()
+			start := c.P.Now()
+			if tree {
+				co.TreeBroadcast(0, src, dst, 8)
+			} else {
+				co.Broadcast(0, src, dst, 8)
+			}
+			if c.MyPE() == 0 {
+				cy = int64(c.P.Now() - start)
+			}
+		})
+		return cy
+	}
+	flat, tree := time(false), time(true)
+	if tree >= flat {
+		t.Errorf("tree broadcast (%d cy) should beat flat (%d cy) at 16 PEs", tree, flat)
+	}
+}

@@ -1,0 +1,240 @@
+package splitc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestRandomizedConformance drives the runtime with randomized programs
+// and checks every value read against a host-side golden model of the
+// global address space.
+//
+// Structure: rounds alternate between writing and reading, separated by
+// barriers (so the golden model is well defined — within a write round
+// each word has at most one writer). Writers pick randomly among the
+// blocking write, put, signaling store, and bulk-write mechanisms;
+// readers pick among blocking read, cached+flush read, split-phase get,
+// and the bulk-read mechanisms. Any staleness, mis-routing, lost update,
+// or off-by-one in any mechanism shows up as a mismatch.
+func TestRandomizedConformance(t *testing.T) {
+	const (
+		pes    = 4
+		words  = 96
+		rounds = 6
+		seed   = 1995
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	// The golden model: golden[pe][w] is the value of word w on pe.
+	golden := make([][]uint64, pes)
+	for i := range golden {
+		golden[i] = make([]uint64, words)
+	}
+
+	// Pre-generate the script so every simulated thread follows a fixed
+	// plan (the simulation itself must stay deterministic).
+	type writeOp struct {
+		writer int
+		dstPE  int
+		dstW   int
+		val    uint64
+		mech   int // 0 write, 1 put, 2 store, 3 bulk (4 words)
+	}
+	type readOp struct {
+		reader int
+		srcPE  int
+		srcW   int
+		mech   int // 0 read, 1 cached, 2 get, 3 bulk (4 words)
+	}
+	var writeRounds [][]writeOp
+	var readRounds [][]readOp
+	next := uint64(1)
+	for r := 0; r < rounds; r++ {
+		// Write round: partition a shuffled set of (pe, word) targets
+		// among the writers, so no word has two writers.
+		var targets [][2]int
+		for pe := 0; pe < pes; pe++ {
+			for w := 0; w+4 <= words; w += 4 { // 4-aligned for bulk ops
+				targets = append(targets, [2]int{pe, w})
+			}
+		}
+		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		var wr []writeOp
+		for i, tgt := range targets[:pes*4] {
+			op := writeOp{
+				writer: i % pes,
+				dstPE:  tgt[0],
+				dstW:   tgt[1],
+				val:    next,
+				mech:   rng.Intn(4),
+			}
+			next += 8
+			wr = append(wr, op)
+			// Update the golden model (bulk writes cover 4 words).
+			n := 1
+			if op.mech == 3 {
+				n = 4
+			}
+			for k := 0; k < n; k++ {
+				golden[op.dstPE][op.dstW+k] = op.val + uint64(k)
+			}
+		}
+		writeRounds = append(writeRounds, wr)
+
+		var rd []readOp
+		for i := 0; i < pes*6; i++ {
+			rd = append(rd, readOp{
+				reader: i % pes,
+				srcPE:  rng.Intn(pes),
+				srcW:   rng.Intn(words/4) * 4,
+				mech:   rng.Intn(4),
+			})
+		}
+		readRounds = append(readRounds, rd)
+	}
+
+	// Expected read results, in program order per reader.
+	expect := make([][]uint64, pes)
+	{
+		g := make([][]uint64, pes)
+		for i := range g {
+			g[i] = make([]uint64, words)
+		}
+		for r := 0; r < rounds; r++ {
+			for _, op := range writeRounds[r] {
+				n := 1
+				if op.mech == 3 {
+					n = 4
+				}
+				for k := 0; k < n; k++ {
+					g[op.dstPE][op.dstW+k] = op.val + uint64(k)
+				}
+			}
+			for _, op := range readRounds[r] {
+				expect[op.reader] = append(expect[op.reader], g[op.srcPE][op.srcW])
+			}
+		}
+	}
+
+	rt := NewRuntime(machine.New(machine.DefaultConfig(pes)), DefaultConfig())
+	got := make([][]uint64, pes)
+	rt.Run(func(c *Ctx) {
+		me := c.MyPE()
+		region := c.Alloc(words * 8) // symmetric: same offset everywhere
+		scratch := c.Alloc(words * 8)
+		gp := func(pe, w int) GlobalPtr { return Global(pe, region+int64(w)*8) }
+
+		for r := 0; r < rounds; r++ {
+			for _, op := range writeRounds[r] {
+				if op.writer != me {
+					continue
+				}
+				switch op.mech {
+				case 0:
+					c.Write(gp(op.dstPE, op.dstW), op.val)
+				case 1:
+					c.Put(gp(op.dstPE, op.dstW), op.val)
+				case 2:
+					c.Store(gp(op.dstPE, op.dstW), op.val)
+				case 3:
+					for k := 0; k < 4; k++ {
+						c.Node.CPU.Store64(c.P, scratch+int64(k)*8, op.val+uint64(k))
+					}
+					c.Node.CPU.MB(c.P)
+					c.BulkWrite(gp(op.dstPE, op.dstW), scratch, 32)
+				}
+			}
+			c.Barrier() // completes puts/stores and orders the rounds
+
+			for _, op := range readRounds[r] {
+				if op.reader != me {
+					continue
+				}
+				var v uint64
+				switch op.mech {
+				case 0:
+					v = c.Read(gp(op.srcPE, op.srcW))
+				case 1:
+					v = c.ReadCached(gp(op.srcPE, op.srcW))
+				case 2:
+					c.Get(scratch+512, gp(op.srcPE, op.srcW))
+					c.Sync()
+					v = c.Node.CPU.Load64(c.P, scratch+512)
+				case 3:
+					c.BulkRead(scratch+256, gp(op.srcPE, op.srcW), 32)
+					v = c.Node.CPU.Load64(c.P, scratch+256)
+				}
+				got[me] = append(got[me], v)
+			}
+			c.Barrier()
+		}
+	})
+
+	for pe := 0; pe < pes; pe++ {
+		if len(got[pe]) != len(expect[pe]) {
+			t.Fatalf("PE %d performed %d reads, expected %d", pe, len(got[pe]), len(expect[pe]))
+		}
+		for i := range got[pe] {
+			if got[pe][i] != expect[pe][i] {
+				t.Errorf("PE %d read %d = %d, want %d", pe, i, got[pe][i], expect[pe][i])
+			}
+		}
+	}
+
+	// Final memory state must equal the golden model exactly.
+	for pe := 0; pe < pes; pe++ {
+		base := rt.Cfg.HeapBase
+		for w := 0; w < words; w++ {
+			if v := rt.M.Nodes[pe].DRAM.Read64(base + int64(w)*8); v != golden[pe][w] {
+				t.Errorf("final memory PE %d word %d = %d, want %d", pe, w, v, golden[pe][w])
+			}
+		}
+	}
+}
+
+// TestConformanceManySeeds runs a smaller conformance sweep across seeds
+// (kept quick; the big one above uses the richest mix).
+func TestConformanceManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewRuntime(machine.New(machine.DefaultConfig(2)), DefaultConfig())
+		const words = 16
+		golden := make([]uint64, words)
+		type op struct {
+			w   int
+			val uint64
+			m   int
+		}
+		var script []op
+		for i := 0; i < 24; i++ {
+			o := op{w: rng.Intn(words), val: uint64(seed*1000 + int64(i)), m: rng.Intn(3)}
+			golden[o.w] = o.val
+			script = append(script, o)
+		}
+		rt.RunOn(0, func(c *Ctx) {
+			region := c.Alloc(words * 8)
+			for _, o := range script {
+				g := Global(1, region+int64(o.w)*8)
+				switch o.m {
+				case 0:
+					c.Write(g, o.val)
+				case 1:
+					c.Put(g, o.val)
+				case 2:
+					c.Store(g, o.val)
+				}
+				// Writes to one destination from one source commit in
+				// order, so no sync is needed between same-word updates;
+				// sync before reading back.
+			}
+			c.Sync()
+			for w := 0; w < words; w++ {
+				if v := c.Read(Global(1, region+int64(w)*8)); v != golden[w] {
+					t.Errorf("seed %d word %d = %d, want %d", seed, w, v, golden[w])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package splitc_test
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/splitc"
+)
+
+// Global pointers carry the processor in the upper 16 bits and the local
+// address below; the two addressing modes of §3.1 are AddLocal (same
+// processor) and AddGlobal (processor varies fastest).
+func ExampleGlobalPtr() {
+	g := splitc.Global(3, 0x1000)
+	fmt.Println(g)
+	fmt.Println(g.AddLocal(8))
+	fmt.Println(g.AddGlobal(1, 8, 4)) // next element, 4-processor machine
+	fmt.Println(g.AddGlobal(2, 8, 4)) // wraps to processor 1... 3+2=5 -> pe 1, next row
+	// Output:
+	// global<pe=3,0x1000>
+	// global<pe=3,0x1008>
+	// global<pe=0,0x1008>
+	// global<pe=1,0x1008>
+}
+
+// A complete two-processor program: one thread writes through the global
+// address space, the other reads the value back after a barrier.
+func Example() {
+	m := machine.New(machine.DefaultConfig(2))
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	rt.Run(func(c *splitc.Ctx) {
+		slot := c.Alloc(8) // symmetric: same offset on both processors
+		if c.MyPE() == 0 {
+			c.Write(splitc.Global(1, slot), 42)
+		}
+		c.Barrier()
+		if c.MyPE() == 1 {
+			fmt.Println("PE 1 sees", c.Read(splitc.Global(1, slot)))
+		}
+	})
+	// Output:
+	// PE 1 sees 42
+}

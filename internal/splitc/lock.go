@@ -1,0 +1,79 @@
+package splitc
+
+import "fmt"
+
+// Mutual exclusion built from the shell's atomic primitives. Two designs
+// from the machine's toolkit (§1.2, §7.4):
+//
+//   - SwapLock: a test-and-set spinlock on the shell's atomic swap.
+//     Simple, but contending processors hammer the lock word remotely.
+//   - TicketLock: fair FIFO lock from a fetch&increment register (the
+//     ticket dispenser) and a now-serving word in the home node's
+//     memory. This is the paper's N-to-1 pattern (§7.4) applied to
+//     mutual exclusion.
+//
+// Both are allocated collectively so every thread agrees on the
+// addresses.
+
+// SwapLock is a test-and-set spinlock at a fixed global address.
+type SwapLock struct {
+	word GlobalPtr
+}
+
+// AllocSwapLock carves the lock word on node home. Collective.
+func (c *Ctx) AllocSwapLock(home int) *SwapLock {
+	a := c.Alloc(8)
+	return &SwapLock{word: Global(home, a)}
+}
+
+// Lock spins on atomic swap until it wins the lock.
+func (l *SwapLock) Lock(c *Ctx) {
+	for c.SwapOn(l.word, 1) != 0 {
+		c.Compute(4) // back-off / branch
+	}
+}
+
+// TryLock attempts once, reporting whether the lock was acquired.
+func (l *SwapLock) TryLock(c *Ctx) bool {
+	return c.SwapOn(l.word, 1) == 0
+}
+
+// Unlock releases the lock with a completed write, so a successor's swap
+// cannot observe a stale held state.
+func (l *SwapLock) Unlock(c *Ctx) {
+	c.Write(l.word, 0)
+}
+
+// TicketLock is a fair FIFO lock: tickets from a fetch&increment
+// register, turn announced through a now-serving memory word.
+type TicketLock struct {
+	home    int
+	reg     int
+	serving GlobalPtr
+}
+
+// AllocTicketLock builds a ticket lock homed on node home using its
+// fetch&increment register reg (0 or 1). Collective; the register must
+// not be shared with other users.
+func (c *Ctx) AllocTicketLock(home, reg int) *TicketLock {
+	if reg < 0 || reg > 1 {
+		panic(fmt.Sprintf("splitc: fetch&increment register %d out of range", reg))
+	}
+	a := c.Alloc(8)
+	return &TicketLock{home: home, reg: reg, serving: Global(home, a)}
+}
+
+// Lock draws a ticket (~1 µs fetch&increment) and spins on the
+// now-serving word until its turn.
+func (l *TicketLock) Lock(c *Ctx) {
+	ticket := c.FetchIncOn(l.home, l.reg)
+	for c.Read(l.serving) != ticket {
+		c.Compute(4)
+	}
+}
+
+// Unlock passes the lock to the next ticket holder.
+func (l *TicketLock) Unlock(c *Ctx) {
+	turn := c.Read(l.serving)
+	c.Write(l.serving, turn+1)
+}

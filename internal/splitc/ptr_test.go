@@ -1,0 +1,112 @@
+package splitc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPtrComponents(t *testing.T) {
+	g := Global(12, 0x12345)
+	if g.PE() != 12 || g.Local() != 0x12345 {
+		t.Errorf("components = (%d, %#x)", g.PE(), g.Local())
+	}
+	if g.IsNull() {
+		t.Error("non-zero pointer reported null")
+	}
+	var null GlobalPtr
+	if !null.IsNull() {
+		t.Error("zero pointer not null")
+	}
+}
+
+func TestAddLocalStaysOnProcessor(t *testing.T) {
+	g := Global(5, 1000)
+	h := g.AddLocal(24)
+	if h.PE() != 5 || h.Local() != 1024 {
+		t.Errorf("AddLocal = %v", h)
+	}
+	back := h.AddLocal(-24)
+	if back != g {
+		t.Errorf("AddLocal(-24) = %v, want %v", back, g)
+	}
+}
+
+func TestAddGlobalWrapsProcessorFastest(t *testing.T) {
+	// Global addressing: the processor component varies fastest (§3.1).
+	g := Global(0, 0)
+	const nproc = 4
+	want := []struct {
+		pe    int
+		local int64
+	}{
+		{1, 0}, {2, 0}, {3, 0}, {0, 8}, {1, 8},
+	}
+	for i, w := range want {
+		h := g.AddGlobal(int64(i+1), 8, nproc)
+		if h.PE() != w.pe || h.Local() != w.local {
+			t.Errorf("AddGlobal(%d) = %v, want pe=%d local=%d", i+1, h, w.pe, w.local)
+		}
+	}
+}
+
+func TestAddGlobalNegative(t *testing.T) {
+	g := Global(1, 16)
+	h := g.AddGlobal(-2, 8, 4)
+	if h.PE() != 3 || h.Local() != 8 {
+		t.Errorf("AddGlobal(-2) = %v, want pe=3 local=8", h)
+	}
+}
+
+func TestPropertyAddGlobalInverse(t *testing.T) {
+	f := func(pe uint8, off uint16, n int16) bool {
+		const nproc = 32
+		g := Global(int(pe%nproc), int64(off)*8+1<<20)
+		h := g.AddGlobal(int64(n), 8, nproc).AddGlobal(-int64(n), 8, nproc)
+		return h == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddLocalNeverCarriesIntoPE(t *testing.T) {
+	// §3.3: local arithmetic on global pointers cannot overflow into the
+	// processor field for any address below 2^41.
+	f := func(pe uint8, off uint32, delta uint16) bool {
+		g := Global(int(pe), int64(off))
+		h := g.AddLocal(int64(delta))
+		return h.PE() == g.PE() && h.Local() == g.Local()+int64(delta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGlobalRoundTrip(t *testing.T) {
+	// Extraction and construction are exact inverses (§3.1).
+	f := func(pe uint16, local uint32) bool {
+		g := Global(int(pe), int64(local))
+		return g.PE() == int(pe) && g.Local() == int64(local)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalRangeChecks(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Global(-1, 0) },
+		func() { Global(1<<16, 0) },
+		func() { Global(0, -1) },
+		func() { Global(0, 1<<peShift) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range Global did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit the paper's
+// micro-benchmark methodology needs (§2.1): experiments are repeated to
+// mitigate timer granularity and reach a confidence level, loop overhead
+// is subtracted, and averages are reported per operation.
+//
+// The simulator is deterministic, so repeated passes mostly confirm
+// zero variance — but the machinery is exercised anyway, both because the
+// probes still need warm-up/measure separation and because configurations
+// with contention (multiple active processors) do vary run to run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (normal approximation, as in the paper's informal "suitable confidence
+// level").
+func (s *Sample) CI95() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the middle observation.
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), s.xs...)
+	sort.Float64s(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f", s.N(), s.Mean(), s.CI95())
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// WithinFrac reports whether got is within frac of want (the calibration
+// tolerance check used throughout the experiment harness).
+func WithinFrac(got, want, frac float64) bool {
+	return got >= want*(1-frac) && got <= want*(1+frac)
+}

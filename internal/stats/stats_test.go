@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if m := s.Mean(); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if sd := s.StdDev(); math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, 1, 4, 1, 5} {
+		s.Add(x)
+	}
+	if s.Min() != 1 || s.Max() != 5 || s.Median() != 3 {
+		t.Errorf("min/max/median = %v %v %v", s.Min(), s.Max(), s.Median())
+	}
+	s.Add(9)
+	if s.Median() != 3.5 {
+		t.Errorf("even median = %v", s.Median())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, big Sample
+	for i := 0; i < 4; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 400; i++ {
+		big.Add(float64(i % 2))
+	}
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: %v vs %v", big.CI95(), small.CI95())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean = %v", g)
+	}
+}
+
+func TestWithinFrac(t *testing.T) {
+	if !WithinFrac(95, 100, 0.10) || WithinFrac(89, 100, 0.10) || WithinFrac(111, 100, 0.10) {
+		t.Error("WithinFrac boundaries wrong")
+	}
+}
+
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e300 {
+				return true // avoid summation overflow, not a property failure
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
