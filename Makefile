@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet check race bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate: everything must build, vet clean, and pass.
+check: build vet test
+
+# race runs the suite under the race detector. The event kernel hands the
+# single execution token between proc goroutines, so this should stay
+# silent; it guards the handoff itself (signals, timeouts, retransmits).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

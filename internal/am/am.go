@@ -32,8 +32,17 @@ import (
 
 // slotBytes is the size of one queue slot: one cache line of data plus
 // one line holding the header word, keeping the header in a separate
-// write-buffer entry so it drains after the data.
+// write-buffer entry so it drains after the data. In reliable mode the
+// header line also carries the sender's sequence number and an
+// end-to-end checksum, so a message damaged in flight is detectable.
 const slotBytes = 64
+
+// Header-line word offsets within a slot.
+const (
+	offHeader = 32 // handler id (high 32) | source PE + 1 (low 32)
+	offSeq    = 40 // per-sender sequence number (reliable mode)
+	offSum    = 48 // checksum over src, id, seq, args (reliable mode)
+)
 
 // Config tunes the layer.
 type Config struct {
@@ -43,18 +52,55 @@ type Config struct {
 	PollIdle    sim.Time // cycles burned per empty poll iteration
 
 	// CreditWindow bounds a sender's unconsumed messages per
-	// destination. The receiver publishes a consumed counter in its
-	// memory; a sender whose window is exhausted re-reads it (one
-	// remote read) and polls its own queue while waiting, so mutual
-	// senders cannot deadlock. New clamps the effective window so that
-	// all possible senders together cannot exceed QueueSlots. Zero
-	// disables flow control (callers then own the capacity contract).
+	// destination. The receiver publishes per-source consumed counters
+	// in its memory; a sender whose window is exhausted re-reads its
+	// own counter (one remote read) and polls its own queue while
+	// waiting, so mutual senders cannot deadlock. New clamps the
+	// effective window so that all possible senders together cannot
+	// exceed QueueSlots. Zero disables flow control (callers then own
+	// the capacity contract).
 	CreditWindow int
+
+	// Reliable enables end-to-end reliable delivery over a faulty
+	// fabric: per-sender sequence numbers and a checksum ride the
+	// header line, the receiver deduplicates and acknowledges by
+	// publishing per-sender ack words (read by senders exactly like
+	// the credit counter), and unacknowledged messages are
+	// retransmitted after a timeout with exponential backoff. With
+	// Reliable set, the ack words double as the flow-control credits.
+	Reliable bool
+
+	// RetryTimeout is the initial ack timeout before a retransmission;
+	// it doubles on each consecutive retry up to RetryBackoffMax.
+	RetryTimeout    sim.Time
+	RetryBackoffMax sim.Time
+	// MaxRetries bounds consecutive no-progress retransmissions of the
+	// same window before the layer declares the fabric dead (panics
+	// with a diagnostic) rather than storming forever.
+	MaxRetries int
+	// DeadSlotTimeout is how long the receiver lets the head slot stay
+	// empty while later tickets exist before declaring its message lost
+	// in flight and skipping the slot (head-of-line recovery).
+	DeadSlotTimeout sim.Time
 }
 
-// DefaultConfig matches the paper's measured costs.
+// DefaultConfig matches the paper's measured costs. Reliability is off:
+// the T3D fabric the paper measures never loses a packet.
 func DefaultConfig() Config {
 	return Config{QueueSlots: 256, DepositPad: 60, DispatchPad: 150, PollIdle: 5, CreditWindow: 64}
+}
+
+// ReliableConfig is DefaultConfig with reliable delivery enabled and
+// retransmission parameters sized for the simulator's latencies (a
+// deposit is ~435 cycles, a round trip ~200).
+func ReliableConfig() Config {
+	c := DefaultConfig()
+	c.Reliable = true
+	c.RetryTimeout = 4000
+	c.RetryBackoffMax = 128000
+	c.MaxRetries = 20
+	c.DeadSlotTimeout = 2000
+	return c
 }
 
 // Handler is an active-message handler executed on the receiving
@@ -73,6 +119,13 @@ const (
 	HUser = 2
 )
 
+// relMsg is one in-flight reliable message awaiting acknowledgement.
+type relMsg struct {
+	seq  uint64
+	id   int
+	args [4]uint64
+}
+
 // Endpoint is one node's view of the AM layer. Every thread must create
 // its endpoint at the same program point (the queue is allocated from the
 // symmetric heap) and with the same configuration.
@@ -83,17 +136,38 @@ type Endpoint struct {
 	queueBase int64 // local base of this node's receive queue
 	head      int64 // next slot this node will poll
 
-	creditAddr int64          // local consumed-counter word (symmetric)
+	// creditBase is an NProc-word array of per-source consumed counters
+	// (symmetric): creditBase[src] is how many of src's messages this
+	// node has dispatched, remotely readable by src. A single global
+	// counter would let concurrent senders mutually inflate their credit
+	// and overwrite slots the receiver has not consumed yet.
+	creditBase int64
+	consumed   []uint64       // receiver: messages dispatched per source
 	sentTo     map[int]uint64 // messages sent per destination
 	knownCred  map[int]uint64 // last credit value read per destination
+
+	// Reliable-mode state. ackBase is an NProc-word array in local
+	// memory: ackBase[src] holds the highest in-order sequence this
+	// node has delivered from src, remotely readable by the sender.
+	ackBase    int64
+	expected   []uint64 // receiver: highest in-order seq delivered per source
+	nextSeq    []uint64 // sender: last sequence assigned per destination
+	lastAck    []uint64 // sender: last ack value read per destination
+	unacked    [][]relMsg
+	stuckHead  int64 // dead-slot tracking: head value being timed, -1 if none
+	stuckSince sim.Time
 
 	handlers map[int]Handler
 
 	// ReceivedBytes counts data credited by HStore messages (StoreSync).
 	ReceivedBytes int64
 
-	// Stats.
-	Sent, Received int64
+	// Stats. Retransmits counts re-sent messages, Duplicates messages
+	// discarded by receiver-side dedup, Rejected messages discarded for
+	// a bad checksum or a sequence gap (go-back-N), and SkippedSlots
+	// head-of-line slots abandoned because their message was lost.
+	Sent, Received                                int64
+	Retransmits, Duplicates, Rejected, SkippedSlots int64
 }
 
 // New creates the endpoint for c's processor. Collective: every thread
@@ -110,18 +184,77 @@ func New(c *splitc.Ctx, cfg Config) *Endpoint {
 			cfg.CreditWindow = 1
 		}
 	}
+	if cfg.Reliable {
+		// Retransmissions consume fresh tickets on top of the window, so
+		// reliable mode keeps the in-flight window at half the queue
+		// share per sender, and needs defaults for the retry knobs.
+		senders := c.NProc() - 1
+		if senders < 1 {
+			senders = 1
+		}
+		if max := cfg.QueueSlots / (2 * senders); cfg.CreditWindow <= 0 || cfg.CreditWindow > max {
+			cfg.CreditWindow = max
+		}
+		if cfg.CreditWindow < 1 {
+			cfg.CreditWindow = 1
+		}
+		if cfg.RetryTimeout <= 0 {
+			cfg.RetryTimeout = 4000
+		}
+		if cfg.RetryBackoffMax < cfg.RetryTimeout {
+			cfg.RetryBackoffMax = 32 * cfg.RetryTimeout
+		}
+		if cfg.MaxRetries <= 0 {
+			cfg.MaxRetries = 20
+		}
+		if cfg.DeadSlotTimeout <= 0 {
+			cfg.DeadSlotTimeout = 2000
+		}
+	}
 	ep := &Endpoint{
 		c:          c,
 		cfg:        cfg,
 		queueBase:  c.AllocAligned(int64(cfg.QueueSlots)*slotBytes, 64),
-		creditAddr: c.Alloc(8),
+		creditBase: c.Alloc(int64(c.NProc()) * 8),
+		consumed:   make([]uint64, c.NProc()),
 		sentTo:     map[int]uint64{},
 		knownCred:  map[int]uint64{},
+		stuckHead:  -1,
 		handlers:   map[int]Handler{},
+	}
+	if cfg.Reliable {
+		ep.ackBase = c.Alloc(int64(c.NProc()) * 8)
+		ep.expected = make([]uint64, c.NProc())
+		ep.nextSeq = make([]uint64, c.NProc())
+		ep.lastAck = make([]uint64, c.NProc())
+		ep.unacked = make([][]relMsg, c.NProc())
 	}
 	ep.handlers[HStore] = handleStore(ep)
 	ep.handlers[HByteWrite] = handleByteWrite
 	return ep
+}
+
+// checksum is the end-to-end integrity check carried in the header line:
+// a damaged data line, a torn slot, or a corrupted header fails it. The
+// result is never zero so a present checksum is distinguishable from an
+// empty slot.
+func checksum(src, id int, seq uint64, args [4]uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	mix(uint64(src) + 1)
+	mix(uint64(id))
+	mix(seq)
+	for _, a := range args {
+		mix(a)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // Register installs a user handler under id (>= HUser).
@@ -137,11 +270,15 @@ func (ep *Endpoint) Register(id int, h Handler) {
 // and a completion wait — ≈ 2.9 µs total (§7.4).
 func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 	c := ep.c
+	if ep.cfg.Reliable {
+		ep.sendReliable(dst, id, args)
+		return
+	}
 	if w := uint64(ep.cfg.CreditWindow); w > 0 && dst != c.MyPE() {
 		// Flow control: wait for the destination to publish enough
-		// consumption, servicing our own queue meanwhile.
+		// consumption of our messages, servicing our own queue meanwhile.
 		for ep.sentTo[dst]-ep.knownCred[dst] >= w {
-			ep.knownCred[dst] = c.Read(splitc.Global(dst, ep.creditAddr))
+			ep.knownCred[dst] = c.Read(splitc.Global(dst, ep.creditBase+int64(c.MyPE())*8))
 			if ep.sentTo[dst]-ep.knownCred[dst] >= w {
 				ep.Poll()
 			}
@@ -161,10 +298,122 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 	c.Sync()
 }
 
+// sendReliable is the Reliable-mode deposit path: assign a sequence
+// number, record the message for retransmission, and transmit. The ack
+// word published by the destination doubles as the flow-control credit:
+// the in-flight window is bounded by CreditWindow.
+func (ep *Endpoint) sendReliable(dst, id int, args [4]uint64) {
+	w := ep.cfg.CreditWindow
+	for len(ep.unacked[dst]) >= w {
+		ep.awaitAck(dst)
+	}
+	ep.nextSeq[dst]++
+	m := relMsg{seq: ep.nextSeq[dst], id: id, args: args}
+	ep.unacked[dst] = append(ep.unacked[dst], m)
+	ep.Sent++
+	ep.transmit(dst, m)
+}
+
+// transmit deposits one reliable message: ticket, data line, then the
+// header line (seq + checksum + header word) which drains as one packet
+// after the data line. Sync waits only for the hardware write ack — the
+// end-to-end ack arrives later via the destination's ack word.
+func (ep *Endpoint) transmit(dst int, m relMsg) {
+	c := ep.c
+	ticket := c.FetchIncOn(dst, 0)
+	slot := int64(ticket%uint64(ep.cfg.QueueSlots)) * slotBytes
+	c.Compute(ep.cfg.DepositPad)
+	base := splitc.Global(dst, ep.queueBase+slot)
+	for i, v := range m.args {
+		c.Put(base.AddLocal(int64(i)*8), v)
+	}
+	c.Put(base.AddLocal(offSeq), m.seq)
+	c.Put(base.AddLocal(offSum), checksum(c.MyPE(), m.id, m.seq, m.args))
+	c.Put(base.AddLocal(offHeader), uint64(m.id)<<32|uint64(c.MyPE())+1)
+	c.Sync()
+}
+
+// refreshAck re-reads dst's ack word for this sender (the same remote
+// read as a credit refresh) and retires acknowledged messages. It reports
+// whether the sender may proceed: the ack advanced or nothing is pending.
+func (ep *Endpoint) refreshAck(dst int) bool {
+	if len(ep.unacked[dst]) == 0 {
+		return true
+	}
+	c := ep.c
+	ack := c.Read(splitc.Global(dst, ep.ackBase+int64(c.MyPE())*8))
+	progress := ack > ep.lastAck[dst]
+	ep.lastAck[dst] = ack
+	q := ep.unacked[dst]
+	for len(q) > 0 && q[0].seq <= ack {
+		q = q[1:]
+	}
+	ep.unacked[dst] = q
+	return progress || len(q) == 0
+}
+
+// awaitAck blocks until dst acknowledges progress, servicing our own
+// queue meanwhile (mutual senders must not deadlock) and parking on the
+// shell's arrival signal between checks. Each timeout without progress
+// retransmits the unacknowledged window (go-back-N) and doubles the
+// backoff; MaxRetries consecutive dead timeouts is a fatal fabric error.
+func (ep *Endpoint) awaitAck(dst int) {
+	c := ep.c
+	timeout := ep.cfg.RetryTimeout
+	for retries := 0; ; retries++ {
+		if ep.refreshAck(dst) {
+			return
+		}
+		deadline := c.P.Now() + timeout
+		for c.P.Now() < deadline {
+			if ep.Poll() {
+				continue // a message may carry work that unblocks dst
+			}
+			if !c.P.WaitSignalTimeout(c.Node.Shell.ArrivalSignal(), deadline-c.P.Now()) {
+				break
+			}
+		}
+		if ep.refreshAck(dst) {
+			return
+		}
+		if retries >= ep.cfg.MaxRetries {
+			panic(fmt.Sprintf(
+				"am: PE %d got no ack from PE %d after %d retransmissions (%d unacked, last ack %d)",
+				c.MyPE(), dst, retries, len(ep.unacked[dst]), ep.lastAck[dst]))
+		}
+		for _, m := range ep.unacked[dst] {
+			ep.Retransmits++
+			ep.transmit(dst, m)
+		}
+		if timeout *= 2; timeout > ep.cfg.RetryBackoffMax {
+			timeout = ep.cfg.RetryBackoffMax
+		}
+	}
+}
+
+// Flush blocks until every reliable message this endpoint has sent is
+// acknowledged end-to-end by its destination, retransmitting as needed.
+// In non-reliable mode it is a no-op (Sync inside Send already waited
+// for the hardware acks). Call it before a barrier that assumes message
+// effects are globally visible.
+func (ep *Endpoint) Flush() {
+	if !ep.cfg.Reliable {
+		return
+	}
+	for dst := range ep.unacked {
+		for len(ep.unacked[dst]) > 0 {
+			ep.awaitAck(dst)
+		}
+	}
+}
+
 // Poll checks the receive queue once, dispatching at most one message.
 // It reports whether a message was handled. Dispatch plus message access
 // costs ≈ 1.5 µs (§7.4).
 func (ep *Endpoint) Poll() bool {
+	if ep.cfg.Reliable {
+		return ep.pollReliable()
+	}
 	c := ep.c
 	slot := ep.queueBase + (ep.head%int64(ep.cfg.QueueSlots))*slotBytes
 	header := c.Node.CPU.Load64(c.P, slot+32)
@@ -182,8 +431,75 @@ func (ep *Endpoint) Poll() bool {
 	c.Compute(ep.cfg.DispatchPad)
 	ep.head++
 	ep.Received++
-	// Publish consumption for senders' flow control.
-	c.Node.CPU.Store64(c.P, ep.creditAddr, uint64(ep.Received))
+	// Publish consumption for the sender's flow control.
+	ep.consumed[src]++
+	c.Node.CPU.Store64(c.P, ep.creditBase+int64(src)*8, ep.consumed[src])
+	h, ok := ep.handlers[id]
+	if !ok {
+		panic(fmt.Sprintf("am: PE %d received message for unknown handler %d", c.MyPE(), id))
+	}
+	h(c, src, args)
+	return true
+}
+
+// pollReliable is the Reliable-mode receive path: validate the checksum,
+// deliver exactly the next in-order sequence per source (go-back-N:
+// duplicates and gaps are discarded without an ack), publish the ack
+// word, and recover from head-of-line slots whose message was lost by
+// skipping them after a grace period.
+func (ep *Endpoint) pollReliable() bool {
+	c := ep.c
+	slot := ep.queueBase + (ep.head%int64(ep.cfg.QueueSlots))*slotBytes
+	header := c.Node.CPU.Load64(c.P, slot+offHeader)
+	if header == 0 {
+		// Tickets beyond this slot mean a sender committed a message
+		// here (or will shortly). If the header line never arrives
+		// within the grace period, the message was lost in flight: skip
+		// the slot so later traffic is reachable; retransmission will
+		// deliver the lost message into a fresh slot.
+		if int64(c.Node.Shell.FI(0)) > ep.head {
+			if ep.stuckHead != ep.head {
+				ep.stuckHead, ep.stuckSince = ep.head, c.P.Now()
+			} else if c.P.Now()-ep.stuckSince >= ep.cfg.DeadSlotTimeout {
+				ep.head++
+				ep.SkippedSlots++
+				ep.stuckHead = -1
+			}
+		}
+		c.Compute(ep.cfg.PollIdle)
+		return false
+	}
+	ep.stuckHead = -1
+	src := int(header&0xFFFFFFFF) - 1
+	id := int(header >> 32)
+	seq := c.Node.CPU.Load64(c.P, slot+offSeq)
+	sum := c.Node.CPU.Load64(c.P, slot+offSum)
+	var args [4]uint64
+	for i := range args {
+		args[i] = c.Node.CPU.Load64(c.P, slot+int64(i)*8)
+	}
+	c.Node.CPU.Store64(c.P, slot+offHeader, 0) // clear for reuse
+	ep.head++
+	c.Compute(ep.cfg.DispatchPad)
+	if src < 0 || src >= c.NProc() || checksum(src, id, seq, args) != sum {
+		// Damaged in flight (corrupted data or header line, or a slot
+		// torn by an overwrite). No ack: the sender will retransmit.
+		ep.Rejected++
+		return true
+	}
+	switch {
+	case seq <= ep.expected[src]:
+		ep.Duplicates++ // retransmission of a delivered message
+		return true
+	case seq != ep.expected[src]+1:
+		ep.Rejected++ // gap: an earlier message was lost; await go-back-N
+		return true
+	}
+	ep.expected[src] = seq
+	// Acknowledge by publishing the highest in-order sequence — the
+	// reliable-mode credit counter, read remotely by the sender.
+	c.Node.CPU.Store64(c.P, ep.ackBase+int64(src)*8, seq)
+	ep.Received++
 	h, ok := ep.handlers[id]
 	if !ok {
 		panic(fmt.Sprintf("am: PE %d received message for unknown handler %d", c.MyPE(), id))

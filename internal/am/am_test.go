@@ -283,3 +283,93 @@ func TestReservedHandlerRegistrationPanics(t *testing.T) {
 		ep.Register(HStore, func(*splitc.Ctx, int, [4]uint64) {})
 	})
 }
+
+// --- CreditWindow edge cases ---
+
+func TestCreditWindowOne(t *testing.T) {
+	// Window of one: fully serialized stop-and-wait, nothing lost.
+	cfg := DefaultConfig()
+	cfg.QueueSlots = 4
+	cfg.CreditWindow = 1
+	rt := newRT(2)
+	sum := uint64(0)
+	rt.Run(func(c *splitc.Ctx) {
+		ep := New(c, cfg)
+		if c.MyPE() == 0 {
+			ep.Register(HUser, func(c *splitc.Ctx, src int, args [4]uint64) { sum += args[0] })
+			ep.PollUntil(func() bool { return ep.Received == 12 })
+			return
+		}
+		for i := uint64(1); i <= 12; i++ {
+			ep.Send(0, HUser, [4]uint64{i})
+		}
+	})
+	if sum != 78 {
+		t.Errorf("sum = %d, want 78", sum)
+	}
+}
+
+func TestCreditWindowClampedToQueueShare(t *testing.T) {
+	// A window as large as the whole queue must be clamped so that all
+	// senders together cannot overrun it: 3 senders × clamped window ≤ 6
+	// slots, and a receiver that never polls until the end loses nothing.
+	cfg := DefaultConfig()
+	cfg.QueueSlots = 6
+	cfg.CreditWindow = 6 // claimed share: whole queue; effective: 2 per sender
+	const per = 5
+	rt := newRT(4)
+	sum := uint64(0)
+	rt.Run(func(c *splitc.Ctx) {
+		ep := New(c, cfg)
+		if c.MyPE() == 0 {
+			ep.Register(HUser, func(c *splitc.Ctx, src int, args [4]uint64) { sum += args[0] })
+			c.Compute(50000) // let every sender saturate its window first
+			ep.PollUntil(func() bool { return ep.Received == 3*per })
+			return
+		}
+		for i := 1; i <= per; i++ {
+			ep.Send(0, HUser, [4]uint64{uint64(c.MyPE()*10 + i)})
+		}
+	})
+	var want uint64
+	for pe := 1; pe <= 3; pe++ {
+		for i := 1; i <= per; i++ {
+			want += uint64(pe*10 + i)
+		}
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d (queue overrun: clamp failed)", sum, want)
+	}
+}
+
+func TestMutualSendersSaturateTinyQueue(t *testing.T) {
+	// All-to-all saturation on a queue of two slots per node: every PE
+	// fills its window to every other PE before servicing anyone. The
+	// credit wait's embedded poll is the only thing standing between this
+	// and deadlock.
+	cfg := DefaultConfig()
+	cfg.QueueSlots = 2
+	cfg.CreditWindow = 2 // clamped to 2/(pes-1) → 1
+	const pes, per = 3, 6
+	rt := newRT(pes)
+	recv := [pes]int{}
+	rt.Run(func(c *splitc.Ctx) {
+		ep := New(c, cfg)
+		me := c.MyPE()
+		ep.Register(HUser, func(c *splitc.Ctx, src int, args [4]uint64) {})
+		for i := 0; i < per; i++ {
+			for dst := 0; dst < pes; dst++ {
+				if dst != me {
+					ep.Send(dst, HUser, [4]uint64{uint64(i)})
+				}
+			}
+		}
+		ep.PollUntil(func() bool { return ep.Received >= (pes-1)*per })
+		recv[me] = int(ep.Received)
+	})
+	for pe, n := range recv {
+		if n < (pes-1)*per {
+			t.Errorf("PE %d received %d, want ≥ %d", pe, n, (pes-1)*per)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/splitc"
+)
+
+func newFaultyRT(pes int, fcfg fault.Config) (*splitc.Runtime, *fault.Injector) {
+	cfg := machine.DefaultConfig(pes)
+	cfg.MemBytes = 2 << 20
+	m := machine.New(cfg)
+	in := fault.Inject(m, fcfg)
+	return splitc.NewRuntime(m, splitc.ReliableConfig()), in
+}
+
+func TestSampleSortValidatesUnderFaults(t *testing.T) {
+	// The acceptance run: sample sort on a lossy fabric must still
+	// produce a fully sorted result — the bulk puts, one-way stores and
+	// collectives all recover through write verification.
+	rng := rand.New(rand.NewSource(5))
+	keys := randKeys(rng, 4, 40, 1<<40)
+	rt, in := newFaultyRT(4, fault.Config{Seed: 17, DropRate: 0.05, CorruptRate: 0.02})
+	res := SampleSort(rt, keys)
+	if !res.Validated {
+		t.Fatal("sample sort produced wrong output under faults")
+	}
+	if in.Drops == 0 && in.Corrupts == 0 {
+		t.Error("fault injection was configured but nothing was injected")
+	}
+}
+
+func TestSampleSortSlowdownUnderFaults(t *testing.T) {
+	// Recovery costs cycles: the faulty run must be slower than the
+	// clean reliable run, never faster, and both must validate.
+	rng := rand.New(rand.NewSource(9))
+	keys := randKeys(rng, 4, 32, 1<<30)
+	cleanRT, _ := newFaultyRT(4, fault.Config{})
+	clean := SampleSort(cleanRT, keys)
+	faultyRT, _ := newFaultyRT(4, fault.Config{Seed: 23, DropRate: 0.1})
+	faulty := SampleSort(faultyRT, keys)
+	if !clean.Validated || !faulty.Validated {
+		t.Fatalf("validation: clean=%v faulty=%v", clean.Validated, faulty.Validated)
+	}
+	if faulty.Cycles < clean.Cycles {
+		t.Errorf("faulty run (%d cycles) beat the clean run (%d cycles)", faulty.Cycles, clean.Cycles)
+	}
+}

@@ -32,6 +32,10 @@ type Config struct {
 	RemoteFrac float64 // fraction of edges crossing processors
 	Seed       int64   // graph-generation seed
 	Iters      int     // measured leapfrog half-steps
+	// Reliable runs the Split-C runtime with end-to-end write
+	// verification, so the Put version completes correctly on a faulty
+	// fabric (see package fault). Off for the paper's measurements.
+	Reliable bool
 }
 
 // PaperConfig is the Figure 9 workload: 500 nodes of degree 20 per

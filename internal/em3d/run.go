@@ -69,6 +69,9 @@ type Result struct {
 	USPerEdge  float64 // the paper's Figure 9 metric
 	MFlopsPE   float64 // 2 flops per edge, per processor
 	Validated  bool
+	// Rewrites counts words the reliable runtime rewrote after damage in
+	// flight (zero unless Cfg.Reliable and a fault injector are active).
+	Rewrites int64
 }
 
 // NewMachine builds a T3D sized for EM3D runs (2 MB per node is ample
@@ -87,7 +90,9 @@ func NewMachine(nproc int) *machine.T3D {
 func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 	nproc := len(m.Nodes)
 	g := buildGraph(nproc, cfg)
-	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	rtCfg := splitc.DefaultConfig()
+	rtCfg.Reliable = cfg.Reliable
+	rt := splitc.NewRuntime(m, rtCfg)
 	lay := layout(g, rt)
 	seed(g, m, lay)
 
@@ -118,6 +123,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 		Cycles:     elapsed,
 		EdgesPerPE: edges,
 		Validated:  validate(g, m, lay),
+		Rewrites:   rt.Rewrites,
 	}
 	perEdge := float64(elapsed) / float64(edges*int64(cfg.Iters))
 	res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3

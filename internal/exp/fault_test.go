@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFaultExperimentShape(t *testing.T) {
+	e, ok := Find("extF")
+	if !ok {
+		t.Fatal("fault experiment not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want AM + sample sort + EM3D", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != len(faultRates) {
+			t.Errorf("%q: %d rows, want %d", tb.Title, len(tb.Rows), len(faultRates))
+		}
+	}
+
+	// AM table: zero retransmits on the clean fabric, nonzero at the
+	// highest rate, and the faulty runs are slower.
+	amT := tables[0]
+	if rt := amT.Rows[0][3]; rt != "0" {
+		t.Errorf("clean AM run retransmitted %s times", rt)
+	}
+	if rt := amT.Rows[len(amT.Rows)-1][3]; rt == "0" {
+		t.Error("lossiest AM run required no retransmissions")
+	}
+	base, _ := strconv.Atoi(amT.Rows[0][1])
+	worst, _ := strconv.Atoi(amT.Rows[len(amT.Rows)-1][1])
+	if worst <= base {
+		t.Errorf("lossy run (%d cycles) not slower than clean (%d)", worst, base)
+	}
+
+	// The applications must stay correct at every rate.
+	for _, row := range tables[1].Rows {
+		if row[5] != "yes" {
+			t.Errorf("sample sort failed at rate %s", row[0])
+		}
+	}
+	for _, row := range tables[2].Rows {
+		if row[4] != "yes" {
+			t.Errorf("EM3D failed validation at rate %s", row[0])
+		}
+	}
+	// Recovery work appears once faults do.
+	if rw := tables[2].Rows[len(tables[2].Rows)-1][3]; rw == "0" {
+		t.Error("lossiest EM3D run rewrote nothing")
+	}
+}
+
+func TestFaultExperimentDeterministic(t *testing.T) {
+	// The whole experiment — faults, retransmissions, recovery — must
+	// render byte-identically across runs: everything replays from seeds.
+	e, _ := Find("extF")
+	render := func() string {
+		var sb strings.Builder
+		for _, tb := range e.Run(Options{Quick: true}) {
+			tb.Render(&sb)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("fault experiment output differs between runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

@@ -1,0 +1,235 @@
+// Package fault is a seeded, fully deterministic fault-injection
+// subsystem for the simulated T3D. The paper's gray-box methodology
+// assumes a perfectly reliable fabric; this package provides the
+// opposite: transient link faults that drop or corrupt data packets
+// inside configurable cycle windows, per-packet transient fault rates,
+// and node stall faults that steal CPU cycles the way an inopportune
+// OS trap does (the paper's 25 µs message-receipt cost, §7.4).
+//
+// Everything derives from a single 64-bit seed through a splitmix64
+// generator: the schedule of link-fault windows and stalls is computed
+// up front and per-packet decisions consume the stream in simulation
+// event order, which the sim kernel makes deterministic. The same seed
+// therefore reproduces the same faults — and, with a deterministic
+// workload, bit-identical end-to-end cycle counts — on every run.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+)
+
+// rng is a splitmix64 stream: tiny, seedable, and plenty random for
+// schedule generation.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Config parameterizes a fault schedule. The zero value injects nothing.
+type Config struct {
+	Seed uint64
+
+	// Per-packet transient fault probabilities, evaluated for every
+	// data packet independent of the link windows below.
+	DropRate    float64
+	CorruptRate float64
+
+	// Link fault windows: LinkFaults transient windows, each disabling
+	// one uniformly chosen link for WindowCycles, with start times
+	// uniform in [0, Horizon). CorruptFrac of the windows corrupt
+	// payloads instead of dropping them.
+	LinkFaults   int
+	WindowCycles sim.Time
+	Horizon      sim.Time
+	CorruptFrac  float64
+
+	// Node stalls: Stalls OS-jitter pauses of StallCycles each, at
+	// uniform times in [0, Horizon) on uniformly chosen nodes.
+	Stalls      int
+	StallCycles sim.Time
+}
+
+// Validate rejects configurations that cannot form a schedule.
+func (c Config) Validate() error {
+	if c.DropRate < 0 || c.DropRate > 1 || c.CorruptRate < 0 || c.CorruptRate > 1 {
+		return fmt.Errorf("fault: rates must be in [0,1] (drop=%g corrupt=%g)", c.DropRate, c.CorruptRate)
+	}
+	if c.DropRate+c.CorruptRate > 1 {
+		return fmt.Errorf("fault: drop+corrupt rate %g exceeds 1", c.DropRate+c.CorruptRate)
+	}
+	if c.CorruptFrac < 0 || c.CorruptFrac > 1 {
+		return fmt.Errorf("fault: corrupt fraction %g outside [0,1]", c.CorruptFrac)
+	}
+	if (c.LinkFaults > 0 || c.Stalls > 0) && c.Horizon <= 0 {
+		return fmt.Errorf("fault: scheduled faults need a positive horizon")
+	}
+	if c.LinkFaults > 0 && c.WindowCycles <= 0 {
+		return fmt.Errorf("fault: link faults need positive window cycles")
+	}
+	if c.Stalls > 0 && c.StallCycles <= 0 {
+		return fmt.Errorf("fault: stalls need positive stall cycles")
+	}
+	return nil
+}
+
+// LinkFault is one transient link-fault window: packets whose route
+// crosses link (Node, Dir) while the window is open suffer Kind.
+type LinkFault struct {
+	Node, Dir   int
+	From, Until sim.Time
+	Kind        net.Fault
+}
+
+// Stall is one node stall: at time At, node PE loses Cycles cycles.
+type Stall struct {
+	PE     int
+	At     sim.Time
+	Cycles sim.Time
+}
+
+// Schedule is a replayable fault plan: everything below is a pure
+// function of (Config, node count), so equal seeds give equal schedules.
+type Schedule struct {
+	Cfg    Config
+	Nodes  int
+	Links  []LinkFault
+	Stalls []Stall
+}
+
+// numDirs mirrors the torus fabric's six outgoing links per node.
+const numDirs = 6
+
+// NewSchedule derives the deterministic fault plan for a machine of the
+// given node count. It panics on an invalid config; callers wanting an
+// error should Validate first.
+func NewSchedule(cfg Config, nodes int) *Schedule {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if nodes <= 0 {
+		panic(fmt.Sprintf("fault: node count must be positive, got %d", nodes))
+	}
+	r := rng{state: cfg.Seed}
+	s := &Schedule{Cfg: cfg, Nodes: nodes}
+	for i := 0; i < cfg.LinkFaults; i++ {
+		start := sim.Time(r.next() % uint64(cfg.Horizon))
+		kind := net.FaultDrop
+		if r.float() < cfg.CorruptFrac {
+			kind = net.FaultCorrupt
+		}
+		s.Links = append(s.Links, LinkFault{
+			Node: r.intn(nodes),
+			Dir:  r.intn(numDirs),
+			From: start,
+			Until: start + cfg.WindowCycles,
+			Kind: kind,
+		})
+	}
+	sort.Slice(s.Links, func(i, j int) bool { return s.Links[i].From < s.Links[j].From })
+	for i := 0; i < cfg.Stalls; i++ {
+		s.Stalls = append(s.Stalls, Stall{
+			PE:     r.intn(nodes),
+			At:     sim.Time(r.next() % uint64(cfg.Horizon)),
+			Cycles: cfg.StallCycles,
+		})
+	}
+	sort.Slice(s.Stalls, func(i, j int) bool { return s.Stalls[i].At < s.Stalls[j].At })
+	return s
+}
+
+// Injector evaluates a schedule against live traffic. It implements
+// net.FaultHook for the link/packet faults; Attach wires it (and the
+// stall events) into a machine.
+type Injector struct {
+	sched *Schedule
+	r     rng // per-packet stream, consumed in deterministic event order
+
+	// Stats.
+	Drops, Corrupts, Stalled int64
+}
+
+// NewInjector builds an injector for the schedule. The per-packet
+// stream is seeded from the schedule seed so the whole run replays from
+// one number.
+func NewInjector(s *Schedule) *Injector {
+	return &Injector{sched: s, r: rng{state: s.Cfg.Seed ^ 0xD1B54A32D192ED03}}
+}
+
+// PacketFault implements net.FaultHook.
+func (in *Injector) PacketFault(src, dst, payloadBytes int, route [][2]int, hopTimes []sim.Time) net.Fault {
+	// Link windows first: a packet crossing a faulted link inside its
+	// window suffers the window's kind.
+	for i, hop := range route {
+		t := hopTimes[i]
+		for _, lf := range in.sched.Links {
+			if lf.From > t {
+				break // sorted by From; no later window can cover t
+			}
+			if t < lf.Until && hop[0] == lf.Node && hop[1] == lf.Dir {
+				return in.count(lf.Kind)
+			}
+		}
+	}
+	// Then the per-packet transient rates.
+	cfg := in.sched.Cfg
+	if cfg.DropRate > 0 || cfg.CorruptRate > 0 {
+		u := in.r.float()
+		if u < cfg.DropRate {
+			return in.count(net.FaultDrop)
+		}
+		if u < cfg.DropRate+cfg.CorruptRate {
+			return in.count(net.FaultCorrupt)
+		}
+	}
+	return net.FaultNone
+}
+
+func (in *Injector) count(f net.Fault) net.Fault {
+	switch f {
+	case net.FaultDrop:
+		in.Drops++
+	case net.FaultCorrupt:
+		in.Corrupts++
+	}
+	return f
+}
+
+// Attach installs the injector on a machine: the packet hook on the
+// fabric and one engine event per scheduled stall, which steals cycles
+// from the target CPU at its next instruction boundary. Call before the
+// simulation runs.
+func (in *Injector) Attach(m *machine.T3D) {
+	m.Net.SetFaultHook(in)
+	for _, st := range in.sched.Stalls {
+		st := st
+		m.Eng.At(st.At, func() {
+			m.Nodes[st.PE].Shell.Steal(st.Cycles)
+			in.Stalled++
+			m.Eng.Trace("fault.stall", "pe%d stalled %d cycles", st.PE, st.Cycles)
+		})
+	}
+}
+
+// Inject is the one-call convenience: build the schedule for m, attach
+// an injector, and return it for stats inspection.
+func Inject(m *machine.T3D, cfg Config) *Injector {
+	in := NewInjector(NewSchedule(cfg, m.Net.Nodes()))
+	in.Attach(m)
+	return in
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+func TestScheduleReplayableFromSeed(t *testing.T) {
+	cfg := Config{
+		Seed:       7,
+		LinkFaults: 20, WindowCycles: 500, Horizon: 100000, CorruptFrac: 0.25,
+		Stalls: 10, StallCycles: 3750,
+	}
+	a := NewSchedule(cfg, 16)
+	b := NewSchedule(cfg, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	cfg.Seed = 8
+	c := NewSchedule(cfg, 16)
+	if reflect.DeepEqual(a.Links, c.Links) && reflect.DeepEqual(a.Stalls, c.Stalls) {
+		t.Error("different seeds produced identical schedules")
+	}
+	for _, lf := range a.Links {
+		if lf.Node < 0 || lf.Node >= 16 || lf.Dir < 0 || lf.Dir >= numDirs {
+			t.Errorf("link fault %+v outside the machine", lf)
+		}
+		if lf.Until-lf.From != cfg.WindowCycles {
+			t.Errorf("window %+v has wrong length", lf)
+		}
+	}
+	for _, st := range a.Stalls {
+		if st.PE < 0 || st.PE >= 16 || st.At < 0 || st.At >= cfg.Horizon {
+			t.Errorf("stall %+v outside the machine/horizon", st)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{DropRate: -0.1},
+		{CorruptRate: 1.5},
+		{DropRate: 0.7, CorruptRate: 0.7},
+		{LinkFaults: 1, WindowCycles: 10}, // no horizon
+		{LinkFaults: 1, Horizon: 100},     // no window
+		{Stalls: 1, Horizon: 100},         // no stall cycles
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, c)
+		}
+	}
+	good := Config{Seed: 1, DropRate: 0.01, LinkFaults: 2, WindowCycles: 10, Horizon: 1000, Stalls: 1, StallCycles: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// remoteStoreStorm performs remote blocking-store traffic between two PEs
+// and returns the end time plus per-node memory images of the target
+// words, so runs can be compared bit for bit.
+func remoteStoreStorm(t *testing.T, cfg Config) (sim.Time, []uint64, int64, int64) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(2))
+	in := Inject(m, cfg)
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	end := rt.Run(func(c *splitc.Ctx) {
+		base := c.Alloc(64 * 8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < 64; i++ {
+				c.Put(splitc.Global(1, base+i*8), uint64(i)+1)
+			}
+			c.Sync()
+		}
+		c.Barrier()
+	})
+	var img []uint64
+	d := m.Nodes[1].DRAM
+	base := splitc.DefaultConfig().HeapBase
+	for i := int64(0); i < 64; i++ {
+		img = append(img, d.Read64(base+i*8))
+	}
+	return end, img, in.Drops, in.Corrupts
+}
+
+func TestInjectedFaultsDamagePayloads(t *testing.T) {
+	// With an aggressive drop rate, some of the 64 stores must fail to
+	// land even though the run completes (the envelope is still acked).
+	end0, img0, d0, c0 := remoteStoreStorm(t, Config{})
+	if d0 != 0 || c0 != 0 {
+		t.Fatalf("zero config injected faults: drops=%d corrupts=%d", d0, c0)
+	}
+	for i, v := range img0 {
+		if v != uint64(i)+1 {
+			t.Fatalf("fault-free run lost word %d (= %d)", i, v)
+		}
+	}
+	_, img, drops, _ := remoteStoreStorm(t, Config{Seed: 99, DropRate: 0.3})
+	if drops == 0 {
+		t.Fatal("30%% drop rate injected nothing")
+	}
+	damaged := 0
+	for i, v := range img {
+		if v != uint64(i)+1 {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Error("drops reported but every word landed intact")
+	}
+	_ = end0
+}
+
+func TestInjectionReplayable(t *testing.T) {
+	// Same seed ⇒ identical fault decisions, end time, and memory image.
+	cfg := Config{Seed: 1234, DropRate: 0.1, CorruptRate: 0.05,
+		LinkFaults: 4, WindowCycles: 2000, Horizon: 200000, CorruptFrac: 0.5,
+		Stalls: 2, StallCycles: 3750}
+	endA, imgA, dropsA, corrA := remoteStoreStorm(t, cfg)
+	endB, imgB, dropsB, corrB := remoteStoreStorm(t, cfg)
+	if endA != endB {
+		t.Errorf("end times differ: %d vs %d", endA, endB)
+	}
+	if !reflect.DeepEqual(imgA, imgB) {
+		t.Error("memory images differ between identically seeded runs")
+	}
+	if dropsA != dropsB || corrA != corrB {
+		t.Errorf("fault counts differ: (%d,%d) vs (%d,%d)", dropsA, corrA, dropsB, corrB)
+	}
+}
+
+func TestCorruptFlipsBits(t *testing.T) {
+	// A corrupt-everything hook must leave wrong (not missing) data.
+	m := machine.New(machine.DefaultConfig(2))
+	sched := NewSchedule(Config{Seed: 5, CorruptRate: 1}, 2)
+	in := NewInjector(sched)
+	in.Attach(m)
+	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	rt.Run(func(c *splitc.Ctx) {
+		base := c.Alloc(8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			c.Put(splitc.Global(1, base), 0)
+			c.Sync()
+		}
+		c.Barrier()
+	})
+	base := splitc.DefaultConfig().HeapBase
+	got := m.Nodes[1].DRAM.Read64(base)
+	if got == 0 {
+		t.Errorf("corrupted store of 0 still reads 0 (corruption not applied)")
+	}
+	if in.Corrupts == 0 {
+		t.Error("no corruption counted")
+	}
+	if want := uint64(0xA5A5A5A5A5A5A5A5); got != want {
+		t.Errorf("corruption pattern = %#x, want %#x", got, want)
+	}
+}
+
+var _ net.FaultHook = (*Injector)(nil)

@@ -65,13 +65,28 @@ type T3D struct {
 	cfg    Config
 }
 
-// New builds and wires a T3D.
+// New builds and wires a T3D, panicking on an invalid configuration.
+// NewChecked is the variant that reports the problem as an error.
 func New(cfg Config) *T3D {
-	if cfg.PEs <= 0 {
-		panic("machine: need at least one PE")
+	m, err := NewChecked(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	if cfg.Net.Shape[0]*cfg.Net.Shape[1]*cfg.Net.Shape[2] != cfg.PEs {
-		panic(fmt.Sprintf("machine: network shape %v does not match %d PEs", cfg.Net.Shape, cfg.PEs))
+	return m
+}
+
+// NewChecked builds and wires a T3D, rejecting invalid configurations
+// (non-positive PE counts, bad or mismatched network shapes) with an
+// error at construction time instead of a panic deep inside a run.
+func NewChecked(cfg Config) (*T3D, error) {
+	if cfg.PEs <= 0 {
+		return nil, fmt.Errorf("machine: need at least one PE, got %d", cfg.PEs)
+	}
+	if err := cfg.Net.Validate(cfg.PEs); err != nil {
+		return nil, fmt.Errorf("machine: %d PEs: %w", cfg.PEs, err)
+	}
+	if cfg.MemBytes <= 0 {
+		return nil, fmt.Errorf("machine: need positive memory per node, got %d", cfg.MemBytes)
 	}
 	eng := sim.NewEngine()
 	network := net.New(eng, cfg.Net)
@@ -99,7 +114,7 @@ func New(cfg Config) *T3D {
 			PE: pe, CPU: c, Shell: sh, DRAM: dram, L1: l1, WB: wb, TLB: c.TLB,
 		})
 	}
-	return m
+	return m, nil
 }
 
 // Config returns the machine's build parameters.

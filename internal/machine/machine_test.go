@@ -81,3 +81,32 @@ func TestRunOnLeavesOthersPassive(t *testing.T) {
 		}
 	}
 }
+
+func TestNewCheckedRejectsBadConfigs(t *testing.T) {
+	if _, err := NewChecked(Config{PEs: 0}); err == nil {
+		t.Error("zero PEs accepted")
+	}
+	cfg := DefaultConfig(4)
+	cfg.Net.Shape = [3]int{2, 1, 1} // 2 nodes for 4 PEs
+	if _, err := NewChecked(cfg); err == nil {
+		t.Error("shape/PE mismatch accepted")
+	}
+	cfg = DefaultConfig(4)
+	cfg.Net.Shape = [3]int{-4, 1, 1}
+	if _, err := NewChecked(cfg); err == nil {
+		t.Error("negative shape accepted")
+	}
+	cfg = DefaultConfig(2)
+	cfg.MemBytes = 0
+	if _, err := NewChecked(cfg); err == nil {
+		t.Error("zero memory accepted")
+	}
+	// DefaultConfig must stay panic-free on bad counts so the checked
+	// constructor is reachable through the standard helper.
+	if _, err := NewChecked(DefaultConfig(-2)); err == nil {
+		t.Error("negative PE count accepted")
+	}
+	if _, err := NewChecked(DefaultConfig(2)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

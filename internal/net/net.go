@@ -33,19 +33,53 @@ type Config struct {
 // enough that the shell injection ports and the BLT engine, not the
 // fabric, are the bottlenecks for the single-sender microbenchmarks.
 func DefaultConfig(nodes int) Config {
+	// A non-positive count yields the zero shape rather than a panic, so
+	// NewChecked can reject DefaultConfig(bad) with an error; the
+	// unchecked New still fails fast on the invalid shape.
+	shape, _ := ShapeForErr(nodes)
 	return Config{
-		Shape:      ShapeFor(nodes),
+		Shape:      shape,
 		HopLatency: 2,
 		HeaderOcc:  1,
 		FlitOcc:    2,
 	}
 }
 
+// Validate checks the configuration for construction-time errors: a
+// non-positive shape dimension, a node-count mismatch (when nodes > 0),
+// or negative timing parameters. Catching these here turns a cryptic
+// panic deep inside a run into an immediate, actionable error.
+func (c Config) Validate(nodes int) error {
+	for d, s := range c.Shape {
+		if s <= 0 {
+			return fmt.Errorf("net: shape %v has non-positive dimension %d", c.Shape, d)
+		}
+	}
+	if n := c.Shape[0] * c.Shape[1] * c.Shape[2]; nodes > 0 && n != nodes {
+		return fmt.Errorf("net: shape %v yields %d nodes, want %d", c.Shape, n, nodes)
+	}
+	if c.HopLatency < 0 || c.HeaderOcc < 0 || c.FlitOcc < 0 {
+		return fmt.Errorf("net: negative timing parameter (hop=%d header=%d flit=%d)",
+			c.HopLatency, c.HeaderOcc, c.FlitOcc)
+	}
+	return nil
+}
+
 // ShapeFor factors n into three near-equal power-of-two-friendly
-// dimensions. n must be positive.
+// dimensions. n must be positive; use ShapeForErr to get the failure as
+// an error instead of a panic.
 func ShapeFor(n int) [3]int {
+	s, err := ShapeForErr(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// ShapeForErr is ShapeFor with error reporting for non-positive counts.
+func ShapeForErr(n int) ([3]int, error) {
 	if n <= 0 {
-		panic("net: node count must be positive")
+		return [3]int{}, fmt.Errorf("net: node count must be positive, got %d", n)
 	}
 	shape := [3]int{1, 1, 1}
 	rem := n
@@ -61,7 +95,7 @@ func ShapeFor(n int) [3]int {
 		shape[small] *= f
 		rem /= f
 	}
-	return shape
+	return shape, nil
 }
 
 func smallestFactor(n int) int {
@@ -76,6 +110,43 @@ func smallestFactor(n int) int {
 // direction indexes a node's six outgoing links.
 const numDirs = 6
 
+// Fault is the verdict on a data packet's payload after crossing the
+// fabric. The T3D's low-level flow control still delivers and
+// acknowledges the packet envelope on time — a transient fault damages
+// only the payload, which is exactly the failure a software reliability
+// layer must detect end to end.
+type Fault int
+
+const (
+	// FaultNone: the payload arrived intact.
+	FaultNone Fault = iota
+	// FaultDrop: the payload was lost in flight; nothing lands.
+	FaultDrop
+	// FaultCorrupt: the payload arrived bit-flipped.
+	FaultCorrupt
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// FaultHook decides the fate of one data packet. route lists the
+// (node, direction) links the packet traverses and hopTimes the time the
+// packet head starts service on each of them, so window-based link
+// faults can be evaluated precisely. Control packets (read requests,
+// responses, acknowledgements) never consult the hook.
+type FaultHook interface {
+	PacketFault(src, dst, payloadBytes int, route [][2]int, hopTimes []sim.Time) Fault
+}
+
 // Network is the torus fabric.
 type Network struct {
 	eng   *sim.Engine
@@ -83,25 +154,42 @@ type Network struct {
 	nodes int
 	links [][numDirs]sim.Resource
 	busy  [][numDirs]sim.Time // accumulated occupancy per link
+	hook  FaultHook
 
 	// Stats.
 	Packets, PayloadBytes int64
+	Dropped, Corrupted    int64
 }
 
-// New builds the fabric.
+// New builds the fabric, panicking on an invalid configuration; use
+// NewChecked to get the validation failure as an error.
 func New(eng *sim.Engine, cfg Config) *Network {
-	n := cfg.Shape[0] * cfg.Shape[1] * cfg.Shape[2]
-	if n <= 0 {
-		panic(fmt.Sprintf("net: bad shape %v", cfg.Shape))
+	n, err := NewChecked(eng, cfg)
+	if err != nil {
+		panic(err.Error())
 	}
+	return n
+}
+
+// NewChecked builds the fabric, rejecting invalid configurations with an
+// error at construction time.
+func NewChecked(eng *sim.Engine, cfg Config) (*Network, error) {
+	if err := cfg.Validate(0); err != nil {
+		return nil, err
+	}
+	n := cfg.Shape[0] * cfg.Shape[1] * cfg.Shape[2]
 	return &Network{
 		eng:   eng,
 		cfg:   cfg,
 		nodes: n,
 		links: make([][numDirs]sim.Resource, n),
 		busy:  make([][numDirs]sim.Time, n),
-	}
+	}, nil
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault injector
+// consulted for every data packet.
+func (n *Network) SetFaultHook(h FaultHook) { n.hook = h }
 
 // Nodes returns the node count.
 func (n *Network) Nodes() int { return n.nodes }
@@ -158,27 +246,59 @@ func (n *Network) occupancy(payloadBytes int) sim.Time {
 	return n.cfg.HeaderOcc + flits*n.cfg.FlitOcc
 }
 
-// Send injects a packet at src at the current time and invokes deliver at
-// the moment its tail arrives at dst. The head advances HopLatency per
-// hop; each traversed link is occupied for the packet's full length, so
-// concurrent streams through a link serialize.
+// Send injects a control packet at src at the current time and invokes
+// deliver at the moment its tail arrives at dst. The head advances
+// HopLatency per hop; each traversed link is occupied for the packet's
+// full length, so concurrent streams through a link serialize. Control
+// packets are never faulted.
 func (n *Network) Send(src, dst, payloadBytes int, deliver func()) {
+	n.send(src, dst, payloadBytes, false, func(Fault) { deliver() })
+}
+
+// SendData injects a data-carrying packet: identical timing to Send, but
+// the fault hook (if any) may damage the payload in flight, and deliver
+// receives the verdict. The packet envelope always arrives — transient
+// faults hit the data path, not the hardware flow control — so callers
+// must decide what a dropped or corrupted payload means at the far end.
+func (n *Network) SendData(src, dst, payloadBytes int, deliver func(f Fault)) {
+	n.send(src, dst, payloadBytes, true, deliver)
+}
+
+func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(f Fault)) {
 	n.Packets++
 	n.PayloadBytes += int64(payloadBytes)
 	occ := n.occupancy(payloadBytes)
 	t := n.eng.Now()
 	route := n.Route(src, dst)
+	var hopTimes []sim.Time
+	if faultable && n.hook != nil {
+		hopTimes = make([]sim.Time, 0, len(route))
+	}
 	for _, hop := range route {
 		link := &n.links[hop[0]][hop[1]]
-		t = link.Acquire(t, occ) + n.cfg.HopLatency
+		start := link.Acquire(t, occ)
+		if hopTimes != nil {
+			hopTimes = append(hopTimes, start)
+		}
+		t = start + n.cfg.HopLatency
 		n.busy[hop[0]][hop[1]] += occ
+	}
+	fault := FaultNone
+	if faultable && n.hook != nil {
+		fault = n.hook.PacketFault(src, dst, payloadBytes, route, hopTimes)
+		switch fault {
+		case FaultDrop:
+			n.Dropped++
+		case FaultCorrupt:
+			n.Corrupted++
+		}
 	}
 	// Tail arrives one packet-length after the head on the final hop.
 	arrival := t + occ
 	if len(route) == 0 {
 		arrival = t + 1 // self-send: loopback in the shell
 	}
-	n.eng.At(arrival, deliver)
+	n.eng.At(arrival, func() { deliver(fault) })
 }
 
 // LinkBusy returns the accumulated occupancy of the link leaving node in

@@ -224,3 +224,121 @@ func TestLinkBusyAccounting(t *testing.T) {
 		t.Errorf("total busy = %d", n.TotalLinkBusy())
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(8)
+	if err := good.Validate(8); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Shape = [3]int{2, 0, 2}
+	if err := bad.Validate(0); err == nil {
+		t.Error("zero shape dimension accepted")
+	}
+	bad = good
+	bad.Shape = [3]int{-2, 2, 2}
+	if err := bad.Validate(0); err == nil {
+		t.Error("negative shape dimension accepted")
+	}
+	if err := good.Validate(9); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	bad = good
+	bad.HopLatency = -1
+	if err := bad.Validate(8); err == nil {
+		t.Error("negative hop latency accepted")
+	}
+}
+
+func TestNewCheckedRejectsBadShape(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Shape = [3]int{0, 2, 2}
+	if _, err := NewChecked(sim.NewEngine(), cfg); err == nil {
+		t.Error("NewChecked accepted a zero shape dimension")
+	}
+	if _, err := NewChecked(sim.NewEngine(), DefaultConfig(4)); err != nil {
+		t.Errorf("NewChecked rejected a valid config: %v", err)
+	}
+}
+
+func TestShapeForErr(t *testing.T) {
+	if _, err := ShapeForErr(0); err == nil {
+		t.Error("ShapeForErr(0) returned nil error")
+	}
+	if _, err := ShapeForErr(-3); err == nil {
+		t.Error("ShapeForErr(-3) returned nil error")
+	}
+	s, err := ShapeForErr(12)
+	if err != nil {
+		t.Fatalf("ShapeForErr(12) = %v", err)
+	}
+	if s[0]*s[1]*s[2] != 12 {
+		t.Errorf("shape %v does not multiply to 12", s)
+	}
+}
+
+// dropAll is a FaultHook that drops every data packet and records what it
+// was consulted about.
+type dropAll struct {
+	verdict Fault
+	seen    int
+	hops    int
+}
+
+func (d *dropAll) PacketFault(src, dst, payloadBytes int, route [][2]int, hopTimes []sim.Time) Fault {
+	d.seen++
+	d.hops = len(route)
+	if len(hopTimes) != len(route) {
+		panic("hopTimes/route length mismatch")
+	}
+	return d.verdict
+}
+
+func TestFaultHookDataVsControl(t *testing.T) {
+	// The hook sees SendData packets but never Send (control) packets,
+	// and the envelope still arrives on time either way.
+	cfg := DefaultConfig(2)
+	cfg.Shape = [3]int{2, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	hook := &dropAll{verdict: FaultDrop}
+	n.SetFaultHook(hook)
+	var dataFault Fault = -1
+	controlDelivered := false
+	eng.Spawn("s", func(p *sim.Proc) {
+		n.SendData(0, 1, 8, func(f Fault) { dataFault = f })
+		n.Send(0, 1, 8, func() { controlDelivered = true })
+	})
+	eng.Run()
+	if hook.seen != 1 {
+		t.Errorf("hook consulted %d times, want 1 (data only)", hook.seen)
+	}
+	if hook.hops != 1 {
+		t.Errorf("hook saw %d hops, want 1", hook.hops)
+	}
+	if dataFault != FaultDrop {
+		t.Errorf("data verdict = %v, want drop", dataFault)
+	}
+	if !controlDelivered {
+		t.Error("control packet not delivered")
+	}
+	if n.Dropped != 1 || n.Corrupted != 0 {
+		t.Errorf("stats dropped=%d corrupted=%d, want 1, 0", n.Dropped, n.Corrupted)
+	}
+}
+
+func TestFaultHookCorruptStat(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Shape = [3]int{2, 1, 1}
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	n.SetFaultHook(&dropAll{verdict: FaultCorrupt})
+	got := FaultNone
+	eng.Spawn("s", func(p *sim.Proc) {
+		n.SendData(0, 1, 16, func(f Fault) { got = f })
+	})
+	eng.Run()
+	if got != FaultCorrupt || n.Corrupted != 1 {
+		t.Errorf("verdict=%v corrupted=%d, want corrupt, 1", got, n.Corrupted)
+	}
+}

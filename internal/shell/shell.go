@@ -69,6 +69,7 @@ func (f *Fabric) AddNode(dram *mem.DRAM, l1 *cache.Cache) *Shell {
 		pqSig:        sim.NewSignal(fmt.Sprintf("shell%d.prefetch", pe)),
 		msgSig:       sim.NewSignal(fmt.Sprintf("shell%d.msg", pe)),
 		bltSig:       sim.NewSignal(fmt.Sprintf("shell%d.blt", pe)),
+		arrival:      sim.NewSignal(fmt.Sprintf("shell%d.arrival", pe)),
 	}
 	s.annex[addr.LocalAnnex] = AnnexEntry{PE: pe}
 	f.Nodes = append(f.Nodes, &Node{PE: pe, DRAM: dram, L1: l1, Shell: s})
@@ -100,6 +101,11 @@ type Shell struct {
 
 	pq    []*pqSlot
 	pqSig *sim.Signal
+
+	// arrival fires whenever a remote write lands in this node's memory —
+	// the event a polling receiver's cache-invalidate would surface. The
+	// reliable active-message layer parks on it between retransmissions.
+	arrival *sim.Signal
 
 	fi      [2]uint64
 	swapReg uint64
@@ -182,6 +188,22 @@ func (s *Shell) TakeStolen() sim.Time {
 	s.stolen = 0
 	return d
 }
+
+// Steal charges d cycles against this node's CPU at its next instruction
+// boundary — the mechanism message-receive interrupts already use. Fault
+// injection uses it to model OS-jitter stalls (the paper's 25 µs OS trap
+// cost, §7.4, arriving at an inopportune moment).
+func (s *Shell) Steal(d sim.Time) {
+	if d > 0 {
+		s.stolen += d
+	}
+}
+
+// ArrivalSignal fires whenever a remote write lands in this node's
+// memory. A polling receiver can park on it with WaitSignalTimeout
+// instead of burning cycles in an idle poll loop; the reliable
+// active-message layer uses it to pace retransmission timeouts.
+func (s *Shell) ArrivalSignal() *sim.Signal { return s.arrival }
 
 // --- Remote reads ---
 
@@ -300,21 +322,35 @@ func (s *Shell) injectWrite(p *sim.Proc, e *wbuf.Entry) {
 	s.RemoteWrites++
 	s.eng.Trace("shell.write", "pe%d remote write pe%d+%#x (%dB)", s.pe, ae.PE, lineOff, nbytes)
 	entry := *e // snapshot: the buffer slot is reused after drain
-	s.fab.Net.Send(s.pe, ae.PE, nbytes, func() {
+	s.fab.Net.SendData(s.pe, ae.PE, nbytes, func(fault net.Fault) {
 		rn := s.node(ae.PE)
 		t := s.eng.Now() + s.cfg.WriteRemoteProc
 		complete, _ := rn.DRAM.WriteAccess(t, lineOff)
 		s.eng.At(complete, func() {
 			// Data is visible once the remote DRAM write completes; only
-			// the acknowledgement takes the longer pipeline back out.
-			entry.Bytes(func(a int64, v byte) {
-				rn.DRAM.Write(addr.Offset(a), []byte{v})
-			})
+			// the acknowledgement takes the longer pipeline back out. A
+			// transient fault damages the payload but not the envelope:
+			// a dropped payload writes nothing, a corrupted one writes
+			// bit-flipped bytes — in both cases the hardware still
+			// acknowledges, so only an end-to-end check can notice.
+			switch fault {
+			case net.FaultDrop:
+				// Payload lost in flight.
+			case net.FaultCorrupt:
+				entry.Bytes(func(a int64, v byte) {
+					rn.DRAM.Write(addr.Offset(a), []byte{v ^ 0xA5})
+				})
+			default:
+				entry.Bytes(func(a int64, v byte) {
+					rn.DRAM.Write(addr.Offset(a), []byte{v})
+				})
+			}
 			if s.cfg.InvalidateMode {
 				// Cache-invalidate mode: flush the target line on the
 				// owning node whether or not it is cached (§4.4).
 				rn.L1.Invalidate(lineOff)
 			}
+			rn.Shell.arrival.Fire(s.eng)
 			s.eng.After(s.cfg.WriteAckExtra, func() {
 				as := rn.Shell.respPort.Acquire(s.eng.Now(), s.cfg.AckInject)
 				s.eng.At(as+s.cfg.AckInject, func() {

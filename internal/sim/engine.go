@@ -54,6 +54,14 @@ type Engine struct {
 	running bool
 	tracer  Tracer
 
+	// Watchdog state (SetWatchdog).
+	wdInterval Time
+	wdStalls   int
+	wdProbe    func() int64
+	wdNext     Time
+	wdLast     int64
+	wdCount    int
+
 	// Limit guards against runaway simulations; 0 means no limit.
 	Limit Time
 }
@@ -138,11 +146,82 @@ func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
 	return p
 }
 
+// BlockedProc is one entry of a deadlock diagnostic: a proc that can
+// never resume, the signal it is parked on, and when it parked.
+type BlockedProc struct {
+	Name    string
+	Waiting string // name of the signal the proc is blocked on
+	Since   Time   // simulated time at which it blocked
+}
+
+// DeadlockError reports that the event queue drained while non-daemon
+// procs were still parked on signals that can never fire. The dump lists
+// every stuck proc with its wait reason and blocked-at time, so the
+// failure is actionable instead of a bare proc-name list.
+type DeadlockError struct {
+	Now     Time
+	Blocked []BlockedProc
+}
+
+func (d *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at t=%d — no events pending but %d proc(s) blocked:", d.Now, len(d.Blocked))
+	for _, p := range d.Blocked {
+		fmt.Fprintf(&b, "\n  %s: blocked on %q since t=%d (for %d cycles)",
+			p.Name, p.Waiting, p.Since, d.Now-p.Since)
+	}
+	return b.String()
+}
+
+// LivelockError reports that the watchdog's progress probe stopped
+// advancing while events kept firing — the signature of a retransmit
+// storm or polling loop that will never converge.
+type LivelockError struct {
+	Now      Time
+	Progress int64 // the stuck probe value
+	Interval Time  // watchdog sampling interval
+	Checks   int   // consecutive samples with no progress
+}
+
+func (l *LivelockError) Error() string {
+	return fmt.Sprintf("sim: livelock at t=%d — progress probe stuck at %d for %d consecutive checks (%d cycles)",
+		l.Now, l.Progress, l.Checks, Time(l.Checks)*l.Interval)
+}
+
+// SetWatchdog installs a quiescence watchdog: every interval cycles the
+// engine samples progress(); if the value is unchanged for stalls
+// consecutive samples while events are still firing, the run fails with
+// a LivelockError. Pass a nil probe to disable. The probe must be cheap
+// and side-effect free; it runs inline in the event loop.
+func (e *Engine) SetWatchdog(interval Time, stalls int, progress func() int64) {
+	if progress != nil && (interval <= 0 || stalls <= 0) {
+		panic("sim: watchdog needs a positive interval and stall count")
+	}
+	e.wdInterval, e.wdStalls, e.wdProbe = interval, stalls, progress
+	e.wdNext = e.now + interval
+	e.wdCount = 0
+	if progress != nil {
+		e.wdLast = progress()
+	}
+}
+
 // Run processes events until the queue is empty or the optional Limit is
 // reached. It returns the final simulated time. Run panics if, at the end,
-// some proc is still blocked on a signal that can never fire (deadlock) or
-// if any proc body panicked.
+// some proc is still blocked on a signal that can never fire (deadlock),
+// if the watchdog detects livelock, or if any proc body panicked. RunErr
+// is the variant that surfaces deadlock and livelock as errors.
 func (e *Engine) Run() Time {
+	t, err := e.RunErr()
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// RunErr is Run with structured failure reporting: deadlock and livelock
+// are returned as *DeadlockError / *LivelockError instead of panicking,
+// so callers can inspect the blocked-proc dump programmatically.
+func (e *Engine) RunErr() (Time, error) {
 	if e.running {
 		panic("sim: Engine.Run called reentrantly")
 	}
@@ -158,6 +237,20 @@ func (e *Engine) Run() Time {
 			panic("sim: event in the past")
 		}
 		e.now = ev.at
+		if e.wdProbe != nil && e.now >= e.wdNext {
+			for e.now >= e.wdNext {
+				e.wdNext += e.wdInterval
+			}
+			if v := e.wdProbe(); v == e.wdLast {
+				e.wdCount++
+				if e.wdCount >= e.wdStalls {
+					return e.now, &LivelockError{Now: e.now, Progress: v,
+						Interval: e.wdInterval, Checks: e.wdCount}
+				}
+			} else {
+				e.wdLast, e.wdCount = v, 0
+			}
+		}
 		if ev.proc != nil {
 			p := ev.proc
 			if p.state == procDone || p.state == procRunning || ev.epoch != p.epoch {
@@ -175,18 +268,17 @@ func (e *Engine) Run() Time {
 		ev.fn()
 	}
 
-	var stuck []string
+	var stuck []BlockedProc
 	for _, p := range e.procs {
 		if p.state == procBlocked && !p.daemon {
-			stuck = append(stuck, p.name)
+			stuck = append(stuck, BlockedProc{Name: p.name, Waiting: p.waitLabel, Since: p.blockedSince})
 		}
 	}
 	if len(stuck) > 0 {
-		sort.Strings(stuck)
-		panic(fmt.Sprintf("sim: deadlock — no events pending but procs blocked: %s",
-			strings.Join(stuck, ", ")))
+		sort.Slice(stuck, func(i, j int) bool { return stuck[i].Name < stuck[j].Name })
+		return e.now, &DeadlockError{Now: e.now, Blocked: stuck}
 	}
-	return e.now
+	return e.now, nil
 }
 
 // Idle reports whether the engine has no pending events.

@@ -327,3 +327,101 @@ func TestPropertyEventsFireInTimeOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeadlockDiagnosticContents(t *testing.T) {
+	// The structured diagnostic must name every stuck proc, the signal it
+	// is parked on, and when it blocked.
+	e := NewEngine()
+	never := NewSignal("never.fires")
+	e.Spawn("early", func(p *Proc) { p.WaitSignal(never) })
+	e.Spawn("late", func(p *Proc) {
+		p.Wait(37)
+		p.WaitSignal(never)
+	})
+	end, err := e.RunErr()
+	if err == nil {
+		t.Fatal("RunErr returned nil for a deadlocked run")
+	}
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %T, want *DeadlockError", err)
+	}
+	if de.Now != end || de.Now != 37 {
+		t.Errorf("DeadlockError.Now = %d, want 37", de.Now)
+	}
+	if len(de.Blocked) != 2 {
+		t.Fatalf("Blocked = %v, want 2 entries", de.Blocked)
+	}
+	// Sorted by name: "early" then "late".
+	if de.Blocked[0].Name != "early" || de.Blocked[0].Since != 0 {
+		t.Errorf("entry 0 = %+v, want early blocked since 0", de.Blocked[0])
+	}
+	if de.Blocked[1].Name != "late" || de.Blocked[1].Since != 37 {
+		t.Errorf("entry 1 = %+v, want late blocked since 37", de.Blocked[1])
+	}
+	for _, b := range de.Blocked {
+		if b.Waiting != "never.fires" {
+			t.Errorf("proc %s waiting on %q, want never.fires", b.Name, b.Waiting)
+		}
+	}
+	msg := err.Error()
+	for _, want := range []string{"deadlock", "early", "late", "never.fires", "since t=37"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestRunErrCleanCompletion(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("ok", func(p *Proc) { p.Wait(5) })
+	end, err := e.RunErr()
+	if err != nil || end != 5 {
+		t.Fatalf("RunErr = (%d, %v), want (5, nil)", end, err)
+	}
+}
+
+func TestWatchdogDetectsLivelock(t *testing.T) {
+	// A proc spinning forever with a flat progress counter is a livelock:
+	// the watchdog must stop the run with a structured error.
+	e := NewEngine()
+	e.SetWatchdog(100, 3, func() int64 { return 0 })
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Wait(10)
+		}
+	})
+	_, err := e.RunErr()
+	le, ok := err.(*LivelockError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *LivelockError", err, err)
+	}
+	if le.Checks != 3 || le.Progress != 0 {
+		t.Errorf("LivelockError = %+v, want 3 stalled checks at progress 0", le)
+	}
+	if !strings.Contains(le.Error(), "livelock") {
+		t.Errorf("error %q does not mention livelock", le.Error())
+	}
+}
+
+func TestWatchdogAllowsProgress(t *testing.T) {
+	// As long as the probe advances, the watchdog stays quiet even over a
+	// long run.
+	e := NewEngine()
+	var progress int64
+	e.SetWatchdog(50, 2, func() int64 { return progress })
+	done := false
+	e.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(25)
+			progress++
+		}
+		done = true
+	})
+	if _, err := e.RunErr(); err != nil {
+		t.Fatalf("RunErr = %v, want nil for a progressing run", err)
+	}
+	if !done {
+		t.Error("worker did not finish")
+	}
+}

@@ -25,6 +25,11 @@ type Proc struct {
 	epoch    uint64
 	sigFired bool
 	daemon   bool
+
+	// Deadlock diagnostics: what the proc is blocked on and since when
+	// (meaningful only while state == procBlocked).
+	waitLabel    string
+	blockedSince Time
 }
 
 // Name returns the proc's name (used in deadlock reports).
@@ -75,6 +80,7 @@ func (p *Proc) Yield() {
 // WaitSignal blocks until s fires.
 func (p *Proc) WaitSignal(s *Signal) {
 	p.epoch++
+	p.waitLabel, p.blockedSince = s.name, p.eng.now
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.park(procBlocked)
 }
@@ -87,6 +93,7 @@ func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
 	}
 	p.epoch++
 	p.sigFired = false
+	p.waitLabel, p.blockedSince = s.name, p.eng.now
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.eng.scheduleEpoch(p, p.eng.now+d, p.epoch)
 	p.park(procBlocked)

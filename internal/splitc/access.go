@@ -1,6 +1,8 @@
 package splitc
 
 import (
+	"fmt"
+
 	"repro/internal/addr"
 )
 
@@ -111,6 +113,9 @@ func (c *Ctx) Write(g GlobalPtr, v uint64) {
 	c.Node.CPU.Store64(c.P, addr.Make(idx, g.Local()), v)
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
+	if c.rt.Cfg.Reliable {
+		c.verifyWord(g, v)
+	}
 }
 
 // Write32 is Write for 32-bit words.
@@ -127,6 +132,15 @@ func (c *Ctx) Write32(g GlobalPtr, v uint32) {
 	c.Node.CPU.Store32(c.P, addr.Make(idx, g.Local()), uint64(v))
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
+	for pass := 0; c.rt.Cfg.Reliable && c.Read32(g) != v; pass++ {
+		if pass >= c.rt.Cfg.MaxWriteRetries {
+			panic(fmt.Sprintf("splitc: PE %d 32-bit write to PE %d never stuck", c.MyPE(), g.PE()))
+		}
+		c.noteRewrite()
+		c.Node.CPU.Store32(c.P, addr.Make(idx, g.Local()), uint64(v))
+		c.Node.CPU.MB(c.P)
+		c.Node.Shell.WaitWritesComplete(c.P)
+	}
 }
 
 // ReadCached is the cached-read ablation (§4.4): it uses the cached

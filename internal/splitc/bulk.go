@@ -159,6 +159,9 @@ func (c *Ctx) BulkWriteVia(mech Mechanism, g GlobalPtr, src int64, n int64) {
 		c.bulkWriteStores(g, src, n)
 		c.Node.CPU.MB(c.P)
 		c.Node.Shell.WaitWritesComplete(c.P)
+		if c.rt.Cfg.Reliable {
+			c.verifyRegion(g, src, n)
+		}
 	case MechBLT:
 		c.Node.Shell.BLTStart(c.P, shell.BLTWrite, g.PE(), src, g.Local(), n)
 		c.Node.Shell.BLTWait(c.P)
@@ -203,6 +206,9 @@ func (c *Ctx) BulkPut(g GlobalPtr, src int64, n int64) {
 	if g.PE() == c.MyPE() {
 		c.localCopy(g.Local(), src, n)
 		return
+	}
+	if c.rt.Cfg.Reliable {
+		c.recordRegion(g, src, n)
 	}
 	c.bulkWriteStores(g, src, n)
 }

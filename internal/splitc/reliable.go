@@ -1,0 +1,135 @@
+package splitc
+
+import "fmt"
+
+// Reliable-mode write verification. The fault model (package fault)
+// damages only the data payloads of remote stores: the hardware envelope
+// is always acknowledged, so WaitWritesComplete returns normally even
+// when a payload was dropped or corrupted in flight. Reads travel the
+// reliable control path, which makes a read-back the ground truth: at
+// every completion point the runtime re-reads each recorded remote write
+// and rewrites words that do not match, repeating until a verification
+// pass comes back clean.
+
+// noteRewrite counts one damaged word rewritten by verification, both
+// per-thread and runtime-wide.
+func (c *Ctx) noteRewrite() {
+	c.Rewrites++
+	c.rt.Rewrites++
+}
+
+// recordWrite records a remote word write for verification at the next
+// completion point. Writes to the same address collapse to the last
+// value: same-sender writes to one destination commit in order.
+func (c *Ctx) recordWrite(g GlobalPtr, v uint64) {
+	if c.settling {
+		return // verification rewrites are re-checked by the settle loop
+	}
+	if c.relIndex == nil {
+		c.relIndex = map[GlobalPtr]int{}
+	}
+	if i, ok := c.relIndex[g]; ok {
+		c.relPending[i].v = v
+		return
+	}
+	c.relIndex[g] = len(c.relPending)
+	c.relPending = append(c.relPending, relWrite{g: g, v: v})
+}
+
+// recordRegion records a remote bulk write for verification at the next
+// completion point. The caller owns keeping src stable until then — the
+// standard split-phase contract.
+func (c *Ctx) recordRegion(g GlobalPtr, src, n int64) {
+	c.relRegions = append(c.relRegions, relRegion{g: g, src: src, n: n})
+}
+
+// settleWrites verifies every recorded remote write, rewriting damaged
+// words until a full pass finds no mismatch. The caller must have waited
+// for outstanding writes first (MB + WaitWritesComplete), so every
+// recorded write has either landed or been lost. Panics if the fabric
+// stays dirty past MaxWriteRetries passes.
+func (c *Ctx) settleWrites() {
+	if !c.rt.Cfg.Reliable || (len(c.relPending) == 0 && len(c.relRegions) == 0) {
+		return
+	}
+	c.settling = true
+	defer func() { c.settling = false }()
+	for pass := 0; ; pass++ {
+		dirty := false
+		for _, w := range c.relPending {
+			if c.Read(w.g) != w.v {
+				c.noteRewrite()
+				dirty = true
+				c.Put(w.g, w.v)
+			}
+		}
+		for _, r := range c.relRegions {
+			for i := int64(0); i < r.n; i += 8 {
+				want := c.Node.CPU.Load64(c.P, r.src+i)
+				if c.Read(r.g.AddLocal(i)) != want {
+					c.noteRewrite()
+					dirty = true
+					c.Put(r.g.AddLocal(i), want)
+				}
+			}
+		}
+		if !dirty {
+			c.relPending = c.relPending[:0]
+			c.relIndex = nil
+			c.relRegions = c.relRegions[:0]
+			return
+		}
+		if pass >= c.rt.Cfg.MaxWriteRetries {
+			panic(fmt.Sprintf(
+				"splitc: PE %d could not settle %d words + %d regions after %d verification passes",
+				c.MyPE(), len(c.relPending), len(c.relRegions), pass+1))
+		}
+		// Push the rewrites out before re-verifying them.
+		c.Node.CPU.MB(c.P)
+		c.Node.Shell.WaitWritesComplete(c.P)
+	}
+}
+
+// verifyRegion is the inline settle for a blocking bulk write: the
+// caller may reuse src immediately after return, so verification cannot
+// be deferred to the next completion point.
+func (c *Ctx) verifyRegion(g GlobalPtr, src, n int64) {
+	c.settling = true
+	defer func() { c.settling = false }()
+	for pass := 0; ; pass++ {
+		dirty := false
+		for i := int64(0); i < n; i += 8 {
+			want := c.Node.CPU.Load64(c.P, src+i)
+			if c.Read(g.AddLocal(i)) != want {
+				c.noteRewrite()
+				dirty = true
+				c.Put(g.AddLocal(i), want)
+			}
+		}
+		if !dirty {
+			return
+		}
+		if pass >= c.rt.Cfg.MaxWriteRetries {
+			panic(fmt.Sprintf("splitc: PE %d bulk write to PE %d never settled", c.MyPE(), g.PE()))
+		}
+		c.Node.CPU.MB(c.P)
+		c.Node.Shell.WaitWritesComplete(c.P)
+	}
+}
+
+// verifyWord is the inline loop for blocking writes: read back, rewrite
+// on damage, until the word sticks.
+func (c *Ctx) verifyWord(g GlobalPtr, v uint64) {
+	c.settling = true
+	defer func() { c.settling = false }()
+	for pass := 0; c.Read(g) != v; pass++ {
+		if pass >= c.rt.Cfg.MaxWriteRetries {
+			panic(fmt.Sprintf("splitc: PE %d write to PE %d never stuck after %d rewrites",
+				c.MyPE(), g.PE(), pass))
+		}
+		c.noteRewrite()
+		c.Put(g, v)
+		c.Node.CPU.MB(c.P)
+		c.Node.Shell.WaitWritesComplete(c.P)
+	}
+}

@@ -1,0 +1,169 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+func newReliableRT(pes int, fcfg fault.Config) (*Runtime, *fault.Injector) {
+	m := machine.New(machine.DefaultConfig(pes))
+	in := fault.Inject(m, fcfg)
+	return NewRuntime(m, ReliableConfig()), in
+}
+
+func TestReliablePutsSurviveDrops(t *testing.T) {
+	// Every split-phase put must land despite a lossy fabric: Sync
+	// read-back catches the lost words and rewrites them.
+	const words = 64
+	rt, in := newReliableRT(2, fault.Config{Seed: 21, DropRate: 0.25})
+	var rewrites int64
+	rt.Run(func(c *Ctx) {
+		base := c.Alloc(words * 8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < words; i++ {
+				c.Put(Global(1, base+i*8), uint64(i)+100)
+			}
+			c.Sync()
+			rewrites = c.Rewrites
+		}
+		c.Barrier()
+		if c.MyPE() == 1 {
+			for i := int64(0); i < words; i++ {
+				if v := c.Node.CPU.Load64(c.P, base+i*8); v != uint64(i)+100 {
+					t.Errorf("word %d = %d, want %d", i, v, i+100)
+				}
+			}
+		}
+	})
+	if in.Drops == 0 {
+		t.Fatal("25% drop rate injected nothing")
+	}
+	if rewrites == 0 {
+		t.Error("drops occurred but verification rewrote nothing")
+	}
+}
+
+func TestReliableStoresSettleAtAllStoreSync(t *testing.T) {
+	rt, _ := newReliableRT(2, fault.Config{Seed: 8, DropRate: 0.2, CorruptRate: 0.1})
+	const words = 32
+	rt.Run(func(c *Ctx) {
+		base := c.Alloc(words * 8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < words; i++ {
+				c.Store(Global(1, base+i*8), ^uint64(i))
+			}
+		}
+		c.AllStoreSync()
+		if c.MyPE() == 1 {
+			for i := int64(0); i < words; i++ {
+				if v := c.Node.CPU.Load64(c.P, base+i*8); v != ^uint64(i) {
+					t.Errorf("word %d = %#x, want %#x", i, v, ^uint64(i))
+				}
+			}
+		}
+	})
+}
+
+func TestReliableBlockingWriteSurvivesFaults(t *testing.T) {
+	rt, _ := newReliableRT(2, fault.Config{Seed: 13, DropRate: 0.3})
+	rt.Run(func(c *Ctx) {
+		base := c.Alloc(16 * 8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < 16; i++ {
+				c.Write(Global(1, base+i*8), uint64(i)*3+1)
+			}
+		}
+		c.Barrier()
+		if c.MyPE() == 1 {
+			for i := int64(0); i < 16; i++ {
+				if v := c.Node.CPU.Load64(c.P, base+i*8); v != uint64(i)*3+1 {
+					t.Errorf("word %d = %d, want %d", i, v, i*3+1)
+				}
+			}
+		}
+	})
+}
+
+func TestReliableBulkTransfersSurviveFaults(t *testing.T) {
+	// Both the blocking bulk write (inline verification) and the
+	// split-phase BulkPut (settled at Sync) must deliver intact data.
+	rt, _ := newReliableRT(2, fault.Config{Seed: 77, DropRate: 0.15, CorruptRate: 0.1})
+	const n = 512 // bytes per transfer
+	rt.Run(func(c *Ctx) {
+		blocking := c.Alloc(n)
+		split := c.Alloc(n)
+		src := c.Alloc(n)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < n/8; i++ {
+				c.Node.CPU.Store64(c.P, src+i*8, uint64(i)|0xF00000)
+			}
+			c.BulkWrite(Global(1, blocking), src, n)
+			c.BulkPut(Global(1, split), src, n)
+			c.Sync()
+		}
+		c.Barrier()
+		if c.MyPE() == 1 {
+			for i := int64(0); i < n/8; i++ {
+				want := uint64(i) | 0xF00000
+				if v := c.Node.CPU.Load64(c.P, blocking+i*8); v != want {
+					t.Errorf("BulkWrite word %d = %#x, want %#x", i, v, want)
+				}
+				if v := c.Node.CPU.Load64(c.P, split+i*8); v != want {
+					t.Errorf("BulkPut word %d = %#x, want %#x", i, v, want)
+				}
+			}
+		}
+	})
+}
+
+func TestReliableNoFaultsNoRewrites(t *testing.T) {
+	// On a clean fabric the verification pass must find nothing to do.
+	rt, _ := newReliableRT(2, fault.Config{})
+	var rewrites int64
+	rt.Run(func(c *Ctx) {
+		base := c.Alloc(32 * 8)
+		c.Barrier()
+		if c.MyPE() == 0 {
+			for i := int64(0); i < 32; i++ {
+				c.Put(Global(1, base+i*8), uint64(i))
+			}
+			c.Sync()
+			rewrites = c.Rewrites
+		}
+		c.Barrier()
+	})
+	if rewrites != 0 {
+		t.Errorf("clean fabric caused %d rewrites", rewrites)
+	}
+}
+
+func TestReliableReplayable(t *testing.T) {
+	// Identical seeds must give identical end times and rewrite counts.
+	run := func() (end int64, rewrites int64) {
+		rt, _ := newReliableRT(2, fault.Config{Seed: 31, DropRate: 0.2})
+		e := rt.Run(func(c *Ctx) {
+			base := c.Alloc(48 * 8)
+			c.Barrier()
+			if c.MyPE() == 0 {
+				for i := int64(0); i < 48; i++ {
+					c.Put(Global(1, base+i*8), uint64(i)+7)
+				}
+				c.Sync()
+				rewrites = c.Rewrites
+			}
+			c.Barrier()
+		})
+		return int64(e), rewrites
+	}
+	endA, rwA := run()
+	endB, rwB := run()
+	if endA != endB || rwA != rwB {
+		t.Errorf("runs differ: end %d vs %d, rewrites %d vs %d", endA, endB, rwA, rwB)
+	}
+}

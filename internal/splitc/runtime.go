@@ -51,6 +51,19 @@ type Config struct {
 	// BulkGetBLTMin is the non-blocking crossover: the BLT's 180 µs
 	// initiation buys the prefetch path ~7,900 bytes (§6.3).
 	BulkGetBLTMin int64
+
+	// Reliable arms end-to-end write verification for a faulty fabric:
+	// remote puts, stores, and bulk writes are recorded and read back at
+	// the next completion point (Sync, AllStoreSync, Barrier; blocking
+	// writes verify inline), with damaged words rewritten until a clean
+	// verification pass. Reads and the BLT ride the reliable control
+	// path and need no verification. Off by default: the T3D fabric the
+	// paper measures never loses a packet, and verification reads cost
+	// real cycles.
+	Reliable bool
+	// MaxWriteRetries bounds verification passes per completion point
+	// before the runtime declares the fabric dead (0 = a default of 8).
+	MaxWriteRetries int
 }
 
 // DefaultConfig returns the paper's production choices.
@@ -70,11 +83,26 @@ func DefaultConfig() Config {
 type Runtime struct {
 	M   *machine.T3D
 	Cfg Config
+
+	// Rewrites aggregates reliable-mode verification rewrites across all
+	// threads (the event loop serializes them, so a plain counter is
+	// deterministic).
+	Rewrites int64
 }
 
 // NewRuntime builds a runtime over a machine.
 func NewRuntime(m *machine.T3D, cfg Config) *Runtime {
+	if cfg.Reliable && cfg.MaxWriteRetries <= 0 {
+		cfg.MaxWriteRetries = 8
+	}
 	return &Runtime{M: m, Cfg: cfg}
+}
+
+// ReliableConfig is DefaultConfig with end-to-end write verification on.
+func ReliableConfig() Config {
+	c := DefaultConfig()
+	c.Reliable = true
+	return c
 }
 
 // Run executes program as one thread per processor from a single code
@@ -129,8 +157,34 @@ type Ctx struct {
 	// Outstanding gets: the runtime table of prefetch target addresses.
 	gets []int64
 
-	// Stats.
+	// Reliable-mode write records awaiting verification. relPending is
+	// deduplicated by address (last value wins: same-route writes commit
+	// in order) and kept as a slice so verification order — and thus
+	// timing — is deterministic. relRegions are bulk writes verified
+	// against their local source buffers, which the split-phase contract
+	// keeps stable until Sync.
+	relPending []relWrite
+	relIndex   map[GlobalPtr]int
+	relRegions []relRegion
+	settling   bool // true while verification rewrites are in flight
+
+	// Stats. Rewrites counts words rewritten by reliable-mode
+	// verification (i.e. remote writes damaged in flight).
 	Reads, Writes, Gets, Puts, Stores, Syncs int64
+	Rewrites                                 int64
+}
+
+// relWrite is one remote word write awaiting verification.
+type relWrite struct {
+	g GlobalPtr
+	v uint64
+}
+
+// relRegion is one remote bulk write awaiting verification.
+type relRegion struct {
+	g    GlobalPtr
+	src  int64
+	n    int64
 }
 
 // MyPE returns this thread's processor number.

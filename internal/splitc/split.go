@@ -56,6 +56,9 @@ func (c *Ctx) Put(g GlobalPtr, v uint64) {
 		c.Node.CPU.Store64(c.P, g.Local(), v)
 		return
 	}
+	if c.rt.Cfg.Reliable {
+		c.recordWrite(g, v)
+	}
 	idx := c.bind(g.PE(), false)
 	c.Compute(c.rt.Cfg.PutCheckCost)
 	c.Node.CPU.Store64(c.P, addr.Make(idx, g.Local()), v)
@@ -71,6 +74,7 @@ func (c *Ctx) Sync() {
 	if c.Node.Shell.BLTBusy() {
 		c.Node.Shell.BLTWait(c.P)
 	}
+	c.settleWrites()
 }
 
 // Store is the Split-C := operator: a one-way write with extremely weak
@@ -84,6 +88,9 @@ func (c *Ctx) Store(g GlobalPtr, v uint64) {
 		c.Node.CPU.Store64(c.P, g.Local(), v)
 		return
 	}
+	if c.rt.Cfg.Reliable {
+		c.recordWrite(g, v)
+	}
 	idx := c.bind(g.PE(), false)
 	c.Compute(c.rt.Cfg.PutCheckCost)
 	c.Node.CPU.Store64(c.P, addr.Make(idx, g.Local()), v)
@@ -95,6 +102,7 @@ func (c *Ctx) Store(g GlobalPtr, v uint64) {
 func (c *Ctx) AllStoreSync() {
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
+	c.settleWrites()
 	tk := c.Node.Shell.BarrierStart(c.P)
 	c.Node.Shell.BarrierEnd(c.P, tk)
 }
@@ -110,6 +118,7 @@ func (c *Ctx) Barrier() {
 	if c.Node.Shell.BLTBusy() {
 		c.Node.Shell.BLTWait(c.P)
 	}
+	c.settleWrites()
 	tk := c.Node.Shell.BarrierStart(c.P)
 	c.Node.Shell.BarrierEnd(c.P, tk)
 }
