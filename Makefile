@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check race bench
+.PHONY: all build test vet check race bench chaos
 
 all: check
 
@@ -13,8 +13,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# check is the tier-1 gate: everything must build, vet clean, and pass.
-check: build vet test
+# check is the tier-1 gate: everything must build, vet clean, and pass,
+# then survive the randomized hard-fault soak.
+check: build vet test chaos
+
+# chaos is the hard-fault soak gate: randomized-seed permanent link and
+# node failures injected into recoverable EM3D and sample-sort runs,
+# which must complete bit-identical to the fault-free runs. The base
+# seed is printed; replay a failure with CHAOS_BASE=<seed>, widen the
+# sweep with CHAOS_SEEDS=<n>.
+chaos:
+	CHAOS=1 $(GO) test ./internal/chaos -count=1 -v -run TestChaosSoak
 
 # race runs the suite under the race detector. The event kernel hands the
 # single execution token between proc goroutines, so this should stay

@@ -119,6 +119,23 @@ const (
 	HUser = 2
 )
 
+// DeliveryError is the fatal reliable-mode failure: a sender exhausted
+// MaxRetries consecutive no-progress retransmissions, so the layer
+// declares the fabric dead rather than storming forever. It is thrown as
+// a panic carrying an error value, which sim.Engine.RunErr converts into
+// a *sim.ProcFailure.
+type DeliveryError struct {
+	From, To int    // sender and unresponsive destination PE
+	Retries  int    // consecutive no-progress retransmission rounds
+	Unacked  int    // messages still awaiting acknowledgement
+	LastAck  uint64 // last acknowledged sequence from the destination
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("am: PE %d got no ack from PE %d after %d retransmissions (%d unacked, last ack %d)",
+		e.From, e.To, e.Retries, e.Unacked, e.LastAck)
+}
+
 // relMsg is one in-flight reliable message awaiting acknowledgement.
 type relMsg struct {
 	seq  uint64
@@ -166,7 +183,7 @@ type Endpoint struct {
 	// discarded by receiver-side dedup, Rejected messages discarded for
 	// a bad checksum or a sequence gap (go-back-N), and SkippedSlots
 	// head-of-line slots abandoned because their message was lost.
-	Sent, Received                                int64
+	Sent, Received                                  int64
 	Retransmits, Duplicates, Rejected, SkippedSlots int64
 }
 
@@ -294,7 +311,7 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 		c.Put(base.AddLocal(int64(i)*8), v)
 	}
 	// Header written last: separate line, drains after the data.
-	c.Put(base.AddLocal(32), uint64(id)<<32|uint64(c.MyPE())+1)
+	c.Put(base.AddLocal(32), headerWord(c.MyPE(), id))
 	c.Sync()
 }
 
@@ -329,7 +346,7 @@ func (ep *Endpoint) transmit(dst int, m relMsg) {
 	}
 	c.Put(base.AddLocal(offSeq), m.seq)
 	c.Put(base.AddLocal(offSum), checksum(c.MyPE(), m.id, m.seq, m.args))
-	c.Put(base.AddLocal(offHeader), uint64(m.id)<<32|uint64(c.MyPE())+1)
+	c.Put(base.AddLocal(offHeader), headerWord(c.MyPE(), m.id))
 	c.Sync()
 }
 
@@ -377,9 +394,13 @@ func (ep *Endpoint) awaitAck(dst int) {
 			return
 		}
 		if retries >= ep.cfg.MaxRetries {
-			panic(fmt.Sprintf(
-				"am: PE %d got no ack from PE %d after %d retransmissions (%d unacked, last ack %d)",
-				c.MyPE(), dst, retries, len(ep.unacked[dst]), ep.lastAck[dst]))
+			// Panic with an error value: under sim.Engine.RunErr the run
+			// ends with a *sim.ProcFailure wrapping this instead of
+			// crashing the process.
+			panic(&DeliveryError{
+				From: c.MyPE(), To: dst, Retries: retries,
+				Unacked: len(ep.unacked[dst]), LastAck: ep.lastAck[dst],
+			})
 		}
 		for _, m := range ep.unacked[dst] {
 			ep.Retransmits++
@@ -470,8 +491,6 @@ func (ep *Endpoint) pollReliable() bool {
 		return false
 	}
 	ep.stuckHead = -1
-	src := int(header&0xFFFFFFFF) - 1
-	id := int(header >> 32)
 	seq := c.Node.CPU.Load64(c.P, slot+offSeq)
 	sum := c.Node.CPU.Load64(c.P, slot+offSum)
 	var args [4]uint64
@@ -481,17 +500,17 @@ func (ep *Endpoint) pollReliable() bool {
 	c.Node.CPU.Store64(c.P, slot+offHeader, 0) // clear for reuse
 	ep.head++
 	c.Compute(ep.cfg.DispatchPad)
-	if src < 0 || src >= c.NProc() || checksum(src, id, seq, args) != sum {
+	src, id, verdict := classifySlot(c.NProc(), header, seq, sum, args, ep.expected)
+	switch verdict {
+	case slotCorrupt:
 		// Damaged in flight (corrupted data or header line, or a slot
 		// torn by an overwrite). No ack: the sender will retransmit.
 		ep.Rejected++
 		return true
-	}
-	switch {
-	case seq <= ep.expected[src]:
+	case slotDuplicate:
 		ep.Duplicates++ // retransmission of a delivered message
 		return true
-	case seq != ep.expected[src]+1:
+	case slotGap:
 		ep.Rejected++ // gap: an earlier message was lost; await go-back-N
 		return true
 	}

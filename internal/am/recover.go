@@ -1,0 +1,89 @@
+package am
+
+import "repro/internal/splitc"
+
+// This file makes Endpoint checkpointable: the splitc recovery layer
+// (splitc.Recovery) snapshots every node's DRAM — which holds the queue
+// slots, credit words, and ack words — but the endpoint's counters live
+// in Go values outside simulated memory. Implementing
+// splitc.Checkpointable (and splitc.Poller) lets a recoverable program
+// register its endpoint so those counters are captured and restored in
+// lockstep with the memory image. Register from setup:
+//
+//	ep := am.New(c, am.ReliableConfig())
+//	r.Register(c, ep)
+
+// epSnap is the endpoint's soft state at a checkpoint.
+type epSnap struct {
+	head           int64
+	consumed       []uint64
+	sentTo         map[int]uint64
+	knownCred      map[int]uint64
+	expected       []uint64
+	nextSeq        []uint64
+	lastAck        []uint64
+	receivedBytes  int64
+	sent, received int64
+}
+
+// QuiesceState implements splitc.Checkpointable: every unacknowledged
+// message is flushed end to end, so the snapshot never captures traffic
+// in flight.
+func (ep *Endpoint) QuiesceState(c *splitc.Ctx) { ep.Flush() }
+
+// CheckpointState implements splitc.Checkpointable.
+func (ep *Endpoint) CheckpointState() any {
+	s := &epSnap{
+		head:          ep.head,
+		consumed:      append([]uint64(nil), ep.consumed...),
+		sentTo:        copyCounts(ep.sentTo),
+		knownCred:     copyCounts(ep.knownCred),
+		receivedBytes: ep.ReceivedBytes,
+		sent:          ep.Sent,
+		received:      ep.Received,
+	}
+	if ep.cfg.Reliable {
+		s.expected = append([]uint64(nil), ep.expected...)
+		s.nextSeq = append([]uint64(nil), ep.nextSeq...)
+		s.lastAck = append([]uint64(nil), ep.lastAck...)
+	}
+	return s
+}
+
+// RestoreState implements splitc.Checkpointable. Unacknowledged messages
+// are discarded — they belong to the epoch being abandoned and will be
+// re-sent by the replay — and dead-slot tracking resets. The fault-event
+// counters (Retransmits, Duplicates, Rejected, SkippedSlots) deliberately
+// keep accumulating across rollbacks: they count what the fabric did, not
+// what the program computed.
+func (ep *Endpoint) RestoreState(snap any) {
+	s := snap.(*epSnap)
+	ep.head = s.head
+	copy(ep.consumed, s.consumed)
+	ep.sentTo = copyCounts(s.sentTo)
+	ep.knownCred = copyCounts(s.knownCred)
+	ep.ReceivedBytes = s.receivedBytes
+	ep.Sent, ep.Received = s.sent, s.received
+	if ep.cfg.Reliable {
+		copy(ep.expected, s.expected)
+		copy(ep.nextSeq, s.nextSeq)
+		copy(ep.lastAck, s.lastAck)
+		for i := range ep.unacked {
+			ep.unacked[i] = nil
+		}
+	}
+	ep.stuckHead = -1
+}
+
+// PollState implements splitc.Poller: checkpoint and rollback rendezvous
+// keep servicing this queue so peers still flushing can collect the
+// acknowledgements they are waiting for.
+func (ep *Endpoint) PollState(c *splitc.Ctx) bool { return ep.Poll() }
+
+func copyCounts(m map[int]uint64) map[int]uint64 {
+	out := make(map[int]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

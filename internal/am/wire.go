@@ -1,0 +1,47 @@
+package am
+
+// slotVerdict classifies a reliable-mode queue slot image.
+type slotVerdict int
+
+const (
+	slotEmpty     slotVerdict = iota // no header word: nothing arrived
+	slotCorrupt                      // bad source or checksum: reject, no ack
+	slotDuplicate                    // already-delivered sequence: discard, no ack
+	slotGap                          // sequence gap: an earlier message was lost
+	slotDeliver                      // next in-order message: dispatch and ack
+)
+
+// decodeHeader splits a header word into source PE and handler id. The
+// source is stored +1 so an all-zero word reads as "empty slot".
+func decodeHeader(header uint64) (src, id int) {
+	return int(header&0xFFFFFFFF) - 1, int(header >> 32)
+}
+
+// headerWord is decodeHeader's inverse: the word a sender deposits.
+func headerWord(src, id int) uint64 {
+	return uint64(id)<<32 | uint64(src) + 1
+}
+
+// classifySlot validates one reliable-mode slot image end to end: header
+// decode, source bounds, the end-to-end checksum, and in-order sequencing
+// against expected — the per-source highest delivered sequence, indexed
+// only after the bounds check proves src sane. It is a pure function of
+// its inputs so that every bit pattern a faulty fabric might deposit can
+// be fuzzed directly: no input may panic, and only slotDeliver leads to
+// an acknowledgement.
+func classifySlot(nproc int, header, seq, sum uint64, args [4]uint64, expected []uint64) (src, id int, v slotVerdict) {
+	if header == 0 {
+		return -1, 0, slotEmpty
+	}
+	src, id = decodeHeader(header)
+	if src < 0 || src >= nproc || checksum(src, id, seq, args) != sum {
+		return src, id, slotCorrupt
+	}
+	switch {
+	case seq <= expected[src]:
+		return src, id, slotDuplicate
+	case seq != expected[src]+1:
+		return src, id, slotGap
+	}
+	return src, id, slotDeliver
+}

@@ -1,0 +1,81 @@
+package am
+
+import "testing"
+
+// FuzzClassifySlot throws arbitrary reliable-mode slot images — any bit
+// pattern a faulty fabric might deposit into a receive queue — at the
+// decode path. The invariants: classifySlot never panics, never reports
+// an empty slot for a non-zero header, and never returns slotDeliver (the
+// only verdict that acknowledges) unless the checksum proves the header
+// and the sequence is exactly the next in order. A mis-ack would let
+// go-back-N retire a message that was never delivered.
+func FuzzClassifySlot(f *testing.F) {
+	const nproc = 4
+	valid := [4]uint64{0xDEAD, 0xBEEF, 42, 0}
+	hdr := headerWord(2, HUser)
+	sum := checksum(2, HUser, 7, valid)
+	// Seed corpus: empty, a valid in-order message, a duplicate, a gap,
+	// and single-field corruptions of the valid image.
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(hdr, uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
+	f.Add(hdr, uint64(3), sum, valid[0], valid[1], valid[2], valid[3])
+	f.Add(hdr, uint64(9), sum, valid[0], valid[1], valid[2], valid[3])
+	f.Add(hdr^1, uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
+	f.Add(hdr, uint64(7), sum^0x8000, valid[0], valid[1], valid[2], valid[3])
+	f.Add(hdr, uint64(7), sum, valid[0]^1, valid[1], valid[2], valid[3])
+	f.Add(headerWord(nproc+5, HUser), uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, header, seq, sum, a0, a1, a2, a3 uint64) {
+		expected := []uint64{6, 6, 6, 6}
+		args := [4]uint64{a0, a1, a2, a3}
+		src, id, v := classifySlot(nproc, header, seq, sum, args, expected)
+		switch {
+		case header == 0:
+			if v != slotEmpty {
+				t.Fatalf("zero header classified %d, want slotEmpty", v)
+			}
+		case v == slotEmpty:
+			t.Fatalf("non-zero header %#x classified empty", header)
+		}
+		if v == slotDeliver {
+			if src < 0 || src >= nproc {
+				t.Fatalf("delivered from out-of-range source %d", src)
+			}
+			if checksum(src, id, seq, args) != sum {
+				t.Fatalf("delivered a message whose checksum does not match (header %#x)", header)
+			}
+			if seq != expected[src]+1 {
+				t.Fatalf("acked out-of-order seq %d from src %d (expected %d)", seq, src, expected[src]+1)
+			}
+		}
+	})
+}
+
+// TestClassifySlotVerdicts pins the verdict for each protocol case so the
+// fuzz invariants rest on a known-good baseline.
+func TestClassifySlotVerdicts(t *testing.T) {
+	const nproc = 4
+	args := [4]uint64{1, 2, 3, 4}
+	expected := []uint64{6, 6, 6, 6}
+	good := func(seq uint64) (uint64, uint64) {
+		return headerWord(1, HUser), checksum(1, HUser, seq, args)
+	}
+	hdr, sum := good(7)
+	cases := []struct {
+		name             string
+		header, seq, sum uint64
+		want             slotVerdict
+	}{
+		{"empty", 0, 0, 0, slotEmpty},
+		{"in-order", hdr, 7, sum, slotDeliver},
+		{"duplicate", hdr, 6, checksum(1, HUser, 6, args), slotDuplicate},
+		{"gap", hdr, 9, checksum(1, HUser, 9, args), slotGap},
+		{"bad-checksum", hdr, 7, sum ^ 1, slotCorrupt},
+		{"bad-source", headerWord(nproc, HUser), 7, checksum(nproc, HUser, 7, args), slotCorrupt},
+	}
+	for _, tc := range cases {
+		if _, _, v := classifySlot(nproc, tc.header, tc.seq, tc.sum, args, expected); v != tc.want {
+			t.Errorf("%s: verdict %d, want %d", tc.name, v, tc.want)
+		}
+	}
+}

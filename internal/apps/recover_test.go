@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/splitc"
+)
+
+func recoverableSortRun(t *testing.T, fcfg fault.Config) (SampleSortResult, splitc.RecoveryStats, *fault.Injector) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	keys := randKeys(rng, 4, 40, 1<<40)
+	rt, in := newFaultyRT(4, fcfg)
+	res, stats, err := SampleSortRecoverable(rt, splitc.RecoveryConfig{}, in, keys)
+	if err != nil {
+		t.Fatalf("recoverable sort failed: %v", err)
+	}
+	return res, stats, in
+}
+
+func TestSampleSortRecoverableClean(t *testing.T) {
+	// Without faults the recoverable structure must still sort correctly
+	// and take one checkpoint per epoch plus the pre-run and post-setup
+	// images.
+	res, stats, _ := recoverableSortRun(t, fault.Config{})
+	if !res.Validated {
+		t.Fatal("clean recoverable sort produced wrong output")
+	}
+	if stats.Rollbacks != 0 {
+		t.Errorf("clean run rolled back %d times", stats.Rollbacks)
+	}
+	if stats.Checkpoints != 6 {
+		t.Errorf("checkpoints = %d, want 6 (pre-run + setup + 4 epochs)", stats.Checkpoints)
+	}
+}
+
+func TestSampleSortRecoverableSurvivesNodeCrash(t *testing.T) {
+	// A node crash mid-sort loses that PE's keys, splitters, and received
+	// runs; rollback must restore them and the final sequence must be
+	// bit-identical to the fault-free sort.
+	clean, _, _ := recoverableSortRun(t, fault.Config{})
+	res, stats, _ := recoverableSortRun(t, fault.Config{
+		Seed: 21, HardNodeFaults: 1, Horizon: 11000,
+	})
+	if stats.NodeCrashes == 0 {
+		t.Fatal("no crash fired — horizon too long for this workload?")
+	}
+	if stats.Rollbacks == 0 {
+		t.Error("a crash was injected but nothing rolled back")
+	}
+	if !res.Validated {
+		t.Fatal("sort output wrong after crash recovery")
+	}
+	if res.Digest != clean.Digest {
+		t.Errorf("digest %#x differs from fault-free %#x", res.Digest, clean.Digest)
+	}
+	if res.Cycles <= clean.Cycles {
+		t.Errorf("crashed run (%d cycles) not slower than clean (%d)", res.Cycles, clean.Cycles)
+	}
+}
+
+func TestSampleSortRecoverableCombinedHardFaults(t *testing.T) {
+	// Link death, node crash, and transient drops in one run: the
+	// acceptance scenario for the sort.
+	clean, _, _ := recoverableSortRun(t, fault.Config{})
+	res, stats, in := recoverableSortRun(t, fault.Config{
+		Seed:           31,
+		DropRate:       0.02,
+		HardLinkFaults: 1,
+		HardNodeFaults: 1,
+		Horizon:        60000,
+	})
+	if stats.NodeCrashes == 0 || in.HardLinkFails == 0 {
+		t.Fatalf("faults did not fire: crashes=%d linkfails=%d", stats.NodeCrashes, in.HardLinkFails)
+	}
+	if !res.Validated {
+		t.Fatal("sort output wrong under combined hard faults")
+	}
+	if res.Digest != clean.Digest {
+		t.Errorf("digest %#x differs from fault-free %#x", res.Digest, clean.Digest)
+	}
+}
+
+func TestSampleSortRecoverableReplayDeterminism(t *testing.T) {
+	// Same seed and schedule ⇒ identical cycle count, rollback count, and
+	// digest across two runs.
+	fcfg := fault.Config{Seed: 31, DropRate: 0.02, HardLinkFaults: 1, HardNodeFaults: 1, Horizon: 60000}
+	resA, statsA, _ := recoverableSortRun(t, fcfg)
+	resB, statsB, _ := recoverableSortRun(t, fcfg)
+	if resA.Cycles != resB.Cycles {
+		t.Errorf("cycle counts differ: %d vs %d", resA.Cycles, resB.Cycles)
+	}
+	if statsA.Rollbacks != statsB.Rollbacks {
+		t.Errorf("rollbacks differ: %d vs %d", statsA.Rollbacks, statsB.Rollbacks)
+	}
+	if resA.Digest != resB.Digest {
+		t.Errorf("digests differ: %#x vs %#x", resA.Digest, resB.Digest)
+	}
+}

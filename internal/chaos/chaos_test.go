@@ -1,0 +1,139 @@
+// Package chaos is the randomized hard-fault soak gate (`make chaos`).
+//
+// Each iteration draws a fresh fault seed, injects permanent link and
+// node failures (plus transient drops) into a recoverable EM3D run and a
+// recoverable sample sort, and asserts the results are bit-identical to
+// the fault-free runs. The base seed is randomized per invocation and
+// printed on entry; export CHAOS_BASE to replay a failing sweep and
+// CHAOS_SEEDS to widen it. The suite is skipped unless CHAOS is set, so
+// the plain `go test ./...` tier-1 gate stays fast and deterministic.
+package chaos
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/em3d"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+func soakParams(t *testing.T) (base uint64, count int) {
+	t.Helper()
+	if os.Getenv("CHAOS") == "" {
+		t.Skip("set CHAOS=1 (or run `make chaos`) to run the hard-fault soak")
+	}
+	base = uint64(time.Now().UnixNano())
+	if v := os.Getenv("CHAOS_BASE"); v != "" {
+		b, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_BASE=%q: %v", v, err)
+		}
+		base = b
+	}
+	count = 5
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		c, err := strconv.Atoi(v)
+		if err != nil || c <= 0 {
+			t.Fatalf("CHAOS_SEEDS=%q: want a positive integer", v)
+		}
+		count = c
+	}
+	t.Logf("chaos soak: base seed %d, %d iterations (replay with CHAOS_BASE=%d)", base, count, base)
+	return base, count
+}
+
+func TestChaosSoakEM3D(t *testing.T) {
+	base, count := soakParams(t)
+	cfg := em3d.Config{NodesPerPE: 24, Degree: 4, RemoteFrac: 0.4, Seed: 7, Iters: 2, Reliable: true}
+
+	run := func(fcfg fault.Config) (em3d.Result, splitc.RecoveryStats, *fault.Injector, error) {
+		m := em3d.NewMachine(4)
+		in := fault.Inject(m, fcfg)
+		res, stats, err := em3d.RunRecoverable(m, cfg, em3d.Put, em3d.DefaultKnobs(), splitc.RecoveryConfig{}, in)
+		return res, stats, in, err
+	}
+	clean, _, _, err := run(fault.Config{})
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	horizon := clean.Cycles / 2
+
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		fcfg := fault.Config{
+			Seed:           seed,
+			DropRate:       0.02,
+			HardLinkFaults: 1,
+			HardNodeFaults: 1,
+			Horizon:        horizon,
+		}
+		res, stats, in, err := run(fcfg)
+		if err != nil {
+			t.Fatalf("seed %d: unrecoverable: %v", seed, err)
+		}
+		if stats.NodeCrashes == 0 || in.HardLinkFails == 0 {
+			t.Fatalf("seed %d: hard faults did not fire (crashes=%d linkfails=%d)",
+				seed, stats.NodeCrashes, in.HardLinkFails)
+		}
+		if !res.Validated || res.Digest != clean.Digest {
+			t.Errorf("seed %d: result not bit-identical (validated=%v digest=%#x want %#x, %d rollbacks)",
+				seed, res.Validated, res.Digest, clean.Digest, stats.Rollbacks)
+		}
+	}
+}
+
+func TestChaosSoakSampleSort(t *testing.T) {
+	base, count := soakParams(t)
+	rng := rand.New(rand.NewSource(5))
+	keys := make([][]uint64, 4)
+	for pe := range keys {
+		for i := 0; i < 40; i++ {
+			keys[pe] = append(keys[pe], rng.Uint64()%(1<<40))
+		}
+	}
+
+	run := func(fcfg fault.Config) (apps.SampleSortResult, splitc.RecoveryStats, *fault.Injector, error) {
+		mcfg := machine.DefaultConfig(4)
+		mcfg.MemBytes = 2 << 20
+		m := machine.New(mcfg)
+		in := fault.Inject(m, fcfg)
+		rt := splitc.NewRuntime(m, splitc.ReliableConfig())
+		res, stats, err := apps.SampleSortRecoverable(rt, splitc.RecoveryConfig{}, in, keys)
+		return res, stats, in, err
+	}
+	clean, _, _, err := run(fault.Config{})
+	if err != nil {
+		t.Fatalf("fault-free sort failed: %v", err)
+	}
+	horizon := clean.Cycles / 2
+
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		fcfg := fault.Config{
+			Seed:           seed,
+			DropRate:       0.02,
+			HardLinkFaults: 1,
+			HardNodeFaults: 1,
+			Horizon:        sim.Time(horizon),
+		}
+		res, stats, in, err := run(fcfg)
+		if err != nil {
+			t.Fatalf("seed %d: unrecoverable: %v", seed, err)
+		}
+		if stats.NodeCrashes == 0 || in.HardLinkFails == 0 {
+			t.Fatalf("seed %d: hard faults did not fire (crashes=%d linkfails=%d)",
+				seed, stats.NodeCrashes, in.HardLinkFails)
+		}
+		if !res.Validated || res.Digest != clean.Digest {
+			t.Errorf("seed %d: sort not bit-identical (validated=%v digest=%#x want %#x, %d rollbacks)",
+				seed, res.Validated, res.Digest, clean.Digest, stats.Rollbacks)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package em3d
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/splitc"
+)
+
+// RunRecoverable executes EM3D under checkpoint/rollback recovery
+// (splitc.Recovery): the program survives permanent link faults (the
+// fabric reroutes) and node hard-faults (the machine rolls back to the
+// last epoch checkpoint and replays). The epoch structure maps one
+// leapfrog half-step to one epoch: epoch 0 is the untimed warm-up,
+// epochs 1..Iters are the measured steps, and a checkpoint separates
+// every pair.
+//
+// All cross-epoch state — H values, ghost regions, staging buffers —
+// already lives in simulated memory (the Split-C model), so the kernel is
+// recoverable as written: a replayed epoch recomputes E from the restored
+// H field and lands on bit-identical values. in, if non-nil, has its
+// crash handler wired to the recovery layer; pass the injector whose
+// schedule carries HardNodeFaults.
+//
+// Cycles in the returned Result is the full run time including replayed
+// epochs and rollback stalls — the degraded-mode completion time the extG
+// experiment sweeps.
+func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg splitc.RecoveryConfig, in *fault.Injector) (Result, splitc.RecoveryStats, error) {
+	nproc := len(m.Nodes)
+	g := buildGraph(nproc, cfg)
+	rtCfg := splitc.DefaultConfig()
+	rtCfg.Reliable = cfg.Reliable
+	rt := splitc.NewRuntime(m, rtCfg)
+	lay := layout(g, rt)
+	// Host-side seeding happens before Run takes the pre-run image, so a
+	// crash before the first checkpoint restores the seeded graph.
+	seed(g, m, lay)
+
+	rec := splitc.NewRecovery(rt, rcfg)
+	if in != nil {
+		in.OnNodeCrash = rec.CrashNode
+	}
+	end, stats, err := rec.Run(func(c *splitc.Ctx, r *splitc.Recovery) splitc.EpochFunc {
+		pe := c.MyPE()
+		return func(epoch int) bool {
+			exchange(c, g, lay, pe, v)
+			compute(c, g, lay, pe, v, knobs)
+			c.Barrier()
+			return epoch < cfg.Iters // epoch 0 is the warm-up step
+		}
+	})
+
+	edges := g.edgeCount()
+	res := Result{
+		Version:    v,
+		Cfg:        cfg,
+		NProc:      nproc,
+		Cycles:     end,
+		EdgesPerPE: edges,
+		Rewrites:   rt.Rewrites,
+	}
+	if err == nil {
+		res.Validated = validate(g, m, lay)
+		res.Digest = digest(g, m, lay)
+		perEdge := float64(end) / float64(edges*int64(cfg.Iters))
+		res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3
+		res.MFlopsPE = 2 / res.USPerEdge
+	}
+	return res, stats, err
+}

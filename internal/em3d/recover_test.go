@@ -1,0 +1,151 @@
+package em3d
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/splitc"
+)
+
+// recoverableRun drives one recoverable EM3D run under the given fault
+// config and fails the test on an unrecoverable error.
+func recoverableRun(t *testing.T, v Version, fcfg fault.Config) (Result, splitc.RecoveryStats) {
+	t.Helper()
+	cfg := smallCfg(0.4)
+	cfg.Reliable = true
+	m := NewMachine(4)
+	in := fault.Inject(m, fcfg)
+	res, stats, err := RunRecoverable(m, cfg, v, DefaultKnobs(), splitc.RecoveryConfig{}, in)
+	if err != nil {
+		t.Fatalf("recoverable run failed: %v", err)
+	}
+	return res, stats
+}
+
+func TestRecoverableCleanRunMatchesPlain(t *testing.T) {
+	// With no faults injected, the recoverable runner must compute the
+	// same physics as the plain runner — bit for bit.
+	cfg := smallCfg(0.4)
+	cfg.Reliable = true
+	plain := Run(NewMachine(4), cfg, Put, DefaultKnobs())
+	res, stats := recoverableRun(t, Put, fault.Config{})
+	if !res.Validated {
+		t.Fatal("clean recoverable run does not validate")
+	}
+	if res.Digest != plain.Digest {
+		t.Errorf("digest %#x differs from plain run %#x", res.Digest, plain.Digest)
+	}
+	if stats.Rollbacks != 0 {
+		t.Errorf("clean run rolled back %d times", stats.Rollbacks)
+	}
+	// One pre-run image, one post-setup checkpoint, one per epoch.
+	if stats.Checkpoints < int64(cfg.Iters)+2 {
+		t.Errorf("only %d checkpoints for %d epochs", stats.Checkpoints, cfg.Iters+1)
+	}
+}
+
+func TestRecoverableSurvivesNodeCrash(t *testing.T) {
+	// A node hard-faults mid-run, losing its memory. Rollback must replay
+	// from the last checkpoint and land on bit-identical results.
+	clean, _ := recoverableRun(t, Put, fault.Config{})
+	res, stats := recoverableRun(t, Put, fault.Config{
+		Seed: 5, HardNodeFaults: 1, Horizon: 25000,
+	})
+	if !res.Validated {
+		t.Fatal("run does not validate after node crash recovery")
+	}
+	if stats.NodeCrashes == 0 {
+		t.Fatal("no crash was injected — horizon too long for this workload?")
+	}
+	if stats.Rollbacks == 0 {
+		t.Error("a crash was injected but nothing rolled back")
+	}
+	if res.Digest != clean.Digest {
+		t.Errorf("digest %#x differs from fault-free %#x: recovery changed the physics", res.Digest, clean.Digest)
+	}
+	if res.Cycles <= clean.Cycles {
+		t.Errorf("crashed run (%d cycles) not slower than clean run (%d)", res.Cycles, clean.Cycles)
+	}
+}
+
+func TestRecoverableSurvivesHardLinkFault(t *testing.T) {
+	// A link dies permanently mid-run: the fabric must reroute around it
+	// and the computation must still be bit-identical.
+	clean, _ := recoverableRun(t, Get, fault.Config{})
+	cfg := smallCfg(0.4)
+	cfg.Reliable = true
+	m := NewMachine(8)
+	in := fault.Inject(m, fault.Config{Seed: 9, HardLinkFaults: 1, Horizon: 15000})
+	res, stats, err := RunRecoverable(m, cfg, Get, DefaultKnobs(), splitc.RecoveryConfig{}, in)
+	if err != nil {
+		t.Fatalf("recoverable run failed: %v", err)
+	}
+	if in.HardLinkFails == 0 {
+		t.Fatal("no link fault fired — horizon too long for this workload?")
+	}
+	if !res.Validated {
+		t.Fatal("run does not validate after hard link fault")
+	}
+	_ = clean
+	_ = stats
+	if m.Net.ReroutedPackets == 0 {
+		t.Error("a link died but no packet was rerouted")
+	}
+}
+
+func TestRecoverableCombinedHardFaults(t *testing.T) {
+	// The acceptance scenario: at least one permanent link fault AND one
+	// node hard-fault in the same run, with transient drops on top; the
+	// result must be bit-identical to the fault-free run.
+	clean, _ := recoverableRun(t, Put, fault.Config{})
+	res, stats := recoverableRun(t, Put, fault.Config{
+		Seed:           77,
+		DropRate:       0.02,
+		HardLinkFaults: 1,
+		HardNodeFaults: 1,
+		Horizon:        25000,
+	})
+	if !res.Validated {
+		t.Fatal("run does not validate under combined hard faults")
+	}
+	if stats.NodeCrashes == 0 {
+		t.Fatal("no node crash fired")
+	}
+	if res.Digest != clean.Digest {
+		t.Errorf("digest %#x differs from fault-free %#x", res.Digest, clean.Digest)
+	}
+}
+
+func TestRecoverableReplayDeterminism(t *testing.T) {
+	// Satellite: same seed and schedule ⇒ identical final cycle count,
+	// rollback count, and rerouted-hop totals across two runs.
+	run := func() (Result, splitc.RecoveryStats, int64, int64) {
+		cfg := smallCfg(0.4)
+		cfg.Reliable = true
+		m := NewMachine(4)
+		in := fault.Inject(m, fault.Config{
+			Seed: 13, DropRate: 0.03, HardLinkFaults: 1, HardNodeFaults: 1, Horizon: 25000,
+		})
+		res, stats, err := RunRecoverable(m, cfg, Put, DefaultKnobs(), splitc.RecoveryConfig{}, in)
+		if err != nil {
+			t.Fatalf("recoverable run failed: %v", err)
+		}
+		return res, stats, m.Net.ReroutedPackets, m.Net.ExtraHops
+	}
+	resA, statsA, reroutedA, extraA := run()
+	resB, statsB, reroutedB, extraB := run()
+	if resA.Cycles != resB.Cycles {
+		t.Errorf("cycle counts differ: %d vs %d", resA.Cycles, resB.Cycles)
+	}
+	if statsA.Rollbacks != statsB.Rollbacks || statsA.NodeCrashes != statsB.NodeCrashes {
+		t.Errorf("recovery differs: rollbacks %d vs %d, crashes %d vs %d",
+			statsA.Rollbacks, statsB.Rollbacks, statsA.NodeCrashes, statsB.NodeCrashes)
+	}
+	if reroutedA != reroutedB || extraA != extraB {
+		t.Errorf("rerouting differs: packets %d vs %d, extra hops %d vs %d",
+			reroutedA, reroutedB, extraA, extraB)
+	}
+	if resA.Digest != resB.Digest {
+		t.Errorf("digests differ: %#x vs %#x", resA.Digest, resB.Digest)
+	}
+}

@@ -69,6 +69,11 @@ type Result struct {
 	USPerEdge  float64 // the paper's Figure 9 metric
 	MFlopsPE   float64 // 2 flops per edge, per processor
 	Validated  bool
+	// Digest fingerprints the final E field across all PEs (FNV-1a over
+	// the raw bit patterns): two runs computed the same physics iff their
+	// digests match, which is how recovery tests prove bit-identical
+	// results under injected hard faults.
+	Digest uint64
 	// Rewrites counts words the reliable runtime rewrote after damage in
 	// flight (zero unless Cfg.Reliable and a fault injector are active).
 	Rewrites int64
@@ -123,6 +128,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 		Cycles:     elapsed,
 		EdgesPerPE: edges,
 		Validated:  validate(g, m, lay),
+		Digest:     digest(g, m, lay),
 		Rewrites:   rt.Rewrites,
 	}
 	perEdge := float64(elapsed) / float64(edges*int64(cfg.Iters))
@@ -329,6 +335,23 @@ func compute(c *splitc.Ctx, g *graph, r *regions, pe int, v Version, knobs Knobs
 		}
 		c.Node.CPU.Store64(c.P, r.eVal+int64(e)*8, math.Float64bits(acc))
 	}
+}
+
+// digest fingerprints the final E field: FNV-1a over every PE's raw
+// 64-bit E values in PE-major order.
+func digest(g *graph, m *machine.T3D, r *regions) uint64 {
+	h := uint64(14695981039346656037)
+	for pe := range g.pes {
+		d := m.Nodes[pe].DRAM
+		for e := 0; e < g.cfg.NodesPerPE; e++ {
+			v := d.Read64(r.eVal + int64(e)*8)
+			for b := 0; b < 64; b += 8 {
+				h ^= (v >> b) & 0xFF
+				h *= 1099511628211
+			}
+		}
+	}
+	return h
 }
 
 // validate compares the simulated E values with the host reference.

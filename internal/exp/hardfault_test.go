@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHardFaultExperimentShape(t *testing.T) {
+	e, ok := Find("extG")
+	if !ok {
+		t.Fatal("extG not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 3 {
+		t.Fatalf("extG produced %d tables, want 3 (dead links, rollback, partition)", len(tables))
+	}
+
+	// Dead-link sweep: 4 rows, every row bit-identical, and rerouting
+	// must actually show up once links die.
+	links := tables[0]
+	if len(links.Rows) != 4 {
+		t.Fatalf("dead-link sweep has %d rows, want 4", len(links.Rows))
+	}
+	for _, row := range links.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("dead-link row %v not bit-identical", row)
+		}
+	}
+	if links.Rows[0][3] != "0" {
+		t.Errorf("fault-free run rerouted packets: %v", links.Rows[0])
+	}
+	rerouted := false
+	for _, row := range links.Rows[1:] {
+		if row[0] != "0" && row[3] != "0" {
+			rerouted = true
+		}
+	}
+	if !rerouted {
+		t.Error("no dead-link row shows rerouted packets")
+	}
+
+	// Rollback table: the crash plans must actually crash, roll back,
+	// and still land bit-identical.
+	roll := tables[1]
+	if len(roll.Rows) != 4 {
+		t.Fatalf("rollback table has %d rows, want 4", len(roll.Rows))
+	}
+	for i, row := range roll.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("rollback row %v not bit-identical", row)
+		}
+		if i > 0 && row[1] == "0" {
+			t.Errorf("crash plan %q fired no crashes", row[0])
+		}
+		if i > 0 && row[2] == "0" {
+			t.Errorf("crash plan %q rolled nothing back", row[0])
+		}
+	}
+
+	// Partition table: the outcome must be the explicit error.
+	part := tables[2]
+	if len(part.Rows) != 1 || !strings.Contains(part.Rows[0][1], "ErrPartitioned") {
+		t.Errorf("partition outcome = %v, want ErrPartitioned", part.Rows)
+	}
+}

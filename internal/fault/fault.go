@@ -63,6 +63,18 @@ type Config struct {
 	// uniform times in [0, Horizon) on uniformly chosen nodes.
 	Stalls      int
 	StallCycles sim.Time
+
+	// Hard failures: fail-at-cycle, never recover. HardLinkFaults links
+	// die permanently at uniform times in [0, Horizon); the fabric must
+	// reroute around them. HardNodeFaults nodes crash fail-stop at
+	// uniform times in [0, Horizon): the node's volatile memory is lost
+	// and a recovery layer (splitc.Recovery) must roll the machine back
+	// to its last checkpoint. Node crashes require a crash handler —
+	// attaching a schedule with HardNodeFaults > 0 and no handler is
+	// rejected at the first crash, because fail-stop without recovery
+	// has no correct continuation.
+	HardLinkFaults int
+	HardNodeFaults int
 }
 
 // Validate rejects configurations that cannot form a schedule.
@@ -76,8 +88,12 @@ func (c Config) Validate() error {
 	if c.CorruptFrac < 0 || c.CorruptFrac > 1 {
 		return fmt.Errorf("fault: corrupt fraction %g outside [0,1]", c.CorruptFrac)
 	}
-	if (c.LinkFaults > 0 || c.Stalls > 0) && c.Horizon <= 0 {
+	if (c.LinkFaults > 0 || c.Stalls > 0 || c.HardLinkFaults > 0 || c.HardNodeFaults > 0) && c.Horizon <= 0 {
 		return fmt.Errorf("fault: scheduled faults need a positive horizon")
+	}
+	if c.HardLinkFaults < 0 || c.HardNodeFaults < 0 {
+		return fmt.Errorf("fault: negative hard-fault count (links=%d nodes=%d)",
+			c.HardLinkFaults, c.HardNodeFaults)
 	}
 	if c.LinkFaults > 0 && c.WindowCycles <= 0 {
 		return fmt.Errorf("fault: link faults need positive window cycles")
@@ -103,13 +119,33 @@ type Stall struct {
 	Cycles sim.Time
 }
 
+// HardLink is one permanent link failure: the link leaving Node in
+// direction Dir dies at cycle At and never recovers.
+type HardLink struct {
+	Node, Dir int
+	At        sim.Time
+}
+
+// HardNode is one permanent node failure: PE crashes fail-stop at cycle
+// At, losing its volatile memory. The shell, router, and DRAM hardware
+// keep functioning (on the real T3D the network logic lives in the
+// shell, outboard of the CPU), so traffic still routes *through* a dead
+// node — but its computation and memory contents are gone until a
+// recovery layer restores them from a checkpoint.
+type HardNode struct {
+	PE int
+	At sim.Time
+}
+
 // Schedule is a replayable fault plan: everything below is a pure
 // function of (Config, node count), so equal seeds give equal schedules.
 type Schedule struct {
-	Cfg    Config
-	Nodes  int
-	Links  []LinkFault
-	Stalls []Stall
+	Cfg       Config
+	Nodes     int
+	Links     []LinkFault
+	Stalls    []Stall
+	HardLinks []HardLink
+	HardNodes []HardNode
 }
 
 // numDirs mirrors the torus fabric's six outgoing links per node.
@@ -134,11 +170,11 @@ func NewSchedule(cfg Config, nodes int) *Schedule {
 			kind = net.FaultCorrupt
 		}
 		s.Links = append(s.Links, LinkFault{
-			Node: r.intn(nodes),
-			Dir:  r.intn(numDirs),
-			From: start,
+			Node:  r.intn(nodes),
+			Dir:   r.intn(numDirs),
+			From:  start,
 			Until: start + cfg.WindowCycles,
-			Kind: kind,
+			Kind:  kind,
 		})
 	}
 	sort.Slice(s.Links, func(i, j int) bool { return s.Links[i].From < s.Links[j].From })
@@ -150,6 +186,23 @@ func NewSchedule(cfg Config, nodes int) *Schedule {
 		})
 	}
 	sort.Slice(s.Stalls, func(i, j int) bool { return s.Stalls[i].At < s.Stalls[j].At })
+	// Hard faults draw from the same stream, after the transient plan, so
+	// enabling them never perturbs an existing transient schedule.
+	for i := 0; i < cfg.HardLinkFaults; i++ {
+		s.HardLinks = append(s.HardLinks, HardLink{
+			Node: r.intn(nodes),
+			Dir:  r.intn(numDirs),
+			At:   sim.Time(r.next() % uint64(cfg.Horizon)),
+		})
+	}
+	sort.Slice(s.HardLinks, func(i, j int) bool { return s.HardLinks[i].At < s.HardLinks[j].At })
+	for i := 0; i < cfg.HardNodeFaults; i++ {
+		s.HardNodes = append(s.HardNodes, HardNode{
+			PE: r.intn(nodes),
+			At: sim.Time(r.next() % uint64(cfg.Horizon)),
+		})
+	}
+	sort.Slice(s.HardNodes, func(i, j int) bool { return s.HardNodes[i].At < s.HardNodes[j].At })
 	return s
 }
 
@@ -160,8 +213,17 @@ type Injector struct {
 	sched *Schedule
 	r     rng // per-packet stream, consumed in deterministic event order
 
+	// OnNodeCrash is invoked when a scheduled node hard-fault fires,
+	// with the dead PE's number. A recovery layer (splitc.Recovery sets
+	// this to its CrashNode method) zeroes the node's volatile memory
+	// and initiates rollback. It MUST be set before any HardNode event
+	// fires: a crash with no handler panics, because fail-stop without
+	// recovery has no correct continuation.
+	OnNodeCrash func(pe int)
+
 	// Stats.
-	Drops, Corrupts, Stalled int64
+	Drops, Corrupts, Stalled   int64
+	HardLinkFails, NodeCrashes int64
 }
 
 // NewInjector builds an injector for the schedule. The per-packet
@@ -222,6 +284,25 @@ func (in *Injector) Attach(m *machine.T3D) {
 			m.Nodes[st.PE].Shell.Steal(st.Cycles)
 			in.Stalled++
 			m.Eng.Trace("fault.stall", "pe%d stalled %d cycles", st.PE, st.Cycles)
+		})
+	}
+	for _, hl := range in.sched.HardLinks {
+		hl := hl
+		m.Eng.At(hl.At, func() {
+			m.Net.FailLink(hl.Node, hl.Dir)
+			in.HardLinkFails++
+			m.Eng.Trace("fault.hardlink", "link pe%d dir%d dead at t=%d", hl.Node, hl.Dir, hl.At)
+		})
+	}
+	for _, hn := range in.sched.HardNodes {
+		hn := hn
+		m.Eng.At(hn.At, func() {
+			in.NodeCrashes++
+			m.Eng.Trace("fault.crash", "pe%d hard-fault at t=%d", hn.PE, hn.At)
+			if in.OnNodeCrash == nil {
+				panic(fmt.Sprintf("fault: node %d hard-faulted at t=%d with no crash handler installed (set Injector.OnNodeCrash)", hn.PE, hn.At))
+			}
+			in.OnNodeCrash(hn.PE)
 		})
 	}
 }

@@ -136,6 +136,17 @@ func (m *T3D) Run(program func(p *sim.Proc, n *Node)) sim.Time {
 	return m.Eng.Run()
 }
 
+// RunErr is Run with structured failure reporting: deadlock, livelock,
+// and modeled hardware failures (a proc panicking with an error value,
+// e.g. a *net.PartitionError on a disconnected torus) come back as
+// errors instead of panics.
+func (m *T3D) RunErr(program func(p *sim.Proc, n *Node)) (sim.Time, error) {
+	for pe := range m.Nodes {
+		m.Spawn(pe, program)
+	}
+	return m.Eng.RunErr()
+}
+
 // RunOn runs a program on node pe only, with the remaining nodes' memory
 // systems passive — the setup of the paper's micro-benchmarks, which
 // measure with a single processor active (§4.2).

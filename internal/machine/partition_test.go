@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/net"
+	"repro/internal/sim"
+)
+
+// A schedule that disconnects the torus must surface as an explicit
+// error from RunErr — the acceptance criterion is "ErrPartitioned,
+// never a hang". PE 0 is cut off by killing all its outgoing links;
+// its next remote access unwinds with a *net.PartitionError, which
+// RunErr wraps in a *sim.ProcFailure.
+func TestPartitionedRemoteAccessFailsFast(t *testing.T) {
+	m := New(DefaultConfig(4))
+	for dir := 0; dir < 6; dir++ {
+		m.Net.FailLink(0, dir)
+	}
+	_, err := m.RunErr(func(p *sim.Proc, n *Node) {
+		if n.PE != 0 {
+			return
+		}
+		n.Shell.SetAnnex(p, 1, 1, false)
+		n.CPU.Load64(p, addr.Make(1, 0)) // remote read into the cut-off fabric
+	})
+	if err == nil {
+		t.Fatal("remote access across a partition completed")
+	}
+	var pf *sim.ProcFailure
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %T, want *sim.ProcFailure", err)
+	}
+	if pf.Proc != "pe0" {
+		t.Errorf("failing proc = %q, want pe0", pf.Proc)
+	}
+	if !errors.Is(err, net.ErrPartitioned) {
+		t.Errorf("err %v does not unwrap to net.ErrPartitioned", err)
+	}
+	var pe *net.PartitionError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err chain has no *net.PartitionError")
+	}
+	if pe.Src != 0 || pe.Dst != 1 {
+		t.Errorf("PartitionError = %+v, want src 0 dst 1", pe)
+	}
+}
+
+// Remote writes take the same guard: the store is issued asynchronously
+// through the write buffer, so the partition surfaces when the shell
+// injects the entry into the fabric.
+func TestPartitionedRemoteWriteFailsFast(t *testing.T) {
+	m := New(DefaultConfig(4))
+	for dir := 0; dir < 6; dir++ {
+		m.Net.FailLink(0, dir)
+	}
+	_, err := m.RunErr(func(p *sim.Proc, n *Node) {
+		if n.PE != 0 {
+			return
+		}
+		n.Shell.SetAnnex(p, 1, 2, false)
+		n.CPU.Store64(p, addr.Make(1, 64), 0xDEAD)
+		n.CPU.MB(p)
+		n.Shell.WaitWritesComplete(p)
+	})
+	if !errors.Is(err, net.ErrPartitioned) {
+		t.Fatalf("err = %v, want net.ErrPartitioned in the chain", err)
+	}
+}

@@ -119,6 +119,34 @@ func New(cfg Config) *DRAM {
 	return d
 }
 
+// Snapshot copies the full memory image into buf (allocating when buf is
+// too small) and returns it — the checkpoint primitive for rollback
+// recovery. Only data is captured; bank timing state is transient and
+// reconverges within one access.
+func (d *DRAM) Snapshot(buf []byte) []byte {
+	if int64(len(buf)) < d.cfg.Size {
+		buf = make([]byte, d.cfg.Size)
+	}
+	copy(buf, d.data)
+	return buf[:d.cfg.Size]
+}
+
+// Restore overwrites memory with a Snapshot image.
+func (d *DRAM) Restore(img []byte) {
+	if int64(len(img)) != d.cfg.Size {
+		panic(fmt.Sprintf("mem: Restore image %d bytes, memory %d", len(img), d.cfg.Size))
+	}
+	copy(d.data, img)
+}
+
+// Zero clears all memory — the fail-stop model of a node whose volatile
+// state is lost in a crash.
+func (d *DRAM) Zero() {
+	for i := range d.data {
+		d.data[i] = 0
+	}
+}
+
 // Config returns the configuration the DRAM was built with.
 func (d *DRAM) Config() Config { return d.cfg }
 

@@ -156,9 +156,24 @@ type Network struct {
 	busy  [][numDirs]sim.Time // accumulated occupancy per link
 	hook  FaultHook
 
+	// Degraded-mode routing state (route.go): permanently dead links,
+	// the per-(src,dst) route cache, and in-flight data packets that a
+	// dying link can retroactively claim.
+	dead       [][numDirs]bool
+	deadLinks  int
+	routeCache [][][2]int
+	routeState []uint8
+	flights    map[int64]*flight
+	flightSeq  int64
+
 	// Stats.
 	Packets, PayloadBytes int64
 	Dropped, Corrupted    int64
+	// HardDropped counts in-flight packets lost to a link hard-fault,
+	// Unroutable packets abandoned because no path survived, and
+	// ReroutedPackets/ExtraHops the non-minimal-path inflation.
+	HardDropped, Unroutable    int64
+	ReroutedPackets, ExtraHops int64
 }
 
 // New builds the fabric, panicking on an invalid configuration; use
@@ -179,11 +194,15 @@ func NewChecked(eng *sim.Engine, cfg Config) (*Network, error) {
 	}
 	n := cfg.Shape[0] * cfg.Shape[1] * cfg.Shape[2]
 	return &Network{
-		eng:   eng,
-		cfg:   cfg,
-		nodes: n,
-		links: make([][numDirs]sim.Resource, n),
-		busy:  make([][numDirs]sim.Time, n),
+		eng:        eng,
+		cfg:        cfg,
+		nodes:      n,
+		links:      make([][numDirs]sim.Resource, n),
+		busy:       make([][numDirs]sim.Time, n),
+		dead:       make([][numDirs]bool, n),
+		routeCache: make([][][2]int, n*n),
+		routeState: make([]uint8, n*n),
+		flights:    make(map[int64]*flight),
 	}, nil
 }
 
@@ -220,20 +239,19 @@ func step(x, y, size, dim int) (next, dir int) {
 	return (x - 1 + size) % size, 2*dim + 1
 }
 
-// Route returns the dimension-order route from src to dst as a list of
-// (node, direction) link traversals. An empty route means src == dst.
+// Route returns the route from src to dst as a list of (node, direction)
+// link traversals: dimension-order on a healthy torus, rerouted around
+// dead links on a degraded one. An empty route means src == dst. Routes
+// are cached per (src, dst) — repeated sends do not reallocate — and the
+// cache is invalidated on topology change (FailLink). Route panics with
+// a *PartitionError if no path survives; use RouteErr to get the failure
+// as an error. The returned slice is shared: callers must not mutate it.
 func (n *Network) Route(src, dst int) [][2]int {
-	var route [][2]int
-	cur := n.Coord(src)
-	want := n.Coord(dst)
-	for d := 0; d < 3; d++ {
-		for cur[d] != want[d] {
-			next, dir := step(cur[d], want[d], n.cfg.Shape[d], d)
-			route = append(route, [2]int{n.Index(cur), dir})
-			cur[d] = next
-		}
+	r, err := n.RouteErr(src, dst)
+	if err != nil {
+		panic(err)
 	}
-	return route
+	return r
 }
 
 // HopCount returns the number of links on the route from src to dst.
@@ -269,7 +287,25 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 	n.PayloadBytes += int64(payloadBytes)
 	occ := n.occupancy(payloadBytes)
 	t := n.eng.Now()
-	route := n.Route(src, dst)
+	route, err := n.RouteErr(src, dst)
+	if err != nil {
+		// No surviving path. A data packet is reported lost so the
+		// reliability layer's retries can exhaust into an explicit
+		// failure; a control packet is abandoned, which surfaces as a
+		// structured DeadlockError rather than a silent hang.
+		n.Unroutable++
+		if faultable {
+			n.Dropped++
+			n.eng.At(t+1, func() { deliver(FaultDrop) })
+		}
+		return
+	}
+	if n.deadLinks > 0 && n.routeState[src*n.nodes+dst] == routeRerouted {
+		n.ReroutedPackets++
+		if extra := len(route) - n.MinHops(src, dst); extra > 0 {
+			n.ExtraHops += int64(extra)
+		}
+	}
 	var hopTimes []sim.Time
 	if faultable && n.hook != nil {
 		hopTimes = make([]sim.Time, 0, len(route))
@@ -293,12 +329,28 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 			n.Corrupted++
 		}
 	}
+	// Data packets stay registered while in flight so a link dying under
+	// them can claim them retroactively (FailLink).
+	var flightID int64
+	if faultable {
+		flightID = n.trackFlight(route)
+	}
 	// Tail arrives one packet-length after the head on the final hop.
 	arrival := t + occ
 	if len(route) == 0 {
 		arrival = t + 1 // self-send: loopback in the shell
 	}
-	n.eng.At(arrival, func() { deliver(fault) })
+	n.eng.At(arrival, func() {
+		f := fault
+		if flightID != 0 {
+			if fl := n.flights[flightID]; fl != nil && fl.forced && f != FaultDrop {
+				f = FaultDrop
+				n.Dropped++
+			}
+			delete(n.flights, flightID)
+		}
+		deliver(f)
+	})
 }
 
 // LinkBusy returns the accumulated occupancy of the link leaving node in

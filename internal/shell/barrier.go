@@ -65,6 +65,21 @@ func (b *Barrier) Wait(p *sim.Proc, t BarrierTicket) {
 	sim.Await(p, b.highSig, func() bool { return b.gen > t.gen })
 }
 
+// Done reports (without blocking) whether the wire has gone high for the
+// ticket's generation — the polling form of Wait, used by recovery code
+// that must keep servicing message queues while a barrier collects.
+func (b *Barrier) Done(t BarrierTicket) bool { return b.gen > t.gen }
+
+// HighSignal exposes the wire-high signal so pollers can sleep between
+// samples instead of spinning.
+func (b *Barrier) HighSignal() *sim.Signal { return b.highSig }
+
+// Reset clears partially collected arm bits after a rollback unwinds
+// procs that had armed the current generation but will arm again on
+// replay. Generations that already completed (wire scheduled or high)
+// are untouched; every node must be quiesced when Reset is called.
+func (b *Barrier) Reset() { b.armed = 0 }
+
 // Eureka is the global-OR companion of the barrier wire (§1.2 mentions
 // both global-OR and global-AND): ANY node driving the wire raises it
 // machine-wide after the propagation delay. The classic use is early

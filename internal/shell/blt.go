@@ -80,6 +80,10 @@ func (s *Shell) bltStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff,
 	remaining := len(chunks)
 	s.eng.Spawn(fmt.Sprintf("blt-pe%d", s.pe), func(bp *sim.Proc) {
 		for _, ch := range chunks {
+			// A link can hard-fault mid-transfer: re-verify the path per
+			// chunk so a partition aborts the engine proc with a
+			// structured error instead of stranding the transfer.
+			s.checkReachable(peer)
 			// Engine pacing: the DMA moves one chunk per pace interval,
 			// scaled for sub-chunk (strided) elements.
 			cycles := (pace*sim.Time(ch.n) + sim.Time(s.cfg.BLTChunk) - 1) / sim.Time(s.cfg.BLTChunk)

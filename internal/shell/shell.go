@@ -205,11 +205,49 @@ func (s *Shell) Steal(d sim.Time) {
 // active-message layer uses it to pace retransmission timeouts.
 func (s *Shell) ArrivalSignal() *sim.Signal { return s.arrival }
 
+// checkReachable verifies that the degraded torus still connects this
+// node to pe in both directions — every shell transaction needs the
+// reverse path for its response or acknowledgement. On failure it panics
+// with a *net.PartitionError (an error value), which unwinds the issuing
+// proc and surfaces from sim.RunErr as a *ProcFailure wrapping
+// net.ErrPartitioned: an explicit, inspectable failure instead of a hang
+// on a response that can never arrive.
+func (s *Shell) checkReachable(pe int) {
+	if pe == s.pe || s.fab.Net.DeadLinks() == 0 {
+		return
+	}
+	if !s.fab.Net.Reachable(s.pe, pe) {
+		panic(&net.PartitionError{Src: s.pe, Dst: pe})
+	}
+	if !s.fab.Net.Reachable(pe, s.pe) {
+		panic(&net.PartitionError{Src: pe, Dst: s.pe})
+	}
+}
+
+// SnapshotRegs captures the shell's architected soft state — the
+// fetch&increment registers and the swap buffer — for checkpointing.
+type RegSnapshot struct {
+	FI   [2]uint64
+	Swap uint64
+}
+
+// SnapshotRegs returns the shell's checkpointable register state.
+func (s *Shell) SnapshotRegs() RegSnapshot {
+	return RegSnapshot{FI: s.fi, Swap: s.swapReg}
+}
+
+// RestoreRegs reinstates register state captured by SnapshotRegs.
+func (s *Shell) RestoreRegs(r RegSnapshot) {
+	s.fi = r.FI
+	s.swapReg = r.Swap
+}
+
 // --- Remote reads ---
 
 // ReadWord implements cpu.Remote: a blocking uncached remote read.
 func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 	e := s.annex[addr.Annex(pa)]
+	s.checkReachable(e.PE)
 	off := addr.Offset(pa)
 	s.RemoteReads++
 	s.eng.Trace("shell.read", "pe%d uncached read pe%d+%#x", s.pe, e.PE, off)
@@ -230,6 +268,7 @@ func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 // uncached read (114 vs 91 cycles) despite moving four times the data.
 func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 	e := s.annex[addr.Annex(pa)]
+	s.checkReachable(e.PE)
 	off := addr.Offset(pa)
 	s.RemoteReads++
 	p.Wait(s.cfg.IssueExtra)
@@ -303,6 +342,7 @@ func (s *Shell) InjectEntry(p *sim.Proc, e *wbuf.Entry) {
 
 func (s *Shell) injectWrite(p *sim.Proc, e *wbuf.Entry) {
 	ae := s.annex[addr.Annex(e.LineAddr)]
+	s.checkReachable(ae.PE)
 	lineOff := addr.Offset(e.LineAddr)
 	nbytes := 0
 	for i := 0; i < wbuf.LineSize; i++ {
@@ -366,6 +406,7 @@ func (s *Shell) injectWrite(p *sim.Proc, e *wbuf.Entry) {
 
 func (s *Shell) injectFetch(p *sim.Proc, e *wbuf.Entry) {
 	ae := s.annex[addr.Annex(e.FetchAddr)]
+	s.checkReachable(ae.PE)
 	off := addr.Offset(e.FetchAddr)
 	if len(s.pq) >= s.cfg.PrefetchEntries {
 		panic(fmt.Sprintf("shell: prefetch queue overflow on PE %d (>%d outstanding)",
@@ -435,6 +476,7 @@ func (s *Shell) FetchInc(p *sim.Proc, pe, reg int) uint64 {
 	if reg < 0 || reg > 1 {
 		panic("shell: fetch&increment register index out of range")
 	}
+	s.checkReachable(pe)
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("fi")
 	var val uint64
@@ -472,6 +514,7 @@ func (s *Shell) FI(reg int) uint64 { return s.fi[reg] }
 // target node, so concurrent swaps to one location never both win.
 func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 	ae := s.annex[addr.Annex(pa)]
+	s.checkReachable(ae.PE)
 	off := addr.Offset(pa)
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("swap")
@@ -515,6 +558,13 @@ func (s *Shell) BarrierStart(p *sim.Proc) BarrierTicket {
 // high for the ticket's generation and resets this node's view.
 func (s *Shell) BarrierEnd(p *sim.Proc, t BarrierTicket) {
 	s.fab.Barrier.Wait(p, t)
+}
+
+// BarrierDone samples the wire without blocking — the polling form of
+// BarrierEnd, for code that must keep servicing message queues while the
+// barrier collects (the checkpoint quiesce protocol).
+func (s *Shell) BarrierDone(t BarrierTicket) bool {
+	return s.fab.Barrier.Done(t)
 }
 
 // EurekaTrigger raises the machine-wide global-OR wire.

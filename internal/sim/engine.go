@@ -188,6 +188,23 @@ func (l *LivelockError) Error() string {
 		l.Now, l.Progress, l.Checks, Time(l.Checks)*l.Interval)
 }
 
+// ProcFailure reports that a proc body panicked with an error value —
+// the convention for simulated hardware faults that abort a run (for
+// example a partitioned torus). RunErr returns it instead of panicking,
+// so callers can errors.Is/As into the underlying cause. Procs that
+// panic with a non-error value still crash the run: that is a bug, not
+// a modeled failure.
+type ProcFailure struct {
+	Proc string // name of the failed proc
+	Err  error  // the error the proc panicked with
+}
+
+func (f *ProcFailure) Error() string {
+	return fmt.Sprintf("sim: proc %q failed: %v", f.Proc, f.Err)
+}
+
+func (f *ProcFailure) Unwrap() error { return f.Err }
+
 // SetWatchdog installs a quiescence watchdog: every interval cycles the
 // engine samples progress(); if the value is unchanged for stalls
 // consecutive samples while events are still firing, the run fails with
@@ -219,8 +236,9 @@ func (e *Engine) Run() Time {
 }
 
 // RunErr is Run with structured failure reporting: deadlock and livelock
-// are returned as *DeadlockError / *LivelockError instead of panicking,
-// so callers can inspect the blocked-proc dump programmatically.
+// are returned as *DeadlockError / *LivelockError, and a proc that panics
+// with an error value is returned as a *ProcFailure, instead of
+// panicking — so callers can inspect the failure programmatically.
 func (e *Engine) RunErr() (Time, error) {
 	if e.running {
 		panic("sim: Engine.Run called reentrantly")
@@ -261,6 +279,9 @@ func (e *Engine) RunErr() (Time, error) {
 			p.resume <- struct{}{}
 			msg := <-e.yield
 			if msg.kind == yieldPanic {
+				if err, ok := msg.panic.(error); ok {
+					return e.now, &ProcFailure{Proc: msg.proc.name, Err: err}
+				}
 				panic(fmt.Sprintf("sim: proc %q panicked: %v", msg.proc.name, msg.panic))
 			}
 			continue

@@ -22,9 +22,10 @@ type Proc struct {
 
 	// epoch distinguishes wakeup generations: any event scheduled for an
 	// earlier park is stale and skipped by the engine.
-	epoch    uint64
-	sigFired bool
-	daemon   bool
+	epoch       uint64
+	sigFired    bool
+	daemon      bool
+	interrupted bool
 
 	// Deadlock diagnostics: what the proc is blocked on and since when
 	// (meaningful only while state == procBlocked).
@@ -79,15 +80,18 @@ func (p *Proc) Yield() {
 
 // WaitSignal blocks until s fires.
 func (p *Proc) WaitSignal(s *Signal) {
+	p.checkInterrupt()
 	p.epoch++
 	p.waitLabel, p.blockedSince = s.name, p.eng.now
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.park(procBlocked)
+	p.checkInterrupt()
 }
 
 // WaitSignalTimeout blocks until s fires or d cycles elapse. It reports
 // whether the signal fired (as opposed to the timeout expiring).
 func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
+	p.checkInterrupt()
 	if d <= 0 {
 		return false
 	}
@@ -97,8 +101,48 @@ func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.eng.scheduleEpoch(p, p.eng.now+d, p.epoch)
 	p.park(procBlocked)
+	p.checkInterrupt()
 	return p.sigFired
 }
+
+// InterruptSignal is the panic value a signal wait raises after the proc
+// has been interrupted with Interrupt. It deliberately does not implement
+// error: an interrupt that escapes its recovery driver is a program bug
+// and should crash the run loudly, not surface as a recoverable failure.
+type InterruptSignal struct {
+	Proc string // name of the interrupted proc
+}
+
+func (p *Proc) checkInterrupt() {
+	if p.interrupted {
+		panic(InterruptSignal{Proc: p.name})
+	}
+}
+
+// Interrupt marks the proc for asynchronous abort: if it is blocked on a
+// signal it is woken immediately, and its next (or current) WaitSignal /
+// WaitSignalTimeout panics with InterruptSignal{}. Pure time waits are
+// unaffected, so hardware-drain loops still quiesce normally. Interrupt
+// is safe to call from event context; it is a no-op on a done proc. The
+// rollback machinery in higher layers recovers the panic — procs that are
+// not part of a recovery domain should never be interrupted.
+func (p *Proc) Interrupt() {
+	if p.state == procDone {
+		return
+	}
+	p.interrupted = true
+	if p.state == procBlocked {
+		p.sigFired = false
+		p.state = procReady
+		p.eng.scheduleEpoch(p, p.eng.now, p.epoch)
+	}
+}
+
+// ClearInterrupt re-arms the proc after an interrupt has been recovered.
+func (p *Proc) ClearInterrupt() { p.interrupted = false }
+
+// Interrupted reports whether an interrupt is pending on the proc.
+func (p *Proc) Interrupted() bool { return p.interrupted }
 
 // Signal is a broadcast wakeup point: any number of procs may block on it
 // and are all released when it fires. Signals carry no state; a fire with

@@ -1,0 +1,488 @@
+package splitc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+// This file implements barrier-aligned checkpoint/rollback recovery for
+// Split-C programs: the machinery that keeps a bulk-synchronous program
+// correct through node hard-faults.
+//
+// The execution model is epoch-structured. A program is a setup function
+// (allocations, initial data, endpoint creation) plus an epoch step
+// function; the runtime runs epochs separated by global checkpoints. At
+// each checkpoint every PE quiesces — outstanding gets drained, remote
+// writes acknowledged and (in reliable mode) verified, BLT transfers
+// finished, registered soft state (active-message endpoints) flushed —
+// then crosses the hardware barrier while continuing to service message
+// queues, and the last arriver snapshots the whole machine: every node's
+// DRAM image, the shell's architected registers, and each PE's
+// checkpointable Go-level state. Only the latest checkpoint is kept.
+//
+// A node hard-fault is fail-stop-and-reboot: the CPU's volatile memory is
+// zeroed (the crash model) and every program proc is interrupted. Procs
+// unwind at their next signal wait via sim.InterruptSignal, quiesce their
+// local hardware, and rendezvous; the last arriver restores the
+// checkpoint (all DRAM, shell registers, the barrier's partial arm bits)
+// and the epoch replays. Faults are deterministic functions of the run
+// seed and the sim kernel is deterministic, so recovery is replayable:
+// the same seed gives the same crashes, rollbacks, and final state.
+//
+// The correctness contract for recoverable programs: all mutable state
+// that crosses an epoch boundary must live in simulated memory (the
+// Split-C model — spread arrays, counters in the heap). Go closure state
+// captured at setup must be immutable (layout addresses, sizes) or
+// registered as a Checkpointable. Rollback to the pre-setup image re-runs
+// setup itself, so setup must be deterministic.
+
+// Checkpointable is per-PE soft (Go-level) state that must survive
+// rollback — the poster child is an active-message endpoint, whose
+// sequence numbers and credit counters live outside simulated memory.
+// Register instances with Recovery.Register from inside setup.
+type Checkpointable interface {
+	// QuiesceState completes the instance's outstanding traffic so a
+	// snapshot is consistent (e.g. flush unacknowledged sends).
+	QuiesceState(c *Ctx)
+	// CheckpointState returns an opaque snapshot of the soft state.
+	CheckpointState() any
+	// RestoreState reinstates a CheckpointState snapshot after rollback.
+	RestoreState(snap any)
+}
+
+// Poller is optionally implemented by Checkpointables that service an
+// incoming message queue. The checkpoint rendezvous keeps polling
+// registered Pollers while waiting, so a peer's QuiesceState (which may
+// need this PE's acknowledgements) can complete.
+type Poller interface {
+	// PollState services the queue once, reporting whether it made
+	// progress.
+	PollState(c *Ctx) bool
+}
+
+// RecoveryConfig parameterizes the recovery runtime.
+type RecoveryConfig struct {
+	// MaxRollbacks bounds total rollbacks before the run is declared
+	// unrecoverable (0 = a default of 16).
+	MaxRollbacks int
+	// PollGap paces queue polling while waiting at a rendezvous
+	// (0 = a default of 200 cycles).
+	PollGap sim.Time
+}
+
+// RecoveryStats reports what recovery did during a run.
+type RecoveryStats struct {
+	Checkpoints int64 // completed global checkpoints (incl. the pre-run image)
+	Rollbacks   int64 // completed rollback-and-replay cycles
+	NodeCrashes int64 // node hard-faults delivered to CrashNode
+}
+
+// EpochFunc runs one epoch of the program on one PE and reports whether
+// more epochs remain. All PEs must return false at the same epoch — the
+// bulk-synchronous structure recovery depends on.
+type EpochFunc func(epoch int) bool
+
+// SetupFunc initializes one PE: allocations, initial data, endpoint
+// registration. It returns the PE's epoch step. Setup re-runs from
+// scratch when a crash forces rollback to the pre-run image, so it must
+// be deterministic.
+type SetupFunc func(c *Ctx, r *Recovery) EpochFunc
+
+// ctxSnap is the runtime context's own checkpointable state.
+type ctxSnap struct{ heapNext int64 }
+
+// Recovery coordinates checkpoint/rollback across all PEs of a runtime.
+type Recovery struct {
+	rt  *Runtime
+	cfg RecoveryConfig
+
+	procs []*sim.Proc
+	items [][]Checkpointable // per-PE registered soft state
+
+	// Latest committed checkpoint. ckptEpoch is the next epoch to run
+	// after a restore; -1 is the pre-run image, where restore means
+	// "re-run setup".
+	ckptEpoch int
+	mem       [][]byte
+	regs      []shell.RegSnapshot
+	soft      [][]any // per PE: [0] = ctxSnap, then item snapshots
+
+	// Checkpoint rendezvous state.
+	arrived   int
+	softNext  [][]any
+	exhausted []bool
+	ckptGen   int64
+	ckptSig   *sim.Signal
+
+	// Rollback rendezvous state.
+	rbArrived []bool
+	rbWaiting int
+	rbGen     int64 // rollback generations initiated
+	rbDone    int64 // rollback generations completed (restored)
+	rbSig     *sim.Signal
+
+	committed bool // final checkpoint taken: results are stable, crashes ignored
+	err       error
+
+	Stats RecoveryStats
+}
+
+// NewRecovery builds a recovery coordinator over a runtime. Wire crash
+// sources to CrashNode (fault.Injector.OnNodeCrash = r.CrashNode) before
+// calling Run.
+func NewRecovery(rt *Runtime, cfg RecoveryConfig) *Recovery {
+	if cfg.MaxRollbacks <= 0 {
+		cfg.MaxRollbacks = 16
+	}
+	if cfg.PollGap <= 0 {
+		cfg.PollGap = 200
+	}
+	n := len(rt.M.Nodes)
+	return &Recovery{
+		rt:        rt,
+		cfg:       cfg,
+		procs:     make([]*sim.Proc, n),
+		items:     make([][]Checkpointable, n),
+		ckptEpoch: -1,
+		mem:       make([][]byte, n),
+		regs:      make([]shell.RegSnapshot, n),
+		soft:      make([][]any, n),
+		softNext:  make([][]any, n),
+		exhausted: make([]bool, n),
+		ckptSig:   sim.NewSignal("recovery.ckpt"),
+		rbArrived: make([]bool, n),
+		rbSig:     sim.NewSignal("recovery.rollback"),
+	}
+}
+
+// Register adds soft state to this PE's checkpoint set. Call from setup,
+// after creating the instance.
+func (r *Recovery) Register(c *Ctx, item Checkpointable) {
+	r.items[c.MyPE()] = append(r.items[c.MyPE()], item)
+}
+
+// Rollbacks returns the completed rollback count so far.
+func (r *Recovery) Rollbacks() int64 { return r.Stats.Rollbacks }
+
+// CrashNode delivers a node hard-fault: PE's volatile memory is zeroed
+// (fail-stop: the CPU state is lost; the shell, router, and DRAM
+// hardware keep running) and every program proc is interrupted so the
+// machine rolls back to the last checkpoint. Crashes after the final
+// checkpoint are ignored — the program's results are already committed.
+// Wire this as fault.Injector.OnNodeCrash.
+func (r *Recovery) CrashNode(pe int) {
+	if r.committed || r.err != nil {
+		return
+	}
+	r.Stats.NodeCrashes++
+	r.rt.M.Nodes[pe].DRAM.Zero()
+	r.rt.M.Nodes[pe].L1.InvalidateAll() // reboot: the cache comes up cold
+	r.rt.M.Eng.Trace("recovery", "pe%d crashed: memory lost, rolling back", pe)
+	r.initiateRollback()
+}
+
+// initiateRollback interrupts every program proc; each unwinds to its
+// driver loop and rendezvouses for the restore.
+func (r *Recovery) initiateRollback() {
+	if r.committed || r.err != nil {
+		return
+	}
+	r.rbGen++
+	for _, p := range r.procs {
+		if p != nil {
+			p.Interrupt()
+		}
+	}
+}
+
+// Run executes the program under recovery and returns the elapsed time
+// (including any replayed epochs), the recovery stats, and an error for
+// unrecoverable failures: a partitioned torus (errors.Is(err,
+// net.ErrPartitioned)), the rollback limit, deadlock, or livelock.
+func (r *Recovery) Run(setup SetupFunc) (sim.Time, RecoveryStats, error) {
+	rt := r.rt
+	// Checkpoint the pre-run image (epoch -1): host-side seeding has
+	// happened, no proc has run. A crash before the first post-setup
+	// checkpoint restores this and re-runs setup itself.
+	r.snapshotMachine()
+	r.ckptEpoch = -1
+	r.Stats.Checkpoints++
+
+	end, err := rt.M.RunErr(func(p *sim.Proc, n *machine.Node) {
+		c := rt.newCtx(p, n)
+		pe := c.MyPE()
+		r.procs[pe] = p
+		var step EpochFunc
+		epoch := 0
+		for {
+			rolled := r.protect(func() {
+				if r.err != nil {
+					return
+				}
+				if step == nil {
+					step = setup(c, r)
+					r.quiesce(c)
+					r.rendezvous(c, 0, false)
+					epoch = 0
+				}
+				for {
+					cont := step(epoch)
+					r.quiesce(c)
+					r.rendezvous(c, epoch+1, !cont)
+					epoch++
+					if !cont {
+						return
+					}
+				}
+			})
+			if !rolled || r.err != nil {
+				return // program complete, or unrecoverable
+			}
+			if !r.awaitRollback(c) {
+				return // fatal during rollback
+			}
+			if r.ckptEpoch < 0 {
+				// Pre-run image restored: replay from the very start.
+				c.resetForRestart()
+				r.items[pe] = nil
+				step = nil
+			} else {
+				snaps := r.soft[pe]
+				c.heapNext = snaps[0].(ctxSnap).heapNext
+				for i, it := range r.items[pe] {
+					it.RestoreState(snaps[i+1])
+				}
+				epoch = r.ckptEpoch
+			}
+		}
+	})
+	if err == nil {
+		err = r.err
+	}
+	if err != nil && !errors.Is(err, net.ErrPartitioned) && rt.M.Net.Partitioned() {
+		err = fmt.Errorf("%w (run failed: %v)", net.ErrPartitioned, err)
+	}
+	return end, r.Stats, err
+}
+
+// protect runs body, converting a sim.InterruptSignal panic (rollback
+// requested) into a true return. Any other panic propagates.
+func (r *Recovery) protect(body func()) (rolledBack bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(sim.InterruptSignal); ok {
+				rolledBack = true
+				return
+			}
+			panic(rec)
+		}
+	}()
+	body()
+	return false
+}
+
+// quiesce completes this PE's outstanding traffic ahead of a checkpoint:
+// split-phase gets, remote writes (verified in reliable mode), BLT
+// transfers, registered endpoints — then crosses the hardware barrier,
+// polling message queues while it collects so that peers still flushing
+// can get their acknowledgements.
+func (r *Recovery) quiesce(c *Ctx) {
+	c.drainGets()
+	c.Node.CPU.MB(c.P)
+	c.Node.Shell.WaitWritesComplete(c.P)
+	if c.Node.Shell.BLTBusy() {
+		c.Node.Shell.BLTWait(c.P)
+	}
+	c.settleWrites()
+	for _, it := range r.items[c.MyPE()] {
+		it.QuiesceState(c)
+	}
+	tk := c.Node.Shell.BarrierStart(c.P)
+	for !c.Node.Shell.BarrierDone(tk) {
+		if !r.pollItems(c) {
+			c.P.WaitSignalTimeout(c.Node.Shell.ArrivalSignal(), r.cfg.PollGap)
+		}
+	}
+}
+
+// pollItems services every registered queue once; true if any progressed.
+func (r *Recovery) pollItems(c *Ctx) bool {
+	progress := false
+	for _, it := range r.items[c.MyPE()] {
+		if pl, ok := it.(Poller); ok && pl.PollState(c) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// rendezvous is the checkpoint meeting point. Every PE records its soft
+// snapshot and arrives; the last arriver snapshots the whole machine and
+// releases the rest. nextEpoch is the epoch a restore of this checkpoint
+// resumes at; done marks this PE's final epoch.
+func (r *Recovery) rendezvous(c *Ctx, nextEpoch int, done bool) {
+	pe := c.MyPE()
+	if c.P.Interrupted() {
+		panic(sim.InterruptSignal{Proc: c.P.Name()})
+	}
+	snaps := []any{ctxSnap{heapNext: c.heapNext}}
+	for _, it := range r.items[pe] {
+		snaps = append(snaps, it.CheckpointState())
+	}
+	r.softNext[pe] = snaps
+	r.exhausted[pe] = done
+	r.arrived++
+	if r.arrived == len(r.procs) {
+		r.takeCheckpoint(nextEpoch)
+		return
+	}
+	myGen := r.ckptGen
+	for r.ckptGen == myGen && r.err == nil {
+		// Keep servicing queues: a peer may still be quiescing.
+		if !r.pollItems(c) {
+			c.P.WaitSignalTimeout(r.ckptSig, r.cfg.PollGap)
+		}
+	}
+}
+
+// takeCheckpoint commits the global snapshot. It runs in the last
+// arriver's proc context with every PE quiesced and no program traffic
+// in flight, consuming no simulated time (the barrier cost was already
+// charged in quiesce).
+func (r *Recovery) takeCheckpoint(nextEpoch int) {
+	r.snapshotMachine()
+	copy(r.soft, r.softNext)
+	r.ckptEpoch = nextEpoch
+	r.Stats.Checkpoints++
+	all := true
+	for _, d := range r.exhausted {
+		all = all && d
+	}
+	if all {
+		// Final checkpoint: the program's results are committed. Later
+		// crashes cannot un-compute them.
+		r.committed = true
+	}
+	r.arrived = 0
+	r.ckptGen++
+	r.ckptSig.Fire(r.rt.M.Eng)
+}
+
+func (r *Recovery) snapshotMachine() {
+	for pe, n := range r.rt.M.Nodes {
+		r.mem[pe] = n.DRAM.Snapshot(r.mem[pe])
+		r.regs[pe] = n.Shell.SnapshotRegs()
+	}
+}
+
+// awaitRollback is the rollback meeting point, entered after an
+// interrupt unwound this PE's epoch. Each PE clears its interrupt,
+// quiesces its local hardware (writes still drain: the shells survive a
+// crash), and arrives; the last arriver restores the checkpoint. Returns
+// false if the run became unrecoverable.
+func (r *Recovery) awaitRollback(c *Ctx) bool {
+	pe := c.MyPE()
+	for {
+		again := r.protect(func() {
+			c.P.ClearInterrupt()
+			r.rollbackQuiesce(c)
+			myGen := r.rbGen
+			if !r.rbArrived[pe] {
+				r.rbArrived[pe] = true
+				r.rbWaiting++
+			}
+			if r.rbWaiting == len(r.procs) {
+				r.restoreAll()
+			}
+			for r.rbDone < myGen && r.err == nil {
+				c.P.WaitSignalTimeout(r.rbSig, r.cfg.PollGap)
+			}
+		})
+		if !again {
+			return r.err == nil
+		}
+		// Another crash landed while rolling back: rendezvous again for
+		// the newer generation (the restore is idempotent).
+	}
+}
+
+// rollbackQuiesce drains this PE's local hardware without any global
+// cooperation: outstanding prefetch responses are popped into the void,
+// buffered writes drain and acknowledge (the hardware outlives the
+// crash), BLT transfers finish, and reliable-mode write records — which
+// describe an epoch being abandoned — are discarded.
+func (r *Recovery) rollbackQuiesce(c *Ctx) {
+	for c.Node.Shell.PrefetchOutstanding() > 0 {
+		c.Node.Shell.PopPrefetch(c.P)
+	}
+	c.gets = nil
+	c.Node.CPU.MB(c.P)
+	c.Node.Shell.WaitWritesComplete(c.P)
+	if c.Node.Shell.BLTBusy() {
+		c.Node.Shell.BLTWait(c.P)
+	}
+	c.relPending = nil
+	c.relIndex = nil
+	c.relRegions = nil
+	c.settling = false
+}
+
+// restoreAll reinstates the last checkpoint machine-wide: every node's
+// DRAM image and shell registers, plus the hardware barrier's partial
+// arm bits (procs that armed and then unwound will arm again on replay).
+// Runs atomically in the last arriver's proc context.
+func (r *Recovery) restoreAll() {
+	r.Stats.Rollbacks++
+	if int(r.Stats.Rollbacks) > r.cfg.MaxRollbacks {
+		r.err = fmt.Errorf("recovery: rollback limit %d exceeded — faults outrun recovery", r.cfg.MaxRollbacks)
+	}
+	for pe, n := range r.rt.M.Nodes {
+		n.DRAM.Restore(r.mem[pe])
+		// The restore rewrites DRAM beneath the (write-through) cache:
+		// every resident line is potentially stale. Invalidate wholesale —
+		// the replayed epoch re-warms, which is part of the rollback cost.
+		n.L1.InvalidateAll()
+		n.Shell.RestoreRegs(r.regs[pe])
+	}
+	r.rt.M.Fabric.Barrier.Reset()
+	// Reset any partially collected checkpoint rendezvous: the epoch
+	// replays and every PE re-arrives.
+	r.arrived = 0
+	for i := range r.rbArrived {
+		r.rbArrived[i] = false
+	}
+	r.rbWaiting = 0
+	r.rbDone = r.rbGen
+	r.rt.M.Eng.Trace("recovery", "rolled back to epoch %d (rollback #%d)", r.ckptEpoch, r.Stats.Rollbacks)
+	r.rbSig.Fire(r.rt.M.Eng)
+}
+
+// resetForRestart returns the context to its just-constructed state for
+// a replay from the pre-run image.
+func (c *Ctx) resetForRestart() {
+	c.heapNext = c.rt.Cfg.HeapBase
+	c.boundPE, c.boundCached = -1, false
+	for i := range c.annexMap {
+		c.annexMap[i] = -1
+	}
+	for i := range c.annexOcc {
+		c.annexOcc[i] = 0
+	}
+	c.annexNext = dataAnnexLow
+	c.gets = nil
+	c.relPending = nil
+	c.relIndex = nil
+	c.relRegions = nil
+	c.settling = false
+}
+
+// RunRecoverable is the convenience entry point: build a Recovery with
+// cfg, wire crash sources yourself via NewRecovery if needed, and run.
+func (rt *Runtime) RunRecoverable(cfg RecoveryConfig, setup SetupFunc) (sim.Time, RecoveryStats, error) {
+	return NewRecovery(rt, cfg).Run(setup)
+}
