@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check race bench chaos
+.PHONY: all build test vet check race bench chaos fuzz
 
 all: check
 
@@ -24,6 +24,14 @@ check: build vet test chaos
 # sweep with CHAOS_SEEDS=<n>.
 chaos:
 	CHAOS=1 $(GO) test ./internal/chaos -count=1 -v -run TestChaosSoak
+
+# fuzz is the wire-protocol smoke: short coverage-guided runs of the
+# slot-classification and ack-control fuzzers, which must never find a
+# way for corrupted headers, sequence numbers, expiry stamps, or
+# congestion-echo bits to panic, mis-ack, or inflate a window.
+fuzz:
+	$(GO) test ./internal/am -run '^$$' -fuzz FuzzClassifySlot -fuzztime 10s
+	$(GO) test ./internal/am -run '^$$' -fuzz FuzzAckControl -fuzztime 10s
 
 # race runs the suite under the race detector. The event kernel hands the
 # single execution token between proc goroutines, so this should stay

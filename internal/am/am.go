@@ -39,9 +39,10 @@ const slotBytes = 64
 
 // Header-line word offsets within a slot.
 const (
-	offHeader = 32 // handler id (high 32) | source PE + 1 (low 32)
-	offSeq    = 40 // per-sender sequence number (reliable mode)
-	offSum    = 48 // checksum over src, id, seq, args (reliable mode)
+	offHeader   = 32 // handler id (high 32) | source PE + 1 (low 32)
+	offSeq      = 40 // per-sender sequence number (reliable mode)
+	offSum      = 48 // checksum over src, id, seq, expiry, args (reliable mode)
+	offDeadline = 56 // absolute expiry cycle, 0 = never (reliable mode)
 )
 
 // Config tunes the layer.
@@ -60,6 +61,14 @@ type Config struct {
 	// exceed QueueSlots. Zero disables flow control (callers then own
 	// the capacity contract).
 	CreditWindow int
+	// Unclamped skips the QueueSlots-based safety clamp on
+	// CreditWindow: all senders together may then overrun the receive
+	// queue, overwriting slots whose messages were never consumed.
+	// Reliable delivery still recovers every message by retransmission,
+	// but goodput under incast is whatever survives the storm — this is
+	// the no-backpressure baseline the overload experiments measure
+	// against, not a production configuration.
+	Unclamped bool
 
 	// Reliable enables end-to-end reliable delivery over a faulty
 	// fabric: per-sender sequence numbers and a checksum ride the
@@ -82,6 +91,42 @@ type Config struct {
 	// empty while later tickets exist before declaring its message lost
 	// in flight and skipping the slot (head-of-line recovery).
 	DeadSlotTimeout sim.Time
+
+	// Adaptive replaces the static per-destination window with an AIMD
+	// congestion window driven by the network's ECN-style marks (echoed
+	// through the receiver's ack word) and by retransmission timeouts.
+	// The adaptive window never exceeds the static CreditWindow clamp —
+	// the queue-share capacity contract still holds at full load — it
+	// only shrinks below it when the fabric signals congestion. Implies
+	// Reliable.
+	Adaptive bool
+
+	// MinWindow is the AIMD floor: congestion never cuts a sender below
+	// this many in-flight messages, so progress is always possible.
+	// Defaults to 1.
+	MinWindow int
+
+	// MarkDepth is the receive-queue congestion threshold: when the
+	// backlog of issued-but-undrained slots exceeds it, every ack this
+	// node publishes carries the congestion echo, exactly as if the
+	// packet had crossed a hot torus link. This is the incast signal —
+	// a saturated dispatch loop with an uncongested fabric. Defaults to
+	// QueueSlots/4.
+	MarkDepth int
+
+	// MaxPending bounds the per-destination queue of SendAsync messages
+	// waiting for window space. A full queue sheds new messages with an
+	// *OverloadError carrying a retry-after hint instead of letting the
+	// backlog grow without bound. Defaults to 4x the effective window.
+	MaxPending int
+
+	// MessageTTL is the per-message delivery budget: a message that has
+	// not been dispatched within TTL cycles of being submitted is expired
+	// — the receiver acknowledges it (so the sender retires it without a
+	// retransmit storm) but does not run its handler, and a queued
+	// message already past its budget is shed before transmission. Zero
+	// means messages never expire.
+	MessageTTL sim.Time
 }
 
 // DefaultConfig matches the paper's measured costs. Reliability is off:
@@ -100,6 +145,16 @@ func ReliableConfig() Config {
 	c.RetryBackoffMax = 128000
 	c.MaxRetries = 20
 	c.DeadSlotTimeout = 2000
+	return c
+}
+
+// AdaptiveConfig is ReliableConfig with the AIMD congestion window
+// enabled: under congestion senders back off toward MinWindow instead of
+// filling their static queue share and storming retransmissions.
+func AdaptiveConfig() Config {
+	c := ReliableConfig()
+	c.Adaptive = true
+	c.MinWindow = 1
 	return c
 }
 
@@ -138,9 +193,10 @@ func (e *DeliveryError) Error() string {
 
 // relMsg is one in-flight reliable message awaiting acknowledgement.
 type relMsg struct {
-	seq  uint64
-	id   int
-	args [4]uint64
+	seq    uint64
+	id     int
+	args   [4]uint64
+	expiry uint64 // absolute expiry cycle, 0 = never (MessageTTL)
 }
 
 // Endpoint is one node's view of the AM layer. Every thread must create
@@ -174,6 +230,13 @@ type Endpoint struct {
 	stuckHead  int64 // dead-slot tracking: head value being timed, -1 if none
 	stuckSince sim.Time
 
+	// Adaptive-mode state: the per-destination AIMD congestion window
+	// (clamped to [MinWindow, CreditWindow] when used) and the bounded
+	// per-destination queues of SendAsync messages awaiting window space,
+	// drained oldest-first so age sets priority.
+	cwnd    []float64
+	pending [][]pendingMsg
+
 	handlers map[int]Handler
 
 	// ReceivedBytes counts data credited by HStore messages (StoreSync).
@@ -185,6 +248,13 @@ type Endpoint struct {
 	// head-of-line slots abandoned because their message was lost.
 	Sent, Received                                  int64
 	Retransmits, Duplicates, Rejected, SkippedSlots int64
+	// Overload stats: Marks counts congestion echoes received in ack
+	// words, Shed messages rejected or dropped by load shedding, Expired
+	// messages retired past their deadline without dispatch, and
+	// MaxWindow is the high-water mark of the effective adaptive window
+	// (never above the static CreditWindow clamp).
+	Marks, Shed, Expired int64
+	MaxWindow            int
 }
 
 // New creates the endpoint for c's processor. Collective: every thread
@@ -193,7 +263,10 @@ func New(c *splitc.Ctx, cfg Config) *Endpoint {
 	if cfg.QueueSlots <= 0 {
 		panic("am: queue must have at least one slot")
 	}
-	if senders := c.NProc() - 1; senders > 0 && cfg.CreditWindow > 0 {
+	if cfg.Adaptive {
+		cfg.Reliable = true
+	}
+	if senders := c.NProc() - 1; senders > 0 && cfg.CreditWindow > 0 && !cfg.Unclamped {
 		if max := cfg.QueueSlots / senders; cfg.CreditWindow > max {
 			cfg.CreditWindow = max
 		}
@@ -209,7 +282,7 @@ func New(c *splitc.Ctx, cfg Config) *Endpoint {
 		if senders < 1 {
 			senders = 1
 		}
-		if max := cfg.QueueSlots / (2 * senders); cfg.CreditWindow <= 0 || cfg.CreditWindow > max {
+		if max := cfg.QueueSlots / (2 * senders); !cfg.Unclamped && (cfg.CreditWindow <= 0 || cfg.CreditWindow > max) {
 			cfg.CreditWindow = max
 		}
 		if cfg.CreditWindow < 1 {
@@ -226,6 +299,20 @@ func New(c *splitc.Ctx, cfg Config) *Endpoint {
 		}
 		if cfg.DeadSlotTimeout <= 0 {
 			cfg.DeadSlotTimeout = 2000
+		}
+	}
+	if cfg.Adaptive {
+		if cfg.MinWindow < 1 {
+			cfg.MinWindow = 1
+		}
+		if cfg.MinWindow > cfg.CreditWindow {
+			cfg.MinWindow = cfg.CreditWindow
+		}
+		if cfg.MaxPending <= 0 {
+			cfg.MaxPending = 4 * cfg.CreditWindow
+		}
+		if cfg.MarkDepth <= 0 {
+			cfg.MarkDepth = cfg.QueueSlots / 4
 		}
 	}
 	ep := &Endpoint{
@@ -246,16 +333,31 @@ func New(c *splitc.Ctx, cfg Config) *Endpoint {
 		ep.lastAck = make([]uint64, c.NProc())
 		ep.unacked = make([][]relMsg, c.NProc())
 	}
+	if cfg.Adaptive {
+		// Slow-start-free but conservative: begin at a few messages in
+		// flight (or the whole window if it is smaller) and let AIMD
+		// discover how much the fabric will bear.
+		init := 4.0
+		if w := float64(cfg.CreditWindow); w < init {
+			init = w
+		}
+		ep.cwnd = make([]float64, c.NProc())
+		for i := range ep.cwnd {
+			ep.cwnd[i] = init
+		}
+		ep.pending = make([][]pendingMsg, c.NProc())
+	}
 	ep.handlers[HStore] = handleStore(ep)
 	ep.handlers[HByteWrite] = handleByteWrite
 	return ep
 }
 
 // checksum is the end-to-end integrity check carried in the header line:
-// a damaged data line, a torn slot, or a corrupted header fails it. The
-// result is never zero so a present checksum is distinguishable from an
-// empty slot.
-func checksum(src, id int, seq uint64, args [4]uint64) uint64 {
+// a damaged data line, a torn slot, or a corrupted header fails it. It
+// covers the expiry word too, so corrupted deadline metadata can never
+// expire (or un-expire) a message. The result is never zero so a present
+// checksum is distinguishable from an empty slot.
+func checksum(src, id int, seq, expiry uint64, args [4]uint64) uint64 {
 	h := uint64(0x9E3779B97F4A7C15)
 	mix := func(v uint64) {
 		h ^= v
@@ -265,6 +367,7 @@ func checksum(src, id int, seq uint64, args [4]uint64) uint64 {
 	mix(uint64(src) + 1)
 	mix(uint64(id))
 	mix(seq)
+	mix(expiry)
 	for _, a := range args {
 		mix(a)
 	}
@@ -295,6 +398,7 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 		// Flow control: wait for the destination to publish enough
 		// consumption of our messages, servicing our own queue meanwhile.
 		for ep.sentTo[dst]-ep.knownCred[dst] >= w {
+			c.P.CheckDeadline("am credit wait")
 			ep.knownCred[dst] = c.Read(splitc.Global(dst, ep.creditBase+int64(c.MyPE())*8))
 			if ep.sentTo[dst]-ep.knownCred[dst] >= w {
 				ep.Poll()
@@ -315,26 +419,38 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 	c.Sync()
 }
 
-// sendReliable is the Reliable-mode deposit path: assign a sequence
-// number, record the message for retransmission, and transmit. The ack
-// word published by the destination doubles as the flow-control credit:
-// the in-flight window is bounded by CreditWindow.
+// sendReliable is the Reliable-mode deposit path: wait for window space
+// (and, in adaptive mode, for earlier queued messages — age sets
+// priority), then post. The ack word published by the destination
+// doubles as the flow-control credit: the in-flight window is bounded by
+// CreditWindow, or by the smaller AIMD window in adaptive mode.
 func (ep *Endpoint) sendReliable(dst, id int, args [4]uint64) {
-	w := ep.cfg.CreditWindow
-	for len(ep.unacked[dst]) >= w {
+	born := ep.c.P.Now()
+	for ep.pendingLen(dst) > 0 || len(ep.unacked[dst]) >= ep.window(dst) {
+		ep.c.P.CheckDeadline("am send window")
 		ep.awaitAck(dst)
 	}
+	ep.post(dst, id, args, born)
+}
+
+// post assigns the next sequence number, records the message for
+// retransmission, stamps its expiry from its submission time, and
+// transmits. Callers have already verified window space.
+func (ep *Endpoint) post(dst, id int, args [4]uint64, born sim.Time) {
 	ep.nextSeq[dst]++
 	m := relMsg{seq: ep.nextSeq[dst], id: id, args: args}
+	if ttl := ep.cfg.MessageTTL; ttl > 0 {
+		m.expiry = uint64(born + ttl)
+	}
 	ep.unacked[dst] = append(ep.unacked[dst], m)
 	ep.Sent++
 	ep.transmit(dst, m)
 }
 
 // transmit deposits one reliable message: ticket, data line, then the
-// header line (seq + checksum + header word) which drains as one packet
-// after the data line. Sync waits only for the hardware write ack — the
-// end-to-end ack arrives later via the destination's ack word.
+// header line (seq + checksum + expiry + header word) which drains as
+// one packet after the data line. Sync waits only for the hardware write
+// ack — the end-to-end ack arrives later via the destination's ack word.
 func (ep *Endpoint) transmit(dst int, m relMsg) {
 	c := ep.c
 	ticket := c.FetchIncOn(dst, 0)
@@ -345,20 +461,31 @@ func (ep *Endpoint) transmit(dst int, m relMsg) {
 		c.Put(base.AddLocal(int64(i)*8), v)
 	}
 	c.Put(base.AddLocal(offSeq), m.seq)
-	c.Put(base.AddLocal(offSum), checksum(c.MyPE(), m.id, m.seq, m.args))
+	c.Put(base.AddLocal(offSum), checksum(c.MyPE(), m.id, m.seq, m.expiry, m.args))
+	c.Put(base.AddLocal(offDeadline), m.expiry)
 	c.Put(base.AddLocal(offHeader), headerWord(c.MyPE(), m.id))
 	c.Sync()
 }
 
 // refreshAck re-reads dst's ack word for this sender (the same remote
-// read as a credit refresh) and retires acknowledged messages. It reports
-// whether the sender may proceed: the ack advanced or nothing is pending.
+// read as a credit refresh), retires acknowledged messages, and in
+// adaptive mode steps the congestion window by the echoed mark. It
+// reports whether the sender may proceed: the ack advanced or nothing is
+// pending. The raw word is validated with clampAckSeq before anything is
+// retired: a corrupted ack can neither retire undelivered messages nor
+// inflate the window.
 func (ep *Endpoint) refreshAck(dst int) bool {
 	if len(ep.unacked[dst]) == 0 {
+		ep.pump(dst)
 		return true
 	}
 	c := ep.c
-	ack := c.Read(splitc.Global(dst, ep.ackBase+int64(c.MyPE())*8))
+	raw := c.Read(splitc.Global(dst, ep.ackBase+int64(c.MyPE())*8))
+	ack, ce := decodeAck(raw)
+	if !ep.cfg.Adaptive {
+		ack, ce = raw, false
+	}
+	ack = clampAckSeq(ack, ep.lastAck[dst], ep.nextSeq[dst])
 	progress := ack > ep.lastAck[dst]
 	ep.lastAck[dst] = ack
 	q := ep.unacked[dst]
@@ -366,6 +493,15 @@ func (ep *Endpoint) refreshAck(dst int) bool {
 		q = q[1:]
 	}
 	ep.unacked[dst] = q
+	if ep.cfg.Adaptive {
+		if ce {
+			ep.Marks++
+			ep.cwnd[dst] = aimdStep(ep.cwnd[dst], true, ep.cfg.MinWindow, ep.cfg.CreditWindow)
+		} else if progress {
+			ep.cwnd[dst] = aimdStep(ep.cwnd[dst], false, ep.cfg.MinWindow, ep.cfg.CreditWindow)
+		}
+	}
+	ep.pump(dst)
 	return progress || len(q) == 0
 }
 
@@ -378,20 +514,33 @@ func (ep *Endpoint) awaitAck(dst int) {
 	c := ep.c
 	timeout := ep.cfg.RetryTimeout
 	for retries := 0; ; retries++ {
+		c.P.CheckDeadline("am ack wait")
 		if ep.refreshAck(dst) {
 			return
 		}
 		deadline := c.P.Now() + timeout
 		for c.P.Now() < deadline {
+			c.P.CheckDeadline("am ack wait")
 			if ep.Poll() {
 				continue // a message may carry work that unblocks dst
 			}
-			if !c.P.WaitSignalTimeout(c.Node.Shell.ArrivalSignal(), deadline-c.P.Now()) {
+			// Cap the park at the proc's own deadline so expiry is
+			// noticed the cycle it happens, not a retry period later.
+			limit := deadline
+			if d := c.P.Deadline(); d != 0 && d < limit {
+				limit = d
+			}
+			if !c.P.WaitSignalTimeout(c.Node.Shell.ArrivalSignal(), limit-c.P.Now()) && c.P.Now() >= deadline {
 				break
 			}
 		}
 		if ep.refreshAck(dst) {
 			return
+		}
+		if ep.cfg.Adaptive {
+			// A retransmission timeout is the strongest congestion signal:
+			// collapse the window to the floor and rediscover capacity.
+			ep.cwnd[dst] = float64(ep.cfg.MinWindow)
 		}
 		if retries >= ep.cfg.MaxRetries {
 			// Panic with an error value: under sim.Engine.RunErr the run
@@ -422,7 +571,7 @@ func (ep *Endpoint) Flush() {
 		return
 	}
 	for dst := range ep.unacked {
-		for len(ep.unacked[dst]) > 0 {
+		for len(ep.unacked[dst]) > 0 || ep.pendingLen(dst) > 0 {
 			ep.awaitAck(dst)
 		}
 	}
@@ -493,6 +642,7 @@ func (ep *Endpoint) pollReliable() bool {
 	ep.stuckHead = -1
 	seq := c.Node.CPU.Load64(c.P, slot+offSeq)
 	sum := c.Node.CPU.Load64(c.P, slot+offSum)
+	expiry := c.Node.CPU.Load64(c.P, slot+offDeadline)
 	var args [4]uint64
 	for i := range args {
 		args[i] = c.Node.CPU.Load64(c.P, slot+int64(i)*8)
@@ -500,7 +650,7 @@ func (ep *Endpoint) pollReliable() bool {
 	c.Node.CPU.Store64(c.P, slot+offHeader, 0) // clear for reuse
 	ep.head++
 	c.Compute(ep.cfg.DispatchPad)
-	src, id, verdict := classifySlot(c.NProc(), header, seq, sum, args, ep.expected)
+	src, id, verdict := classifySlot(c.NProc(), c.P.Now(), header, seq, sum, expiry, args, ep.expected)
 	switch verdict {
 	case slotCorrupt:
 		// Damaged in flight (corrupted data or header line, or a slot
@@ -513,17 +663,28 @@ func (ep *Endpoint) pollReliable() bool {
 	case slotGap:
 		ep.Rejected++ // gap: an earlier message was lost; await go-back-N
 		return true
+	case slotExpired:
+		// Past its delivery budget: acknowledge so the sender retires it
+		// (retransmitting a doomed message only feeds the congestion that
+		// doomed it) but shed the dispatch — graceful degradation.
+		ep.expected[src] = seq
+		ep.publishAck(src, seq)
+		ep.Expired++
+		return true
 	}
 	ep.expected[src] = seq
-	// Acknowledge by publishing the highest in-order sequence — the
-	// reliable-mode credit counter, read remotely by the sender.
-	c.Node.CPU.Store64(c.P, ep.ackBase+int64(src)*8, seq)
 	ep.Received++
 	h, ok := ep.handlers[id]
 	if !ok {
 		panic(fmt.Sprintf("am: PE %d received message for unknown handler %d", c.MyPE(), id))
 	}
+	// Dispatch, then acknowledge by publishing the highest in-order
+	// sequence — the reliable-mode credit counter, read remotely by the
+	// sender. Acking only after the handler has run keeps the promise
+	// exact on both sides: an acked message was dispatched, and a
+	// dispatched message started inside its expiry budget.
 	h(c, src, args)
+	ep.publishAck(src, seq)
 	return true
 }
 

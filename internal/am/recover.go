@@ -72,6 +72,12 @@ func (ep *Endpoint) RestoreState(snap any) {
 			ep.unacked[i] = nil
 		}
 	}
+	// Pending SendAsync messages belong to the abandoned epoch: replay
+	// resubmits them. The congestion window deliberately survives the
+	// rollback — it describes the fabric, not the program.
+	for i := range ep.pending {
+		ep.pending[i] = nil
+	}
 	ep.stuckHead = -1
 }
 

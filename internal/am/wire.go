@@ -1,5 +1,7 @@
 package am
 
+import "repro/internal/sim"
+
 // slotVerdict classifies a reliable-mode queue slot image.
 type slotVerdict int
 
@@ -8,6 +10,7 @@ const (
 	slotCorrupt                      // bad source or checksum: reject, no ack
 	slotDuplicate                    // already-delivered sequence: discard, no ack
 	slotGap                          // sequence gap: an earlier message was lost
+	slotExpired                      // in-order but past its deadline: ack, do not dispatch
 	slotDeliver                      // next in-order message: dispatch and ack
 )
 
@@ -22,19 +25,75 @@ func headerWord(src, id int) uint64 {
 	return uint64(id)<<32 | uint64(src) + 1
 }
 
+// ackCE is the congestion-experienced echo bit in a reliable-mode ack
+// word: the receiver sets it when data packets from this sender queued
+// past the network's mark threshold since the last ack it published.
+// Sequence numbers live in the low 63 bits, so the bit never collides.
+const ackCE = uint64(1) << 63
+
+// ackWord encodes an ack: the highest in-order delivered sequence plus
+// the congestion echo.
+func ackWord(seq uint64, ce bool) uint64 {
+	w := seq &^ ackCE
+	if ce {
+		w |= ackCE
+	}
+	return w
+}
+
+// decodeAck is ackWord's inverse.
+func decodeAck(w uint64) (seq uint64, ce bool) {
+	return w &^ ackCE, w&ackCE != 0
+}
+
+// clampAckSeq validates an ack sequence read from remote memory against
+// what the sender actually knows: an ack for a sequence never assigned
+// (beyond nextSeq) or one regressing below the last accepted ack can
+// only be corruption or a torn read, and must not retire undelivered
+// messages or re-open the window. Such values collapse to lastAck, so
+// the accepted ack is monotone by construction.
+func clampAckSeq(ack, lastAck, nextSeq uint64) uint64 {
+	if ack > nextSeq || ack < lastAck {
+		return lastAck
+	}
+	return ack
+}
+
+// aimdStep advances a congestion window one control step: halve on a
+// congestion signal (an echoed mark or a retransmission timeout),
+// otherwise grow by one message, always staying within [minW, maxW].
+// Pure so the fuzzer can prove no input sequence escapes the bounds.
+func aimdStep(cwnd float64, congested bool, minW, maxW int) float64 {
+	if congested {
+		cwnd /= 2
+	} else {
+		cwnd++
+	}
+	if cwnd < float64(minW) {
+		cwnd = float64(minW)
+	}
+	if cwnd > float64(maxW) {
+		cwnd = float64(maxW)
+	}
+	return cwnd
+}
+
 // classifySlot validates one reliable-mode slot image end to end: header
-// decode, source bounds, the end-to-end checksum, and in-order sequencing
-// against expected — the per-source highest delivered sequence, indexed
-// only after the bounds check proves src sane. It is a pure function of
-// its inputs so that every bit pattern a faulty fabric might deposit can
-// be fuzzed directly: no input may panic, and only slotDeliver leads to
+// decode, source bounds, the end-to-end checksum (which covers the
+// expiry word, so corrupted deadline metadata reads as slotCorrupt, not
+// as a bogus expiry), in-order sequencing against expected — the
+// per-source highest delivered sequence, indexed only after the bounds
+// check proves src sane — and finally the message deadline. It is a pure
+// function of its inputs so that every bit pattern a faulty fabric might
+// deposit can be fuzzed directly: no input may panic, and only
+// slotDeliver and slotExpired (both in-order, checksum-proven) lead to
 // an acknowledgement.
-func classifySlot(nproc int, header, seq, sum uint64, args [4]uint64, expected []uint64) (src, id int, v slotVerdict) {
+func classifySlot(nproc int, now sim.Time, header, seq, sum, expiry uint64, args [4]uint64, expected []uint64) (src, id int, v slotVerdict) {
 	if header == 0 {
 		return -1, 0, slotEmpty
 	}
 	src, id = decodeHeader(header)
-	if src < 0 || src >= nproc || checksum(src, id, seq, args) != sum {
+	if src < 0 || src >= nproc || checksum(src, id, seq, expiry, args) != sum {
 		return src, id, slotCorrupt
 	}
 	switch {
@@ -42,6 +101,8 @@ func classifySlot(nproc int, header, seq, sum uint64, args [4]uint64, expected [
 		return src, id, slotDuplicate
 	case seq != expected[src]+1:
 		return src, id, slotGap
+	case expiry != 0 && now > sim.Time(expiry):
+		return src, id, slotExpired
 	}
 	return src, id, slotDeliver
 }

@@ -1,34 +1,44 @@
 package am
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
 
 // FuzzClassifySlot throws arbitrary reliable-mode slot images — any bit
 // pattern a faulty fabric might deposit into a receive queue — at the
 // decode path. The invariants: classifySlot never panics, never reports
-// an empty slot for a non-zero header, and never returns slotDeliver (the
-// only verdict that acknowledges) unless the checksum proves the header
-// and the sequence is exactly the next in order. A mis-ack would let
-// go-back-N retire a message that was never delivered.
+// an empty slot for a non-zero header, and never returns slotDeliver or
+// slotExpired (the only verdicts that acknowledge) unless the checksum
+// proves the header, expiry included, and the sequence is exactly the
+// next in order. A mis-ack would let go-back-N retire a message that was
+// never delivered; a forged expiry word would let an attacker-of-physics
+// expire messages the sender never deadlined.
 func FuzzClassifySlot(f *testing.F) {
 	const nproc = 4
 	valid := [4]uint64{0xDEAD, 0xBEEF, 42, 0}
 	hdr := headerWord(2, HUser)
-	sum := checksum(2, HUser, 7, valid)
+	sum := checksum(2, HUser, 7, 0, valid)
+	esum := checksum(2, HUser, 7, 500, valid)
 	// Seed corpus: empty, a valid in-order message, a duplicate, a gap,
-	// and single-field corruptions of the valid image.
-	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
-	f.Add(hdr, uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
-	f.Add(hdr, uint64(3), sum, valid[0], valid[1], valid[2], valid[3])
-	f.Add(hdr, uint64(9), sum, valid[0], valid[1], valid[2], valid[3])
-	f.Add(hdr^1, uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
-	f.Add(hdr, uint64(7), sum^0x8000, valid[0], valid[1], valid[2], valid[3])
-	f.Add(hdr, uint64(7), sum, valid[0]^1, valid[1], valid[2], valid[3])
-	f.Add(headerWord(nproc+5, HUser), uint64(7), sum, valid[0], valid[1], valid[2], valid[3])
-	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
-	f.Fuzz(func(t *testing.T, header, seq, sum, a0, a1, a2, a3 uint64) {
+	// deadline cases, and single-field corruptions of the valid image.
+	f.Add(int64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr, uint64(3), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr, uint64(9), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(900), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(900), hdr, uint64(7), sum, uint64(500), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr^1, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr, uint64(7), sum^0x8000, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0]^1, valid[1], valid[2], valid[3])
+	f.Add(int64(100), headerWord(nproc+5, HUser), uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
+	f.Add(int64(-1), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, now int64, header, seq, sum, expiry, a0, a1, a2, a3 uint64) {
 		expected := []uint64{6, 6, 6, 6}
 		args := [4]uint64{a0, a1, a2, a3}
-		src, id, v := classifySlot(nproc, header, seq, sum, args, expected)
+		src, id, v := classifySlot(nproc, sim.Time(now), header, seq, sum, expiry, args, expected)
 		switch {
 		case header == 0:
 			if v != slotEmpty {
@@ -37,16 +47,67 @@ func FuzzClassifySlot(f *testing.F) {
 		case v == slotEmpty:
 			t.Fatalf("non-zero header %#x classified empty", header)
 		}
-		if v == slotDeliver {
+		if v == slotDeliver || v == slotExpired {
 			if src < 0 || src >= nproc {
-				t.Fatalf("delivered from out-of-range source %d", src)
+				t.Fatalf("acked a message from out-of-range source %d", src)
 			}
-			if checksum(src, id, seq, args) != sum {
-				t.Fatalf("delivered a message whose checksum does not match (header %#x)", header)
+			if checksum(src, id, seq, expiry, args) != sum {
+				t.Fatalf("acked a message whose checksum does not match (header %#x)", header)
 			}
 			if seq != expected[src]+1 {
 				t.Fatalf("acked out-of-order seq %d from src %d (expected %d)", seq, src, expected[src]+1)
 			}
+		}
+		if v == slotDeliver && expiry != 0 && sim.Time(now) > sim.Time(expiry) {
+			t.Fatalf("delivered a message %d cycles past its expiry", sim.Time(now)-sim.Time(expiry))
+		}
+		if v == slotExpired && expiry == 0 {
+			t.Fatal("expired a message that carries no deadline")
+		}
+	})
+}
+
+// FuzzAckControl throws arbitrary ack words and window states at the
+// sender-side control path: decode, clamp, and the AIMD step. The
+// invariants: nothing panics, a corrupted ack word can never retire a
+// sequence the sender has not assigned (ack > nextSeq) nor regress the
+// monotone ack, and no mark/step sequence pushes the window outside
+// [minW, maxW] — corrupted congestion metadata must never inflate a
+// window.
+func FuzzAckControl(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), 2.0, false, 1, 16)
+	f.Add(ackWord(7, true), uint64(5), uint64(10), 4.0, true, 1, 8)
+	f.Add(^uint64(0), uint64(3), uint64(9), 1e18, false, 2, 4)
+	f.Add(ackCE|3, uint64(4), uint64(4), -1e18, true, 1, 1)
+	f.Fuzz(func(t *testing.T, raw, lastAck, nextSeq uint64, cwnd float64, congested bool, minW, maxW int) {
+		seq, ce := decodeAck(raw)
+		if ackWord(seq, ce) != raw {
+			t.Fatalf("ackWord(decodeAck(%#x)) = %#x, not the identity", raw, ackWord(seq, ce))
+		}
+		if seq&ackCE != 0 {
+			t.Fatalf("decoded seq %#x still carries the CE bit", seq)
+		}
+		got := clampAckSeq(seq, lastAck, nextSeq)
+		if got > nextSeq && got != lastAck {
+			t.Fatalf("clamp passed ack %d beyond nextSeq %d", got, nextSeq)
+		}
+		if got < lastAck {
+			t.Fatalf("clamp regressed ack to %d below lastAck %d", got, lastAck)
+		}
+		if minW < 1 {
+			minW = 1
+		}
+		if maxW < minW {
+			maxW = minW
+		}
+		w := aimdStep(cwnd, congested, minW, maxW)
+		if w < float64(minW) || w > float64(maxW) {
+			t.Fatalf("aimdStep(%v, %v) = %v escaped [%d, %d]", cwnd, congested, w, minW, maxW)
+		}
+		// A second step from the result must also stay bounded (NaN and
+		// infinity propagation would surface here).
+		if w2 := aimdStep(w, !congested, minW, maxW); w2 < float64(minW) || w2 > float64(maxW) {
+			t.Fatalf("second step %v escaped [%d, %d]", w2, minW, maxW)
 		}
 	})
 }
@@ -57,24 +118,30 @@ func TestClassifySlotVerdicts(t *testing.T) {
 	const nproc = 4
 	args := [4]uint64{1, 2, 3, 4}
 	expected := []uint64{6, 6, 6, 6}
-	good := func(seq uint64) (uint64, uint64) {
-		return headerWord(1, HUser), checksum(1, HUser, seq, args)
+	good := func(seq, expiry uint64) (uint64, uint64) {
+		return headerWord(1, HUser), checksum(1, HUser, seq, expiry, args)
 	}
-	hdr, sum := good(7)
+	hdr, sum := good(7, 0)
+	_, esum := good(7, 500)
 	cases := []struct {
-		name             string
-		header, seq, sum uint64
-		want             slotVerdict
+		name                     string
+		now                      sim.Time
+		header, seq, sum, expiry uint64
+		want                     slotVerdict
 	}{
-		{"empty", 0, 0, 0, slotEmpty},
-		{"in-order", hdr, 7, sum, slotDeliver},
-		{"duplicate", hdr, 6, checksum(1, HUser, 6, args), slotDuplicate},
-		{"gap", hdr, 9, checksum(1, HUser, 9, args), slotGap},
-		{"bad-checksum", hdr, 7, sum ^ 1, slotCorrupt},
-		{"bad-source", headerWord(nproc, HUser), 7, checksum(nproc, HUser, 7, args), slotCorrupt},
+		{"empty", 100, 0, 0, 0, 0, slotEmpty},
+		{"in-order", 100, hdr, 7, sum, 0, slotDeliver},
+		{"duplicate", 100, hdr, 6, checksum(1, HUser, 6, 0, args), 0, slotDuplicate},
+		{"gap", 100, hdr, 9, checksum(1, HUser, 9, 0, args), 0, slotGap},
+		{"bad-checksum", 100, hdr, 7, sum ^ 1, 0, slotCorrupt},
+		{"bad-source", 100, headerWord(nproc, HUser), 7, checksum(nproc, HUser, 7, 0, args), 0, slotCorrupt},
+		{"deadline-ahead", 400, hdr, 7, esum, 500, slotDeliver},
+		{"deadline-exact", 500, hdr, 7, esum, 500, slotDeliver},
+		{"deadline-past", 501, hdr, 7, esum, 500, slotExpired},
+		{"forged-expiry", 900, hdr, 7, sum, 500, slotCorrupt},
 	}
 	for _, tc := range cases {
-		if _, _, v := classifySlot(nproc, tc.header, tc.seq, tc.sum, args, expected); v != tc.want {
+		if _, _, v := classifySlot(nproc, tc.now, tc.header, tc.seq, tc.sum, tc.expiry, args, expected); v != tc.want {
 			t.Errorf("%s: verdict %d, want %d", tc.name, v, tc.want)
 		}
 	}

@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// TestChaosSoakIncast is the overload soak: randomized incast shapes —
+// fan-in, message count, offered load, and sometimes a per-message
+// budget — against the adaptive backpressure layer. Whatever the draw,
+// the run must terminate without tripping the livelock watchdog, account
+// for every offered message (dispatched within budget or explicitly
+// expired, never lost or late), and keep goodput above a floor: overload
+// may degrade service, it may not collapse it.
+func TestChaosSoakIncast(t *testing.T) {
+	base, count := soakParams(t)
+	const goodputFloor = 1.5 // delivered msgs per kcycle; collapse runs at ~0.7
+
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		cfg := exp.IncastConfig{
+			PEs:   8,
+			FanIn: 3 + rng.Intn(5),          // 3..7
+			Msgs:  80 + rng.Intn(121),       // 80..200
+			Gap:   sim.Time(rng.Intn(1001)), // open throttle .. light load
+			Mode:  exp.FlowAdaptive,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.TTL = sim.Time(20000 + rng.Intn(80001)) // 20k..100k cycles
+		}
+		res, err := exp.RunIncast(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, cfg, err)
+		}
+		if got := res.Delivered + res.Expired; got != res.Offered {
+			t.Errorf("seed %d: delivered %d + expired %d != offered %d",
+				seed, res.Delivered, res.Expired, res.Offered)
+		}
+		if res.MaxLate != 0 {
+			t.Errorf("seed %d: a message was dispatched %d cycles past its budget", seed, res.MaxLate)
+		}
+		// The goodput floor counts expired messages as served: shedding
+		// stale work on time is the designed degraded mode, losing fresh
+		// work to retransmission storms is the failure this gate exists
+		// to catch.
+		served := float64(res.Delivered+res.Expired) * 1000 / float64(res.Cycles)
+		if served < goodputFloor {
+			t.Errorf("seed %d: goodput %.3f/kcyc under floor %.1f (retransmits=%d duplicates=%d)",
+				seed, served, goodputFloor, res.Retransmits, res.Duplicates)
+		}
+	}
+}

@@ -26,6 +26,14 @@ type Config struct {
 	HopLatency sim.Time // cycles for a packet head to cross one hop
 	HeaderOcc  sim.Time // link occupancy of the packet header
 	FlitOcc    sim.Time // link occupancy per 8 bytes of payload
+
+	// MarkThreshold is the ECN-style congestion signal: a data packet
+	// that queues for more than this many cycles behind earlier traffic
+	// at any single link on its route is delivered marked
+	// (congestion experienced). Marking is observation only — timing is
+	// unchanged — so software flow control can react before queues
+	// collapse into retransmit storms. 0 disables marking.
+	MarkThreshold sim.Time
 }
 
 // DefaultConfig returns torus parameters matching the paper: 2 cycles per
@@ -42,6 +50,10 @@ func DefaultConfig(nodes int) Config {
 		HopLatency: 2,
 		HeaderOcc:  1,
 		FlitOcc:    2,
+		// ~14 queued line-sized packets on one link: well past the point
+		// where a hotspot is forming but early enough for senders to back
+		// off before slots overwrite and retransmits storm.
+		MarkThreshold: 128,
 	}
 }
 
@@ -61,6 +73,9 @@ func (c Config) Validate(nodes int) error {
 	if c.HopLatency < 0 || c.HeaderOcc < 0 || c.FlitOcc < 0 {
 		return fmt.Errorf("net: negative timing parameter (hop=%d header=%d flit=%d)",
 			c.HopLatency, c.HeaderOcc, c.FlitOcc)
+	}
+	if c.MarkThreshold < 0 {
+		return fmt.Errorf("net: negative congestion mark threshold %d", c.MarkThreshold)
 	}
 	return nil
 }
@@ -169,6 +184,9 @@ type Network struct {
 	// Stats.
 	Packets, PayloadBytes int64
 	Dropped, Corrupted    int64
+	// MarkedPackets counts data packets delivered with the congestion-
+	// experienced mark: they queued past MarkThreshold at a hot link.
+	MarkedPackets int64
 	// HardDropped counts in-flight packets lost to a link hard-fault,
 	// Unroutable packets abandoned because no path survived, and
 	// ReroutedPackets/ExtraHops the non-minimal-path inflation.
@@ -270,7 +288,7 @@ func (n *Network) occupancy(payloadBytes int) sim.Time {
 // full length, so concurrent streams through a link serialize. Control
 // packets are never faulted.
 func (n *Network) Send(src, dst, payloadBytes int, deliver func()) {
-	n.send(src, dst, payloadBytes, false, func(Fault) { deliver() })
+	n.send(src, dst, payloadBytes, false, func(Fault, bool) { deliver() })
 }
 
 // SendData injects a data-carrying packet: identical timing to Send, but
@@ -279,10 +297,18 @@ func (n *Network) Send(src, dst, payloadBytes int, deliver func()) {
 // faults hit the data path, not the hardware flow control — so callers
 // must decide what a dropped or corrupted payload means at the far end.
 func (n *Network) SendData(src, dst, payloadBytes int, deliver func(f Fault)) {
+	n.send(src, dst, payloadBytes, true, func(f Fault, _ bool) { deliver(f) })
+}
+
+// SendDataEx is SendData with the congestion verdict: deliver also
+// receives whether the packet queued past MarkThreshold at a hot link —
+// the ECN-style congestion-experienced mark the overload-protection
+// layer feeds back to senders.
+func (n *Network) SendDataEx(src, dst, payloadBytes int, deliver func(f Fault, marked bool)) {
 	n.send(src, dst, payloadBytes, true, deliver)
 }
 
-func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(f Fault)) {
+func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(f Fault, marked bool)) {
 	n.Packets++
 	n.PayloadBytes += int64(payloadBytes)
 	occ := n.occupancy(payloadBytes)
@@ -296,7 +322,7 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 		n.Unroutable++
 		if faultable {
 			n.Dropped++
-			n.eng.At(t+1, func() { deliver(FaultDrop) })
+			n.eng.At(t+1, func() { deliver(FaultDrop, false) })
 		}
 		return
 	}
@@ -310,14 +336,23 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 	if faultable && n.hook != nil {
 		hopTimes = make([]sim.Time, 0, len(route))
 	}
+	marked := false
 	for _, hop := range route {
 		link := &n.links[hop[0]][hop[1]]
 		start := link.Acquire(t, occ)
 		if hopTimes != nil {
 			hopTimes = append(hopTimes, start)
 		}
+		// Congestion-experienced: the packet queued behind earlier
+		// traffic at this link for longer than the mark threshold.
+		if thr := n.cfg.MarkThreshold; faultable && thr > 0 && start-t > thr {
+			marked = true
+		}
 		t = start + n.cfg.HopLatency
 		n.busy[hop[0]][hop[1]] += occ
+	}
+	if marked {
+		n.MarkedPackets++
 	}
 	fault := FaultNone
 	if faultable && n.hook != nil {
@@ -349,8 +384,19 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 			}
 			delete(n.flights, flightID)
 		}
-		deliver(f)
+		deliver(f, marked)
 	})
+}
+
+// LinkBacklog reports how many cycles of already-committed traffic a new
+// packet arriving now would queue behind on the link leaving node in
+// direction dir — the instantaneous congestion depth behind the marking
+// decision.
+func (n *Network) LinkBacklog(node, dir int) sim.Time {
+	if b := n.links[node][dir].FreeAt() - n.eng.Now(); b > 0 {
+		return b
+	}
+	return 0
 }
 
 // LinkBusy returns the accumulated occupancy of the link leaving node in

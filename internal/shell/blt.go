@@ -122,7 +122,7 @@ func (s *Shell) bltStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff,
 
 // BLTWait blocks until the in-flight block transfer completes.
 func (s *Shell) BLTWait(p *sim.Proc) {
-	sim.Await(p, s.bltSig, func() bool { return !s.bltBusy })
+	sim.AwaitDeadline(p, s.bltSig, "blt completion", func() bool { return !s.bltBusy })
 }
 
 // BLTBusy reports whether a transfer is in flight.

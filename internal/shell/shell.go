@@ -70,6 +70,7 @@ func (f *Fabric) AddNode(dram *mem.DRAM, l1 *cache.Cache) *Shell {
 		msgSig:       sim.NewSignal(fmt.Sprintf("shell%d.msg", pe)),
 		bltSig:       sim.NewSignal(fmt.Sprintf("shell%d.blt", pe)),
 		arrival:      sim.NewSignal(fmt.Sprintf("shell%d.arrival", pe)),
+		cePending:    make([]bool, f.Net.Nodes()),
 	}
 	s.annex[addr.LocalAnnex] = AnnexEntry{PE: pe}
 	f.Nodes = append(f.Nodes, &Node{PE: pe, DRAM: dram, L1: l1, Shell: s})
@@ -122,8 +123,17 @@ type Shell struct {
 
 	drainer Drainer
 
+	// cePending latches, per source PE, that a data packet from that
+	// source arrived carrying the network's congestion-experienced mark
+	// (net.Config.MarkThreshold). The bit stays set until software reads
+	// it with TakeCongestionMark — the hardware register a receiver-side
+	// protocol polls to echo congestion back to the sender.
+	cePending []bool
+
 	// Stats.
 	RemoteReads, RemoteWrites, Prefetches, AnnexUpdates int64
+	// CongestionMarks counts marked data-packet arrivals at this node.
+	CongestionMarks int64
 }
 
 type pqSlot struct {
@@ -205,6 +215,24 @@ func (s *Shell) Steal(d sim.Time) {
 // active-message layer uses it to pace retransmission timeouts.
 func (s *Shell) ArrivalSignal() *sim.Signal { return s.arrival }
 
+// noteCongestion latches that a marked data packet from src arrived.
+func (s *Shell) noteCongestion(src int) {
+	s.cePending[src] = true
+	s.CongestionMarks++
+}
+
+// TakeCongestionMark reads and clears this node's congestion-experienced
+// latch for src: true means at least one data packet from src queued
+// past the network's mark threshold since the last read. It models a
+// hardware status bit, so it is free of simulated cost; the adaptive
+// active-message layer polls it when acknowledging src and echoes the
+// bit back through the ack word.
+func (s *Shell) TakeCongestionMark(src int) bool {
+	m := s.cePending[src]
+	s.cePending[src] = false
+	return m
+}
+
 // checkReachable verifies that the degraded torus still connects this
 // node to pe in both directions — every shell transaction needs the
 // reverse path for its response or acknowledgement. On failure it panics
@@ -258,7 +286,7 @@ func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 		val = v
 		done.Fire(s.eng)
 	})
-	p.WaitSignal(done)
+	p.WaitSignalDeadline(done, "remote read")
 	p.Wait(s.cfg.RespAccept)
 	return val
 }
@@ -277,7 +305,7 @@ func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 		copy(line, data)
 		done.Fire(s.eng)
 	})
-	p.WaitSignal(done)
+	p.WaitSignalDeadline(done, "remote line fill")
 	p.Wait(s.cfg.RespAccept + s.cfg.CachedFillExtra)
 }
 
@@ -362,7 +390,7 @@ func (s *Shell) injectWrite(p *sim.Proc, e *wbuf.Entry) {
 	s.RemoteWrites++
 	s.eng.Trace("shell.write", "pe%d remote write pe%d+%#x (%dB)", s.pe, ae.PE, lineOff, nbytes)
 	entry := *e // snapshot: the buffer slot is reused after drain
-	s.fab.Net.SendData(s.pe, ae.PE, nbytes, func(fault net.Fault) {
+	s.fab.Net.SendDataEx(s.pe, ae.PE, nbytes, func(fault net.Fault, marked bool) {
 		rn := s.node(ae.PE)
 		t := s.eng.Now() + s.cfg.WriteRemoteProc
 		complete, _ := rn.DRAM.WriteAccess(t, lineOff)
@@ -389,6 +417,9 @@ func (s *Shell) injectWrite(p *sim.Proc, e *wbuf.Entry) {
 				// Cache-invalidate mode: flush the target line on the
 				// owning node whether or not it is cached (§4.4).
 				rn.L1.Invalidate(lineOff)
+			}
+			if marked {
+				rn.Shell.noteCongestion(s.pe)
 			}
 			rn.Shell.arrival.Fire(s.eng)
 			s.eng.After(s.cfg.WriteAckExtra, func() {
@@ -437,7 +468,7 @@ func (s *Shell) PopPrefetch(p *sim.Proc) uint64 {
 		panic(fmt.Sprintf("shell: PE %d popped an empty prefetch queue", s.pe))
 	}
 	head := s.pq[0]
-	sim.Await(p, s.pqSig, func() bool { return head.filled })
+	sim.AwaitDeadline(p, s.pqSig, "prefetch response", func() bool { return head.filled })
 	p.Wait(s.cfg.PopCost)
 	s.pq = s.pq[1:]
 	return head.val
@@ -461,6 +492,7 @@ func (s *Shell) ReadStatus(p *sim.Proc) bool {
 // have been acknowledged, exactly as the Split-C blocking write does.
 func (s *Shell) WaitWritesComplete(p *sim.Proc) {
 	for s.ReadStatus(p) {
+		p.CheckDeadline("write completion")
 	}
 }
 
@@ -497,7 +529,7 @@ func (s *Shell) FetchInc(p *sim.Proc, pe, reg int) uint64 {
 			})
 		})
 	})
-	p.WaitSignal(done)
+	p.WaitSignalDeadline(done, "fetch&increment")
 	p.Wait(s.cfg.RespAccept)
 	return val
 }
@@ -541,7 +573,7 @@ func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 			})
 		})
 	})
-	p.WaitSignal(done)
+	p.WaitSignalDeadline(done, "atomic swap")
 	p.Wait(s.cfg.RespAccept)
 	return old
 }

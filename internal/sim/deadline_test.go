@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCheckDeadline pins the arming semantics: no deadline means no
+// panic, an unexpired deadline means no panic, an expired one panics
+// with a *DeadlineError that unwraps to ErrDeadline.
+func TestCheckDeadline(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("worker", func(p *Proc) {
+		p.CheckDeadline("never armed") // must not panic
+
+		p.SetDeadline(p.Now() + 100)
+		p.Wait(50)
+		p.CheckDeadline("halfway") // still 50 cycles of budget
+
+		p.Wait(50)
+		defer func() {
+			r := recover()
+			de, ok := r.(*DeadlineError)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want *DeadlineError", r, r)
+			}
+			if !errors.Is(de, ErrDeadline) {
+				t.Errorf("DeadlineError does not unwrap to ErrDeadline")
+			}
+			if de.Op != "expired" || de.Proc != "worker" {
+				t.Errorf("DeadlineError = %+v, want op=expired proc=worker", de)
+			}
+			if de.Now < de.Deadline {
+				t.Errorf("expired at t=%d before deadline t=%d", de.Now, de.Deadline)
+			}
+		}()
+		p.CheckDeadline("expired")
+		t.Error("CheckDeadline did not panic at the deadline")
+	})
+	e.Run()
+}
+
+// TestWaitSignalDeadline covers both races: the signal winning (normal
+// return) and the deadline winning (DeadlineError surfacing from RunErr
+// as a *ProcFailure).
+func TestWaitSignalDeadline(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("data")
+	var got bool
+	e.Spawn("waiter", func(p *Proc) {
+		p.SetDeadline(p.Now() + 1000)
+		p.WaitSignalDeadline(s, "fast wait")
+		got = true
+		p.SetDeadline(0)
+	})
+	e.After(10, func() { s.Fire(e) })
+	if _, err := e.RunErr(); err != nil {
+		t.Fatalf("signal-first wait failed: %v", err)
+	}
+	if !got {
+		t.Fatal("waiter never resumed after the signal")
+	}
+
+	e2 := NewEngine()
+	slow := NewSignal("slow")
+	e2.Spawn("late", func(p *Proc) {
+		p.SetDeadline(p.Now() + 20)
+		p.WaitSignalDeadline(slow, "slow wait")
+		t.Error("wait returned even though the signal never fired in time")
+	})
+	e2.After(500, func() { slow.Fire(e2) })
+	_, err := e2.RunErr()
+	var pf *ProcFailure
+	if !errors.As(err, &pf) {
+		t.Fatalf("RunErr = %v (%T), want *ProcFailure", err, err)
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("failure %v does not wrap ErrDeadline", err)
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) || de.Op != "slow wait" {
+		t.Errorf("failure %v does not carry the blocking op", err)
+	}
+}
+
+// TestAwaitDeadline: the condition coming true through repeated fires
+// completes; a condition that never holds expires with ErrDeadline.
+func TestAwaitDeadline(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal("tick")
+	n := 0
+	e.Spawn("counter", func(p *Proc) {
+		p.SetDeadline(p.Now() + 1000)
+		AwaitDeadline(p, s, "count to 3", func() bool { return n >= 3 })
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.At(Time(i*10), func() { n++; s.Fire(e) })
+	}
+	if _, err := e.RunErr(); err != nil {
+		t.Fatalf("await failed: %v", err)
+	}
+
+	e2 := NewEngine()
+	s2 := NewSignal("tick2")
+	e2.Spawn("stuck", func(p *Proc) {
+		p.SetDeadline(p.Now() + 50)
+		AwaitDeadline(p, s2, "never", func() bool { return false })
+	})
+	e2.After(10, func() { s2.Fire(e2) })
+	e2.After(20, func() { s2.Fire(e2) })
+	if _, err := e2.RunErr(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("RunErr = %v, want ErrDeadline", err)
+	}
+}

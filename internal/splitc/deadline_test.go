@@ -1,0 +1,181 @@
+package splitc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+)
+
+// TestReadWithinCompletes: a budget larger than a remote read's latency
+// changes nothing — correct value, nil error, deadline disarmed after.
+func TestReadWithinCompletes(t *testing.T) {
+	rt := newRT(2)
+	rt.M.Nodes[1].DRAM.Write64(rt.Cfg.HeapBase, 321)
+	rt.RunOn(0, func(c *Ctx) {
+		v, err := c.ReadWithin(Global(1, rt.Cfg.HeapBase), 100000)
+		if err != nil || v != 321 {
+			t.Errorf("ReadWithin = %d, %v; want 321, nil", v, err)
+		}
+		if d := c.P.Deadline(); d != 0 {
+			t.Errorf("deadline %d still armed after WithDeadline returned", d)
+		}
+	})
+}
+
+// TestReadWithinExpires: a budget smaller than the ~91-cycle uncached
+// read must surface ErrDeadline, and the same read retried without a
+// budget must still work — the abandoned response is harmless.
+func TestReadWithinExpires(t *testing.T) {
+	rt := newRT(2)
+	rt.M.Nodes[1].DRAM.Write64(rt.Cfg.HeapBase, 55)
+	rt.RunOn(0, func(c *Ctx) {
+		g := Global(1, rt.Cfg.HeapBase)
+		_, err := c.ReadWithin(g, 20)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("ReadWithin(20) err = %v, want ErrDeadline", err)
+		}
+		var de *sim.DeadlineError
+		if !errors.As(err, &de) || de.Op == "" {
+			t.Errorf("err %v carries no blocking op", err)
+		}
+		if v := c.Read(g); v != 55 {
+			t.Errorf("retry without budget read %d, want 55", v)
+		}
+	})
+}
+
+// TestDeadlineOnDegradedTorusReportsDeadline is the failure-attribution
+// test: on a torus that has lost links but is still connected, a remote
+// read that runs out of budget must report ErrDeadline — the destination
+// is reachable, just slow — and must NOT report ErrPartitioned. A retry
+// with a real budget then succeeds over the surviving route, proving the
+// expiry left every protocol counter consistent.
+func TestDeadlineOnDegradedTorusReportsDeadline(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(8)) // 2x2x2 torus
+	// Degrade node 0's connectivity without cutting it off.
+	m.Net.FailLink(0, 0)
+	m.Net.FailLink(0, 2)
+	if !m.Net.Reachable(0, 7) || !m.Net.Reachable(7, 0) {
+		t.Fatal("test topology unexpectedly partitioned")
+	}
+	rt := NewRuntime(m, DefaultConfig())
+	rt.M.Nodes[7].DRAM.Write64(rt.Cfg.HeapBase, 99)
+	rt.RunOn(0, func(c *Ctx) {
+		g := Global(7, rt.Cfg.HeapBase)
+		_, err := c.ReadWithin(g, 15)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("degraded-path read err = %v, want ErrDeadline", err)
+		}
+		if errors.Is(err, net.ErrPartitioned) {
+			t.Fatal("deadline on a connected (if degraded) torus misreported as a partition")
+		}
+		if v, err := c.ReadWithin(g, 100000); err != nil || v != 99 {
+			t.Errorf("retry after expiry = %d, %v; want 99, nil", v, err)
+		}
+	})
+}
+
+// TestPartitionBeatsDeadline: when the destination is actually
+// unreachable, the partition must win no matter how small the budget —
+// reachability is checked before any blocking wait, so the caller gets
+// the diagnosis it can act on (the peer is gone, not merely slow).
+func TestPartitionBeatsDeadline(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(4))
+	for dir := 0; dir < 6; dir++ {
+		m.Net.FailLink(0, dir)
+	}
+	rt := NewRuntime(m, DefaultConfig())
+	var got error
+	rt.RunOn(0, func(c *Ctx) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("read across a partition completed")
+				return
+			}
+			e, ok := r.(error)
+			if !ok {
+				panic(r)
+			}
+			got = e
+		}()
+		_, _ = c.ReadWithin(Global(1, rt.Cfg.HeapBase), 5)
+	})
+	if !errors.Is(got, net.ErrPartitioned) {
+		t.Fatalf("err = %v, want net.ErrPartitioned", got)
+	}
+	if errors.Is(got, ErrDeadline) {
+		t.Fatal("partition misreported as a deadline")
+	}
+}
+
+// TestSyncWithinResumesCleanly: a deadline expiring mid-Sync — with
+// split-phase gets half-drained and remote writes unacknowledged — must
+// leave the runtime able to finish the same work under a later,
+// unbounded Sync with nothing lost, duplicated, or misdelivered.
+func TestSyncWithinResumesCleanly(t *testing.T) {
+	const n = 8
+	// A slow fabric (2000-cycle hops) guarantees no response is back
+	// when the budget expires: every wait in the drain genuinely blocks.
+	mcfg := machine.DefaultConfig(2)
+	mcfg.Net.HopLatency = 2000
+	rt := NewRuntime(machine.New(mcfg), DefaultConfig())
+	for i := 0; i < n; i++ {
+		rt.M.Nodes[1].DRAM.Write64(rt.Cfg.HeapBase+int64(i)*8, uint64(100+i))
+	}
+	rt.RunOn(0, func(c *Ctx) {
+		dst := c.Alloc(n * 8)
+		for i := 0; i < n; i++ {
+			c.Get(dst+int64(i)*8, Global(1, rt.Cfg.HeapBase+int64(i)*8))
+		}
+		c.Put(Global(1, rt.Cfg.HeapBase+n*8), 777)
+		if err := c.SyncWithin(40); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("SyncWithin(40) err = %v, want ErrDeadline", err)
+		}
+		// The abandoned drain retired only what it completed: the gets
+		// table and the shell FIFO must still agree.
+		if c.PendingGets() != c.Node.Shell.PrefetchOutstanding() {
+			t.Fatalf("gets table (%d) out of step with prefetch FIFO (%d)",
+				c.PendingGets(), c.Node.Shell.PrefetchOutstanding())
+		}
+		c.Sync() // unbounded: finishes the abandoned work
+		if c.PendingGets() != 0 || c.Node.Shell.OutstandingWrites() != 0 {
+			t.Fatalf("after full Sync: %d gets, %d writes still pending",
+				c.PendingGets(), c.Node.Shell.OutstandingWrites())
+		}
+		for i := 0; i < n; i++ {
+			if v := c.Node.CPU.Load64(c.P, dst+int64(i)*8); v != uint64(100+i) {
+				t.Errorf("get %d landed %d, want %d", i, v, 100+i)
+			}
+		}
+	})
+	if v := rt.M.Nodes[1].DRAM.Read64(rt.Cfg.HeapBase + n*8); v != 777 {
+		t.Errorf("put after resumed sync = %d, want 777", v)
+	}
+}
+
+// TestNestedDeadlinesNeverExtend: an inner WithDeadline cannot outlive
+// the enclosing budget.
+func TestNestedDeadlinesNeverExtend(t *testing.T) {
+	rt := newRT(2)
+	rt.RunOn(0, func(c *Ctx) {
+		err := c.WithDeadline(30, func() {
+			// Inner budget asks for far more than the outer allows.
+			if err := c.WithDeadline(1000000, func() {
+				_ = c.Read(Global(1, rt.Cfg.HeapBase))
+			}); err == nil {
+				t.Error("inner read finished despite the 30-cycle outer budget")
+			}
+		})
+		if err != nil {
+			// The inner recover already consumed the expiry; the outer
+			// either sees nil (inner returned early) or its own expiry.
+			if !errors.Is(err, ErrDeadline) {
+				t.Errorf("outer err = %v", err)
+			}
+		}
+	})
+}

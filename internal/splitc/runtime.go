@@ -113,6 +113,16 @@ func (rt *Runtime) Run(program func(c *Ctx)) sim.Time {
 	})
 }
 
+// RunErr is Run with structured failure reporting: a proc failure,
+// deadlock, or livelock surfaces as an error (machine.T3D.RunErr)
+// instead of a panic, so overload experiments can drive the runtime to
+// the edge and inspect what broke.
+func (rt *Runtime) RunErr(program func(c *Ctx)) (sim.Time, error) {
+	return rt.M.RunErr(func(p *sim.Proc, n *machine.Node) {
+		program(rt.newCtx(p, n))
+	})
+}
+
 // RunOn executes program on a single processor (micro-benchmark setup).
 func (rt *Runtime) RunOn(pe int, program func(c *Ctx)) sim.Time {
 	return rt.M.RunOn(pe, func(p *sim.Proc, n *machine.Node) {
@@ -182,9 +192,9 @@ type relWrite struct {
 
 // relRegion is one remote bulk write awaiting verification.
 type relRegion struct {
-	g    GlobalPtr
-	src  int64
-	n    int64
+	g   GlobalPtr
+	src int64
+	n   int64
 }
 
 // MyPE returns this thread's processor number.

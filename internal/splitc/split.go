@@ -29,6 +29,10 @@ func (c *Ctx) Get(dst int64, g GlobalPtr) {
 }
 
 // drainGets pops every outstanding prefetch and stores it to its target.
+// Completed entries are retired one at a time rather than in a final
+// truncation: a deadline expiring mid-drain (PopPrefetch waits on the
+// response) unwinds with the remaining table still matching the shell's
+// FIFO exactly, so a later Sync under a fresh budget resumes cleanly.
 func (c *Ctx) drainGets() {
 	if len(c.gets) == 0 {
 		return
@@ -36,11 +40,12 @@ func (c *Ctx) drainGets() {
 	// The memory barrier guarantees all fetch hints have left the write
 	// buffer — popping earlier is undefined (§5.2).
 	c.Node.CPU.MB(c.P)
-	for _, dst := range c.gets {
+	for len(c.gets) > 0 {
 		v := c.Node.Shell.PopPrefetch(c.P)
+		dst := c.gets[0]
+		c.gets = c.gets[1:]
 		c.Node.CPU.Store64(c.P, dst, v)
 	}
-	c.gets = c.gets[:0]
 }
 
 // PendingGets reports the number of outstanding split-phase reads.
