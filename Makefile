@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check race bench chaos fuzz
+.PHONY: all build test vet check race bench chaos fuzz cover
 
 all: check
 
@@ -26,12 +26,20 @@ chaos:
 	CHAOS=1 $(GO) test ./internal/chaos -count=1 -v -run TestChaosSoak
 
 # fuzz is the wire-protocol smoke: short coverage-guided runs of the
-# slot-classification and ack-control fuzzers, which must never find a
-# way for corrupted headers, sequence numbers, expiry stamps, or
-# congestion-echo bits to panic, mis-ack, or inflate a window.
+# slot-classification, ack-control, and poison-wire fuzzers, which must
+# never find a way for corrupted headers, sequence numbers, expiry
+# stamps, congestion-echo bits, or poison verdicts to panic, mis-ack,
+# inflate a window, or launder poisoned data into a clean ack.
 fuzz:
 	$(GO) test ./internal/am -run '^$$' -fuzz FuzzClassifySlot -fuzztime 10s
 	$(GO) test ./internal/am -run '^$$' -fuzz FuzzAckControl -fuzztime 10s
+	$(GO) test ./internal/am -run '^$$' -fuzz FuzzPoisonWire -fuzztime 10s
+
+# cover runs the suite with coverage and prints the per-package summary;
+# the profile lands in cover.out for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # race runs the suite under the race detector. The event kernel hands the
 # single execution token between proc goroutines, so this should stay

@@ -152,21 +152,21 @@ func (ep *Endpoint) Progress(dst int) {
 }
 
 // publishAck writes this node's ack word for src: the highest in-order
-// delivered sequence, plus — in adaptive mode — the congestion echo.
-// Congestion is experienced in two places and either sets the echo: a
-// hot torus link (the shell's per-source mark latch, fed by
-// net.MarkThreshold) or this node's own receive queue running deeper
-// than MarkDepth (tickets issued ahead of the slots drained — the
-// incast case, where the fabric is fine but the dispatch loop is the
-// saturated resource).
-func (ep *Endpoint) publishAck(src int, seq uint64) {
-	word := seq
+// delivered sequence, plus — in adaptive mode — the congestion echo, and
+// in any reliable mode the poison echo (a slot from src was dropped over
+// an ECC-uncorrectable word). Congestion is experienced in two places
+// and either sets the echo: a hot torus link (the shell's per-source
+// mark latch, fed by net.MarkThreshold) or this node's own receive queue
+// running deeper than MarkDepth (tickets issued ahead of the slots
+// drained — the incast case, where the fabric is fine but the dispatch
+// loop is the saturated resource).
+func (ep *Endpoint) publishAck(src int, seq uint64, poison bool) {
+	ce := false
 	if ep.cfg.Adaptive {
-		ce := ep.c.Node.Shell.TakeCongestionMark(src)
+		ce = ep.c.Node.Shell.TakeCongestionMark(src)
 		if int64(ep.c.Node.Shell.FI(0))-ep.head > int64(ep.cfg.MarkDepth) {
 			ce = true
 		}
-		word = ackWord(seq, ce)
 	}
-	ep.c.Node.CPU.Store64(ep.c.P, ep.ackBase+int64(src)*8, word)
+	ep.c.Node.CPU.Store64(ep.c.P, ep.ackBase+int64(src)*8, ackWord(seq, ce, poison))
 }

@@ -248,6 +248,11 @@ type Endpoint struct {
 	// head-of-line slots abandoned because their message was lost.
 	Sent, Received                                  int64
 	Retransmits, Duplicates, Rejected, SkippedSlots int64
+	// Integrity stats: PoisonDrops counts receive-queue slots dropped
+	// because the ECC pipe flagged a word uncorrectable (the sender's
+	// retransmission overwrites the slot), PoisonEchoes poison bits this
+	// sender saw echoed in ack words.
+	PoisonDrops, PoisonEchoes int64
 	// Overload stats: Marks counts congestion echoes received in ack
 	// words, Shed messages rejected or dropped by load shedding, Expired
 	// messages retired past their deadline without dispatch, and
@@ -481,9 +486,11 @@ func (ep *Endpoint) refreshAck(dst int) bool {
 	}
 	c := ep.c
 	raw := c.Read(splitc.Global(dst, ep.ackBase+int64(c.MyPE())*8))
-	ack, ce := decodeAck(raw)
-	if !ep.cfg.Adaptive {
-		ack, ce = raw, false
+	ack, ce, poisonEcho := decodeAck(raw)
+	if poisonEcho {
+		// The receiver dropped one of our slots over an uncorrectable
+		// word; the pending go-back-N retransmission overwrites it.
+		ep.PoisonEchoes++
 	}
 	ack = clampAckSeq(ack, ep.lastAck[dst], ep.nextSeq[dst])
 	progress := ack > ep.lastAck[dst]
@@ -617,11 +624,19 @@ func (ep *Endpoint) Poll() bool {
 // duplicates and gaps are discarded without an ack), publish the ack
 // word, and recover from head-of-line slots whose message was lost by
 // skipping them after a grace period.
+//
+// The slot image is read through the checked load path: an ECC-
+// uncorrectable word does not trap the polling thread (the damaged data
+// belongs to the sender's message, not this thread's state) but flags the
+// slot poisoned, and classifySlot turns that into a drop-and-echo so the
+// sender retransmits over the fault. The non-reliable Poll above keeps
+// the trapping loads — without sequence numbers there is no retransmit
+// path, so poison there must stop the program.
 func (ep *Endpoint) pollReliable() bool {
 	c := ep.c
 	slot := ep.queueBase + (ep.head%int64(ep.cfg.QueueSlots))*slotBytes
-	header := c.Node.CPU.Load64(c.P, slot+offHeader)
-	if header == 0 {
+	header, hpoi := c.Node.CPU.Load64Checked(c.P, slot+offHeader)
+	if header == 0 && !hpoi {
 		// Tickets beyond this slot mean a sender committed a message
 		// here (or will shortly). If the header line never arrives
 		// within the grace period, the message was lost in flight: skip
@@ -640,22 +655,36 @@ func (ep *Endpoint) pollReliable() bool {
 		return false
 	}
 	ep.stuckHead = -1
-	seq := c.Node.CPU.Load64(c.P, slot+offSeq)
-	sum := c.Node.CPU.Load64(c.P, slot+offSum)
-	expiry := c.Node.CPU.Load64(c.P, slot+offDeadline)
+	poisoned := hpoi
+	seq, poi := c.Node.CPU.Load64Checked(c.P, slot+offSeq)
+	poisoned = poisoned || poi
+	sum, poi := c.Node.CPU.Load64Checked(c.P, slot+offSum)
+	poisoned = poisoned || poi
+	expiry, poi := c.Node.CPU.Load64Checked(c.P, slot+offDeadline)
+	poisoned = poisoned || poi
 	var args [4]uint64
 	for i := range args {
-		args[i] = c.Node.CPU.Load64(c.P, slot+int64(i)*8)
+		args[i], poi = c.Node.CPU.Load64Checked(c.P, slot+int64(i)*8)
+		poisoned = poisoned || poi
 	}
 	c.Node.CPU.Store64(c.P, slot+offHeader, 0) // clear for reuse
 	ep.head++
 	c.Compute(ep.cfg.DispatchPad)
-	src, id, verdict := classifySlot(c.NProc(), c.P.Now(), header, seq, sum, expiry, args, ep.expected)
+	src, id, verdict := classifySlot(c.NProc(), c.P.Now(), header, seq, sum, expiry, args, ep.expected, poisoned)
 	switch verdict {
 	case slotCorrupt:
 		// Damaged in flight (corrupted data or header line, or a slot
 		// torn by an overwrite). No ack: the sender will retransmit.
 		ep.Rejected++
+		return true
+	case slotPoisoned:
+		// An uncorrectable word surfaced while reading the slot. Drop
+		// without advancing expected — the data cannot be trusted even if
+		// the checksum happens to pass — and echo poison in the ack word
+		// so the sender can count it; its go-back-N timeout retransmits,
+		// and the fresh stores overwrite the faulted words.
+		ep.PoisonDrops++
+		ep.publishAck(src, ep.expected[src], true)
 		return true
 	case slotDuplicate:
 		ep.Duplicates++ // retransmission of a delivered message
@@ -668,7 +697,7 @@ func (ep *Endpoint) pollReliable() bool {
 		// (retransmitting a doomed message only feeds the congestion that
 		// doomed it) but shed the dispatch — graceful degradation.
 		ep.expected[src] = seq
-		ep.publishAck(src, seq)
+		ep.publishAck(src, seq, false)
 		ep.Expired++
 		return true
 	}
@@ -684,7 +713,7 @@ func (ep *Endpoint) pollReliable() bool {
 	// exact on both sides: an acked message was dispatched, and a
 	// dispatched message started inside its expiry budget.
 	h(c, src, args)
-	ep.publishAck(src, seq)
+	ep.publishAck(src, seq, false)
 	return true
 }
 

@@ -8,6 +8,7 @@ type slotVerdict int
 const (
 	slotEmpty     slotVerdict = iota // no header word: nothing arrived
 	slotCorrupt                      // bad source or checksum: reject, no ack
+	slotPoisoned                     // ECC-uncorrectable word in the slot: drop, echo poison
 	slotDuplicate                    // already-delivered sequence: discard, no ack
 	slotGap                          // sequence gap: an earlier message was lost
 	slotExpired                      // in-order but past its deadline: ack, do not dispatch
@@ -25,25 +26,36 @@ func headerWord(src, id int) uint64 {
 	return uint64(id)<<32 | uint64(src) + 1
 }
 
-// ackCE is the congestion-experienced echo bit in a reliable-mode ack
-// word: the receiver sets it when data packets from this sender queued
-// past the network's mark threshold since the last ack it published.
-// Sequence numbers live in the low 63 bits, so the bit never collides.
-const ackCE = uint64(1) << 63
+// Control bits in a reliable-mode ack word. ackCE is the congestion-
+// experienced echo: the receiver sets it when data packets from this
+// sender queued past the network's mark threshold since the last ack it
+// published. ackPoison is the integrity echo: the receiver dropped a slot
+// because an ECC-uncorrectable word surfaced while reading it, so the
+// sender's retransmission (which overwrites the slot, clearing the fault)
+// is the recovery. Sequence numbers live in the low 62 bits, so the bits
+// never collide.
+const (
+	ackCE      = uint64(1) << 63
+	ackPoison  = uint64(1) << 62
+	ackSeqMask = ^(ackCE | ackPoison)
+)
 
 // ackWord encodes an ack: the highest in-order delivered sequence plus
-// the congestion echo.
-func ackWord(seq uint64, ce bool) uint64 {
-	w := seq &^ ackCE
+// the congestion and poison echoes.
+func ackWord(seq uint64, ce, poison bool) uint64 {
+	w := seq & ackSeqMask
 	if ce {
 		w |= ackCE
+	}
+	if poison {
+		w |= ackPoison
 	}
 	return w
 }
 
 // decodeAck is ackWord's inverse.
-func decodeAck(w uint64) (seq uint64, ce bool) {
-	return w &^ ackCE, w&ackCE != 0
+func decodeAck(w uint64) (seq uint64, ce, poison bool) {
+	return w & ackSeqMask, w&ackCE != 0, w&ackPoison != 0
 }
 
 // clampAckSeq validates an ack sequence read from remote memory against
@@ -88,12 +100,28 @@ func aimdStep(cwnd float64, congested bool, minW, maxW int) float64 {
 // deposit can be fuzzed directly: no input may panic, and only
 // slotDeliver and slotExpired (both in-order, checksum-proven) lead to
 // an acknowledgement.
-func classifySlot(nproc int, now sim.Time, header, seq, sum, expiry uint64, args [4]uint64, expected []uint64) (src, id int, v slotVerdict) {
-	if header == 0 {
+//
+// poisoned reports that the ECC pipe flagged a word of the slot image
+// uncorrectable while it was read. A poisoned slot with a plausible
+// header becomes slotPoisoned — dropped without an ack, so the sender's
+// go-back-N retransmission overwrites the damaged slot — and never
+// delivers, whatever its checksum happens to say (64 flipped bits could
+// in principle collide it). A poisoned slot whose header is implausible
+// degrades to slotCorrupt: there is no sane source to echo poison to.
+// And a poisoned "empty" slot is not empty — zero is just what the
+// corrupted header read back as.
+func classifySlot(nproc int, now sim.Time, header, seq, sum, expiry uint64, args [4]uint64, expected []uint64, poisoned bool) (src, id int, v slotVerdict) {
+	if header == 0 && !poisoned {
 		return -1, 0, slotEmpty
 	}
 	src, id = decodeHeader(header)
-	if src < 0 || src >= nproc || checksum(src, id, seq, expiry, args) != sum {
+	if src < 0 || src >= nproc {
+		return src, id, slotCorrupt
+	}
+	if poisoned {
+		return src, id, slotPoisoned
+	}
+	if checksum(src, id, seq, expiry, args) != sum {
 		return src, id, slotCorrupt
 	}
 	switch {

@@ -23,29 +23,37 @@ func FuzzClassifySlot(f *testing.F) {
 	esum := checksum(2, HUser, 7, 500, valid)
 	// Seed corpus: empty, a valid in-order message, a duplicate, a gap,
 	// deadline cases, and single-field corruptions of the valid image.
-	f.Add(int64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
-	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr, uint64(3), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr, uint64(9), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(900), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(900), hdr, uint64(7), sum, uint64(500), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr^1, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr, uint64(7), sum^0x8000, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0]^1, valid[1], valid[2], valid[3])
-	f.Add(int64(100), headerWord(nproc+5, HUser), uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3])
-	f.Add(int64(-1), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
-	f.Fuzz(func(t *testing.T, now int64, header, seq, sum, expiry, a0, a1, a2, a3 uint64) {
+	f.Add(int64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), false)
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr, uint64(3), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr, uint64(9), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(900), hdr, uint64(7), esum, uint64(500), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(900), hdr, uint64(7), sum, uint64(500), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr^1, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr, uint64(7), sum^0x8000, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0]^1, valid[1], valid[2], valid[3], false)
+	f.Add(int64(100), headerWord(nproc+5, HUser), uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], false)
+	f.Add(int64(-1), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), true)
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], true)
+	f.Add(int64(100), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), true)
+	f.Fuzz(func(t *testing.T, now int64, header, seq, sum, expiry, a0, a1, a2, a3 uint64, poisoned bool) {
 		expected := []uint64{6, 6, 6, 6}
 		args := [4]uint64{a0, a1, a2, a3}
-		src, id, v := classifySlot(nproc, sim.Time(now), header, seq, sum, expiry, args, expected)
+		src, id, v := classifySlot(nproc, sim.Time(now), header, seq, sum, expiry, args, expected, poisoned)
 		switch {
-		case header == 0:
+		case header == 0 && !poisoned:
 			if v != slotEmpty {
 				t.Fatalf("zero header classified %d, want slotEmpty", v)
 			}
 		case v == slotEmpty:
-			t.Fatalf("non-zero header %#x classified empty", header)
+			t.Fatalf("header %#x (poisoned=%v) classified empty", header, poisoned)
+		}
+		if poisoned && (v == slotDeliver || v == slotExpired) {
+			t.Fatalf("acked a poisoned slot (verdict %d)", v)
+		}
+		if v == slotPoisoned && (src < 0 || src >= nproc) {
+			t.Fatalf("poison verdict for out-of-range source %d (no one to echo to)", src)
 		}
 		if v == slotDeliver || v == slotExpired {
 			if src < 0 || src >= nproc {
@@ -69,23 +77,25 @@ func FuzzClassifySlot(f *testing.F) {
 
 // FuzzAckControl throws arbitrary ack words and window states at the
 // sender-side control path: decode, clamp, and the AIMD step. The
-// invariants: nothing panics, a corrupted ack word can never retire a
-// sequence the sender has not assigned (ack > nextSeq) nor regress the
-// monotone ack, and no mark/step sequence pushes the window outside
-// [minW, maxW] — corrupted congestion metadata must never inflate a
-// window.
+// invariants: nothing panics, encode∘decode is the identity (no raw word
+// aliases a different sequence-plus-echoes triple), a corrupted ack word
+// can never retire a sequence the sender has not assigned (ack >
+// nextSeq) nor regress the monotone ack, and no mark/step sequence
+// pushes the window outside [minW, maxW] — corrupted congestion metadata
+// must never inflate a window.
 func FuzzAckControl(f *testing.F) {
 	f.Add(uint64(0), uint64(0), uint64(0), 2.0, false, 1, 16)
-	f.Add(ackWord(7, true), uint64(5), uint64(10), 4.0, true, 1, 8)
+	f.Add(ackWord(7, true, false), uint64(5), uint64(10), 4.0, true, 1, 8)
+	f.Add(ackWord(7, false, true), uint64(5), uint64(10), 4.0, true, 1, 8)
 	f.Add(^uint64(0), uint64(3), uint64(9), 1e18, false, 2, 4)
-	f.Add(ackCE|3, uint64(4), uint64(4), -1e18, true, 1, 1)
+	f.Add(ackCE|ackPoison|3, uint64(4), uint64(4), -1e18, true, 1, 1)
 	f.Fuzz(func(t *testing.T, raw, lastAck, nextSeq uint64, cwnd float64, congested bool, minW, maxW int) {
-		seq, ce := decodeAck(raw)
-		if ackWord(seq, ce) != raw {
-			t.Fatalf("ackWord(decodeAck(%#x)) = %#x, not the identity", raw, ackWord(seq, ce))
+		seq, ce, poison := decodeAck(raw)
+		if ackWord(seq, ce, poison) != raw {
+			t.Fatalf("ackWord(decodeAck(%#x)) = %#x, not the identity", raw, ackWord(seq, ce, poison))
 		}
-		if seq&ackCE != 0 {
-			t.Fatalf("decoded seq %#x still carries the CE bit", seq)
+		if seq&(ackCE|ackPoison) != 0 {
+			t.Fatalf("decoded seq %#x still carries control bits", seq)
 		}
 		got := clampAckSeq(seq, lastAck, nextSeq)
 		if got > nextSeq && got != lastAck {
@@ -127,21 +137,28 @@ func TestClassifySlotVerdicts(t *testing.T) {
 		name                     string
 		now                      sim.Time
 		header, seq, sum, expiry uint64
+		poisoned                 bool
 		want                     slotVerdict
 	}{
-		{"empty", 100, 0, 0, 0, 0, slotEmpty},
-		{"in-order", 100, hdr, 7, sum, 0, slotDeliver},
-		{"duplicate", 100, hdr, 6, checksum(1, HUser, 6, 0, args), 0, slotDuplicate},
-		{"gap", 100, hdr, 9, checksum(1, HUser, 9, 0, args), 0, slotGap},
-		{"bad-checksum", 100, hdr, 7, sum ^ 1, 0, slotCorrupt},
-		{"bad-source", 100, headerWord(nproc, HUser), 7, checksum(nproc, HUser, 7, 0, args), 0, slotCorrupt},
-		{"deadline-ahead", 400, hdr, 7, esum, 500, slotDeliver},
-		{"deadline-exact", 500, hdr, 7, esum, 500, slotDeliver},
-		{"deadline-past", 501, hdr, 7, esum, 500, slotExpired},
-		{"forged-expiry", 900, hdr, 7, sum, 500, slotCorrupt},
+		{"empty", 100, 0, 0, 0, 0, false, slotEmpty},
+		{"in-order", 100, hdr, 7, sum, 0, false, slotDeliver},
+		{"duplicate", 100, hdr, 6, checksum(1, HUser, 6, 0, args), 0, false, slotDuplicate},
+		{"gap", 100, hdr, 9, checksum(1, HUser, 9, 0, args), 0, false, slotGap},
+		{"bad-checksum", 100, hdr, 7, sum ^ 1, 0, false, slotCorrupt},
+		{"bad-source", 100, headerWord(nproc, HUser), 7, checksum(nproc, HUser, 7, 0, args), 0, false, slotCorrupt},
+		{"deadline-ahead", 400, hdr, 7, esum, 500, false, slotDeliver},
+		{"deadline-exact", 500, hdr, 7, esum, 500, false, slotDeliver},
+		{"deadline-past", 501, hdr, 7, esum, 500, false, slotExpired},
+		{"forged-expiry", 900, hdr, 7, sum, 500, false, slotCorrupt},
+		// A poisoned slot never delivers, even with a passing checksum;
+		// a poisoned empty-looking slot is not empty; a poisoned slot
+		// with no plausible source degrades to corrupt.
+		{"poisoned-valid", 100, hdr, 7, sum, 0, true, slotPoisoned},
+		{"poisoned-zero-header", 100, 0, 0, 0, 0, true, slotCorrupt},
+		{"poisoned-bad-source", 100, headerWord(nproc, HUser), 7, 0, 0, true, slotCorrupt},
 	}
 	for _, tc := range cases {
-		if _, _, v := classifySlot(nproc, tc.now, tc.header, tc.seq, tc.sum, tc.expiry, args, expected); v != tc.want {
+		if _, _, v := classifySlot(nproc, tc.now, tc.header, tc.seq, tc.sum, tc.expiry, args, expected, tc.poisoned); v != tc.want {
 			t.Errorf("%s: verdict %d, want %d", tc.name, v, tc.want)
 		}
 	}

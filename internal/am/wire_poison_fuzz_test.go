@@ -1,0 +1,68 @@
+package am
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzPoisonWire attacks the poison half of the wire protocol from both
+// ends. Receiver side: an arbitrary slot image whose read tripped the
+// ECC poison flag must NEVER acknowledge or deliver — 64 flipped bits
+// can in principle collide the checksum, so the flag has to dominate the
+// checksum — and must only produce the slotPoisoned verdict (the one
+// that echoes poison back) when the header names a source the echo can
+// actually reach. Sender side: the poison bit in an ack word must ride
+// and strip cleanly — decoding never leaks it into the sequence, and the
+// clamped sequence stays monotone regardless of the poison bit, so a
+// poison echo can never retire an undelivered message.
+func FuzzPoisonWire(f *testing.F) {
+	const nproc = 4
+	valid := [4]uint64{0xDEAD, 0xBEEF, 42, 0}
+	hdr := headerWord(2, HUser)
+	sum := checksum(2, HUser, 7, 0, valid)
+	f.Add(int64(100), hdr, uint64(7), sum, uint64(0), valid[0], valid[1], valid[2], valid[3], uint64(6), uint64(9))
+	f.Add(int64(100), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(int64(-1), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, now int64, header, seq, sum, expiry, a0, a1, a2, a3, lastAck, nextSeq uint64) {
+		expected := []uint64{6, 6, 6, 6}
+		args := [4]uint64{a0, a1, a2, a3}
+
+		src, _, v := classifySlot(nproc, sim.Time(now), header, seq, sum, expiry, args, expected, true)
+		switch v {
+		case slotDeliver, slotExpired, slotDuplicate, slotGap, slotEmpty:
+			t.Fatalf("poisoned slot (header %#x) escaped with verdict %d", header, v)
+		case slotPoisoned:
+			if src < 0 || src >= nproc {
+				t.Fatalf("poison echo aimed at out-of-range source %d", src)
+			}
+		}
+
+		// The same image unpoisoned must classify identically up to the
+		// poison short-circuit: in particular it must never panic and
+		// never read as poisoned.
+		if _, _, vc := classifySlot(nproc, sim.Time(now), header, seq, sum, expiry, args, expected, false); vc == slotPoisoned {
+			t.Fatal("clean slot classified poisoned")
+		}
+
+		// Ack-word poison bit: rides, strips, and never infects the
+		// sequence or the clamp.
+		for _, poison := range []bool{false, true} {
+			w := ackWord(seq, false, poison)
+			got, _, gotPoison := decodeAck(w)
+			if gotPoison != poison {
+				t.Fatalf("poison bit did not round-trip through %#x", w)
+			}
+			if got != seq&ackSeqMask {
+				t.Fatalf("poison bit changed decoded seq: %#x != %#x", got, seq&ackSeqMask)
+			}
+			clamped := clampAckSeq(got, lastAck, nextSeq)
+			if clamped > nextSeq && clamped != lastAck {
+				t.Fatalf("poisoned ack %d passed beyond nextSeq %d", clamped, nextSeq)
+			}
+			if clamped < lastAck {
+				t.Fatalf("poisoned ack regressed to %d below lastAck %d", clamped, lastAck)
+			}
+		}
+	})
+}

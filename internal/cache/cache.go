@@ -41,8 +41,11 @@ type Cache struct {
 	sets    [][]line
 	useSeq  uint64
 
-	// Stats for probes and tests.
-	Hits, Misses int64
+	// Stats for probes and tests. ParityFlips counts bit flips injected
+	// into resident lines (fault injection); ParityHits counts lookups
+	// that found the resident line's parity bad.
+	Hits, Misses             int64
+	ParityFlips, ParityHits  int64
 }
 
 type line struct {
@@ -50,6 +53,12 @@ type line struct {
 	tag     int64 // full line address (addr / LineSize)
 	data    []byte
 	lastUse uint64
+	// parityBad marks a line whose SRAM bits were flipped after the
+	// fill. The 21064's data cache is parity-protected, not ECC: a hit
+	// on such a line is *detected*, never silently consumed, and the
+	// recovery is an invalidate + refill — the write-through cache
+	// guarantees DRAM still holds the truth for every clean line.
+	parityBad bool
 }
 
 // New returns an empty cache.
@@ -155,7 +164,39 @@ func (c *Cache) Fill(addr int64, src []byte) {
 	victim.valid = true
 	victim.tag = lineID
 	victim.lastUse = c.useSeq
+	victim.parityBad = false
 	copy(victim.data, src)
+}
+
+// FlipBits XORs mask into the 64-bit word at addr if its line is
+// resident, marking the line's parity bad, and reports whether it
+// struck — the cache half of the memory fault model. A miss leaves the
+// cache untouched (the fault belongs to DRAM then).
+func (c *Cache) FlipBits(addr int64, mask uint64) bool {
+	addr &^= 7
+	l := c.find(addr)
+	if l == nil || mask == 0 {
+		return false
+	}
+	off := addr % c.cfg.LineSize
+	for i := 0; i < 8; i++ {
+		l.data[off+int64(i)] ^= byte(mask >> (8 * uint(i)))
+	}
+	l.parityBad = true
+	c.ParityFlips++
+	return true
+}
+
+// ParityBad reports whether addr hits a resident line with bad parity,
+// counting the detection. The caller (the CPU's load path) must
+// invalidate and refill before consuming data.
+func (c *Cache) ParityBad(addr int64) bool {
+	l := c.find(addr)
+	if l == nil || !l.parityBad {
+		return false
+	}
+	c.ParityHits++
+	return true
 }
 
 // Invalidate drops the line containing addr if resident, reporting whether

@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestFlipBitsOnlyStrikesResidentLines pins the cache half of the memory
+// fault model: a flip aimed at a non-resident address reports a miss
+// (the fault belongs to DRAM then) and leaves the cache untouched.
+func TestFlipBitsOnlyStrikesResidentLines(t *testing.T) {
+	c := New(T3DL1Config())
+	if c.FlipBits(0x200, 1) {
+		t.Fatal("flip struck an empty cache")
+	}
+	c.Fill(0x100, lineOf(c, 0))
+	if c.FlipBits(0x100, 0) {
+		t.Fatal("zero mask reported a strike")
+	}
+	if c.ParityFlips != 0 {
+		t.Fatalf("ParityFlips = %d before any real strike", c.ParityFlips)
+	}
+	if !c.FlipBits(0x109, 1<<40) { // word-aligns to 0x108
+		t.Fatal("flip missed a resident line")
+	}
+	out := make([]byte, 8)
+	c.ReadData(0x108, out)
+	if got := binary.LittleEndian.Uint64(out); got != 1<<40 {
+		t.Errorf("flipped word = %#x, want %#x", got, uint64(1)<<40)
+	}
+	if c.ParityFlips != 1 {
+		t.Errorf("ParityFlips = %d, want 1", c.ParityFlips)
+	}
+}
+
+// TestParityDetectionAndRefill pins the detect-invalidate-refill cycle
+// the CPU load path runs: a struck line reads back ParityBad (counted),
+// and a fresh Fill of the same line clears the flag — cache parity
+// faults never outlive the line.
+func TestParityDetectionAndRefill(t *testing.T) {
+	c := New(T3DL1Config())
+	c.Fill(0, lineOf(c, 0x11))
+	if c.ParityBad(8) {
+		t.Fatal("clean line reads parity-bad")
+	}
+	c.FlipBits(8, 1<<3)
+	if !c.ParityBad(8) || !c.ParityBad(0) {
+		t.Fatal("struck line not parity-bad (flag is per line, not per word)")
+	}
+	if c.ParityHits != 2 {
+		t.Errorf("ParityHits = %d, want 2", c.ParityHits)
+	}
+	// The recovery a real 21064 performs: invalidate, refill from DRAM.
+	c.Invalidate(0)
+	if c.ParityBad(8) {
+		t.Error("invalidated line still reads parity-bad")
+	}
+	c.Fill(0, lineOf(c, 0x11))
+	if c.ParityBad(8) {
+		t.Error("refilled line still reads parity-bad")
+	}
+	out := make([]byte, 8)
+	c.ReadData(8, out)
+	if got := binary.LittleEndian.Uint64(out); got != 0x1111111111111111 {
+		t.Errorf("refilled word = %#x, want 0x1111111111111111", got)
+	}
+}
+
+// TestEvictionClearsParity: a conflicting Fill that evicts a struck line
+// takes the bad parity with it — the replacement data is trusted.
+func TestEvictionClearsParity(t *testing.T) {
+	c := New(T3DL1Config())
+	c.Fill(0, lineOf(c, 1))
+	c.FlipBits(0, 1)
+	c.Fill(8<<10, lineOf(c, 2)) // direct-mapped conflict: evicts line 0
+	if c.ParityBad(8 << 10) {
+		t.Error("evicting fill inherited the victim's bad parity")
+	}
+	if c.ParityBad(0) {
+		t.Error("evicted line still reports parity-bad")
+	}
+}

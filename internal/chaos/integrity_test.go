@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/em3d"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// integrityFaults builds the combined-fault plan for one soak iteration:
+// transient drops, one permanent link fault, one node crash, and memory
+// bit flips aimed at the bottom of the heap (live data and pointers),
+// with the scrubber running and a quarter of the flips double-bit.
+func integrityFaults(seed uint64, horizon, flips int64, nodes int) fault.Config {
+	return fault.Config{
+		Seed:           seed,
+		DropRate:       0.02,
+		HardLinkFaults: 1,
+		HardNodeFaults: 1,
+		MemFaultRate:   float64(flips) * 1e6 / (float64(horizon) * float64(nodes)),
+		MemMultiFrac:   0.25,
+		MemFaultBase:   splitc.DefaultConfig().HeapBase / 8,
+		MemFaultWords:  1024,
+		Scrub:          true,
+		ScrubInterval:  sim.Time(horizon / 32),
+		Horizon:        sim.Time(horizon),
+	}
+}
+
+// checkIntegrity asserts the two invariants every integrity soak run must
+// satisfy: no silent escapes (a read consumed a faulted word with no way
+// to signal it) and fault-lifecycle conservation — every fault-table
+// entry ever created is accounted for as corrected, scrubbed,
+// overwritten, or still latent.
+func checkIntegrity(t *testing.T, seed uint64, m *machine.T3D) {
+	t.Helper()
+	integ := fault.MemIntegrity(m)
+	if integ.SilentReads != 0 {
+		t.Errorf("seed %d: %d SILENT reads — corruption escaped undetected", seed, integ.SilentReads)
+	}
+	latent := int64(0)
+	for _, n := range m.Nodes {
+		latent += int64(n.DRAM.LatentWords())
+	}
+	if created, retired := integ.FaultWords+integ.Propagated,
+		integ.Corrected+integ.Scrubbed+integ.Overwritten+latent; created != retired {
+		t.Errorf("seed %d: fault conservation broken: %d created != %d accounted (%+v, latent %d)",
+			seed, created, retired, integ, latent)
+	}
+	if unc := fault.LatentUncorrectable(m); unc != 0 {
+		t.Errorf("seed %d: %d uncorrectable words still latent at completion", seed, unc)
+	}
+}
+
+// TestChaosSoakIntegrityEM3D layers memory corruption on top of the hard
+// -fault soak: bit flips in live heap data (plus drops, a dead link, and
+// a node crash) against recoverable EM3D Bulk with ECC, scrubbing, and
+// end-to-end audits armed. Every seed must complete bit-identical to the
+// fault-free run with zero silent reads and no latent uncorrectable
+// words.
+func TestChaosSoakIntegrityEM3D(t *testing.T) {
+	base, count := soakParams(t)
+	cfg := em3d.Config{NodesPerPE: 24, Degree: 4, RemoteFrac: 0.4, Seed: 7, Iters: 2, Reliable: true, Audit: true}
+
+	run := func(fcfg fault.Config) (em3d.Result, splitc.RecoveryStats, *machine.T3D, *fault.Injector, error) {
+		m := em3d.NewMachine(4)
+		in := fault.Inject(m, fcfg)
+		res, stats, err := em3d.RunRecoverable(m, cfg, em3d.Bulk, em3d.DefaultKnobs(),
+			splitc.RecoveryConfig{MaxRollbacks: 64}, in)
+		return res, stats, m, in, err
+	}
+	clean, _, _, _, err := run(fault.Config{})
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	horizon := int64(clean.Cycles) / 2
+
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		res, stats, m, in, err := run(integrityFaults(seed, horizon, 12, 4))
+		if err != nil {
+			t.Fatalf("seed %d: unrecoverable: %v", seed, err)
+		}
+		if stats.NodeCrashes == 0 || in.MemFlips+in.CacheFlips == 0 {
+			t.Fatalf("seed %d: faults did not fire (crashes=%d flips=%d)",
+				seed, stats.NodeCrashes, in.MemFlips+in.CacheFlips)
+		}
+		if !res.Validated || res.Digest != clean.Digest {
+			t.Errorf("seed %d: result not bit-identical (validated=%v digest=%#x want %#x, %d rollbacks)",
+				seed, res.Validated, res.Digest, clean.Digest, stats.Rollbacks)
+		}
+		checkIntegrity(t, seed, m)
+	}
+}
+
+// TestChaosSoakIntegritySampleSort is the same combined-fault soak over
+// the four-epoch recoverable sample sort with audits on: its bulk
+// all-to-all exchange is the audited path, and its splitters are exactly
+// the kind of small critical state a stray flip silently ruins.
+func TestChaosSoakIntegritySampleSort(t *testing.T) {
+	base, count := soakParams(t)
+	rng := rand.New(rand.NewSource(5))
+	keys := make([][]uint64, 4)
+	for pe := range keys {
+		for i := 0; i < 40; i++ {
+			keys[pe] = append(keys[pe], rng.Uint64()%(1<<40))
+		}
+	}
+
+	run := func(fcfg fault.Config) (apps.SampleSortResult, splitc.RecoveryStats, *machine.T3D, *fault.Injector, error) {
+		mcfg := machine.DefaultConfig(4)
+		mcfg.MemBytes = 2 << 20
+		m := machine.New(mcfg)
+		in := fault.Inject(m, fcfg)
+		scfg := splitc.ReliableConfig()
+		scfg.Audit = true
+		rt := splitc.NewRuntime(m, scfg)
+		res, stats, err := apps.SampleSortRecoverable(rt, splitc.RecoveryConfig{MaxRollbacks: 64}, in, keys)
+		return res, stats, m, in, err
+	}
+	clean, _, _, _, err := run(fault.Config{})
+	if err != nil {
+		t.Fatalf("fault-free sort failed: %v", err)
+	}
+	horizon := clean.Cycles / 2
+
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		res, stats, m, in, err := run(integrityFaults(seed, horizon, 12, 4))
+		if err != nil {
+			t.Fatalf("seed %d: unrecoverable: %v", seed, err)
+		}
+		if stats.NodeCrashes == 0 || in.MemFlips+in.CacheFlips == 0 {
+			t.Fatalf("seed %d: faults did not fire (crashes=%d flips=%d)",
+				seed, stats.NodeCrashes, in.MemFlips+in.CacheFlips)
+		}
+		if !res.Validated || res.Digest != clean.Digest {
+			t.Errorf("seed %d: sort not bit-identical (validated=%v digest=%#x want %#x, %d rollbacks)",
+				seed, res.Validated, res.Digest, clean.Digest, stats.Rollbacks)
+		}
+		checkIntegrity(t, seed, m)
+	}
+}

@@ -87,8 +87,10 @@ type CPU struct {
 
 	Remote Remote // nil on the workstation
 
-	// Stats.
+	// Stats. ParityRefills counts loads that hit an L1 line with bad
+	// parity and recovered by invalidate + refill from DRAM.
 	Loads, Stores, RemoteLoads int64
+	ParityRefills              int64
 }
 
 // chargeStolen applies any interrupt time stolen from this CPU at the next
@@ -157,13 +159,33 @@ func (c *CPU) load(p *sim.Proc, va int64, size int) uint64 {
 // loadLocal walks the L1 / (L2) / DRAM path. off is the DRAM offset, pa
 // the full physical address used for cache tags and conflict checks.
 func (c *CPU) loadLocal(p *sim.Proc, off, pa int64, size int) uint64 {
+	v, pAddr := c.loadLocalChecked(p, off, pa, size)
+	if pAddr >= 0 {
+		panic(&mem.PoisonError{PE: c.PE, Addr: pAddr})
+	}
+	return v
+}
+
+// loadLocalChecked is loadLocal reporting poison as an address (-1 when
+// the data is clean) instead of panicking — the primitive under both
+// the trapping loads and Load64Checked.
+func (c *CPU) loadLocalChecked(p *sim.Proc, off, pa int64, size int) (uint64, int64) {
 	buf := make([]byte, size)
 	if c.L1.Lookup(pa) {
-		// Latch the data before advancing time: an invalidate landing
-		// during the hit cycle does not affect a load already in flight.
-		c.L1.ReadData(pa, buf)
-		p.Wait(c.Costs.LoadHit)
-		return word(buf)
+		if c.L1.ParityBad(pa) {
+			// Parity error on the hit: detected, never consumed. Drop
+			// the line and replay the load as a miss — the cache is
+			// write-through, so DRAM still holds the truth.
+			c.ParityRefills++
+			c.L1.Invalidate(pa)
+		} else {
+			// Latch the data before advancing time: an invalidate
+			// landing during the hit cycle does not affect a load
+			// already in flight.
+			c.L1.ReadData(pa, buf)
+			p.Wait(c.Costs.LoadHit)
+			return word(buf), -1
+		}
 	}
 	// Miss: the 21064 stalls a load that conflicts with a pending write
 	// buffer entry (exact physical line match only — synonyms escape).
@@ -177,18 +199,26 @@ func (c *CPU) loadLocal(p *sim.Proc, off, pa int64, size int) uint64 {
 			c.L2.ReadData(lineAddr, line)
 			c.L1.Fill(lineAddr, line)
 			c.L1.ReadData(pa, buf)
-			return word(buf)
+			return word(buf), -1
 		}
 	}
 	complete, _ := c.DRAM.ReadAccess(p.Now(), lineOff)
 	p.WaitUntil(complete)
-	c.DRAM.Read(lineOff, line)
+	corrected, poisoned := c.DRAM.ReadChecked(lineOff, line)
+	if corrected > 0 {
+		p.Wait(c.DRAM.Config().ECCPenalty * sim.Time(corrected))
+	}
+	if len(poisoned) > 0 {
+		// Never install a poisoned line: the fill aborts and the
+		// poison is reported against the first bad word.
+		return 0, poisoned[0]
+	}
 	if c.L2 != nil {
 		c.L2.Fill(lineAddr, line)
 	}
 	c.L1.Fill(lineAddr, line)
 	c.L1.ReadData(pa, buf)
-	return word(buf)
+	return word(buf), -1
 }
 
 func (c *CPU) loadRemote(p *sim.Proc, pa int64, size int) uint64 {
@@ -201,9 +231,14 @@ func (c *CPU) loadRemote(p *sim.Proc, pa int64, size int) uint64 {
 	// mechanism attractive and incoherent at once, §4.4).
 	buf := make([]byte, size)
 	if c.L1.Lookup(pa) {
-		c.L1.ReadData(pa, buf)
-		p.Wait(c.Costs.LoadHit)
-		return word(buf)
+		if c.L1.ParityBad(pa) {
+			c.ParityRefills++
+			c.L1.Invalidate(pa)
+		} else {
+			c.L1.ReadData(pa, buf)
+			p.Wait(c.Costs.LoadHit)
+			return word(buf)
+		}
 	}
 	c.WB.WaitNoConflict(p, pa)
 	line := make([]byte, c.L1.Config().LineSize)
@@ -212,6 +247,29 @@ func (c *CPU) loadRemote(p *sim.Proc, pa int64, size int) uint64 {
 	c.L1.Fill(lineAddr, line)
 	c.L1.ReadData(pa, buf)
 	return word(buf)
+}
+
+// Load64Checked is Load64 for receivers that must not trap on poison
+// (the reliable active-message poll path): a local load returns
+// (value, poisoned) instead of panicking with *mem.PoisonError, so the
+// protocol can drop the message and let retransmission overwrite the
+// bad word. Remote addresses take the ordinary trapping path — the AM
+// queues this exists for live in local memory.
+func (c *CPU) Load64Checked(p *sim.Proc, va int64) (uint64, bool) {
+	c.chargeStolen(p)
+	c.Loads++
+	if va%8 != 0 {
+		panic(fmt.Sprintf("cpu: unaligned 8-byte load at %#x", va))
+	}
+	pa := va // identity translation; the TLB charges time only
+	if pen := c.TLB.Lookup(va); pen > 0 {
+		p.Wait(pen)
+	}
+	if c.Remote != nil && !addr.IsLocal(pa) {
+		return c.loadRemote(p, pa, 8), false
+	}
+	v, pAddr := c.loadLocalChecked(p, addr.Offset(pa), pa, 8)
+	return v, pAddr >= 0
 }
 
 // Store64 performs a longword store through the write buffer.

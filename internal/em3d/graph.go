@@ -36,6 +36,10 @@ type Config struct {
 	// verification, so the Put version completes correctly on a faulty
 	// fabric (see package fault). Off for the paper's measurements.
 	Reliable bool
+	// Audit runs the Split-C runtime with end-to-end integrity audits on
+	// bulk transfers, so memory bit flips surface as rollbacks instead of
+	// corrupted physics. Off for the paper's measurements.
+	Audit bool
 }
 
 // PaperConfig is the Figure 9 workload: 500 nodes of degree 20 per

@@ -30,6 +30,7 @@ func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg spl
 	g := buildGraph(nproc, cfg)
 	rtCfg := splitc.DefaultConfig()
 	rtCfg.Reliable = cfg.Reliable
+	rtCfg.Audit = cfg.Audit
 	rt := splitc.NewRuntime(m, rtCfg)
 	lay := layout(g, rt)
 	// Host-side seeding happens before Run takes the pre-run image, so a
@@ -58,6 +59,7 @@ func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg spl
 		Cycles:     end,
 		EdgesPerPE: edges,
 		Rewrites:   rt.Rewrites,
+		Audits:     rt.Audits,
 	}
 	if err == nil {
 		res.Validated = validate(g, m, lay)

@@ -77,6 +77,9 @@ type Result struct {
 	// Rewrites counts words the reliable runtime rewrote after damage in
 	// flight (zero unless Cfg.Reliable and a fault injector are active).
 	Rewrites int64
+	// Audits counts completed end-to-end bulk-transfer integrity audits
+	// (zero unless Cfg.Audit).
+	Audits int64
 }
 
 // NewMachine builds a T3D sized for EM3D runs (2 MB per node is ample
@@ -97,6 +100,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 	g := buildGraph(nproc, cfg)
 	rtCfg := splitc.DefaultConfig()
 	rtCfg.Reliable = cfg.Reliable
+	rtCfg.Audit = cfg.Audit
 	rt := splitc.NewRuntime(m, rtCfg)
 	lay := layout(g, rt)
 	seed(g, m, lay)
@@ -130,6 +134,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 		Validated:  validate(g, m, lay),
 		Digest:     digest(g, m, lay),
 		Rewrites:   rt.Rewrites,
+		Audits:     rt.Audits,
 	}
 	perEdge := float64(elapsed) / float64(edges*int64(cfg.Iters))
 	res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3

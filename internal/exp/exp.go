@@ -46,7 +46,7 @@ func All() []Experiment {
 }
 
 func order(id string) int {
-	for i, k := range []string{"fig1", "fig2", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab7", "hop", "fig9"} {
+	for i, k := range []string{"fig1", "fig2", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab7", "hop", "fig9", "extF", "extG", "extH", "extI"} {
 		if k == id {
 			return i
 		}

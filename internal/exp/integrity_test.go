@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+func TestIntegrityExperimentShape(t *testing.T) {
+	e, ok := Find("extI")
+	if !ok {
+		t.Fatal("extI not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 4 {
+		t.Fatalf("extI produced %d tables, want 4 (rate sweep, defense ladder, scrub pairing, audit overhead)", len(tables))
+	}
+
+	// Rate sweep: every row completes bit-identical with zero silent
+	// reads, and the faulted rows must actually inject and repair.
+	rate := tables[0]
+	if len(rate.Rows) != 4 {
+		t.Fatalf("rate sweep has %d rows, want 4", len(rate.Rows))
+	}
+	for i, row := range rate.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("rate row %v not bit-identical", row)
+		}
+		if row[6] != "0" {
+			t.Errorf("rate row %v has silent reads", row)
+		}
+		if i > 0 && row[0] == "0" {
+			t.Errorf("faulted rate row %d injected no flips", i)
+		}
+	}
+	if rate.Rows[0][0] != "0" {
+		t.Errorf("fault-free row injected flips: %v", rate.Rows[0])
+	}
+
+	// Defense ladder: the raw arm must read corrupted words silently;
+	// the armed rows must not, and must stay bit-identical.
+	ladder := tables[1]
+	if len(ladder.Rows) != 3 {
+		t.Fatalf("defense ladder has %d rows, want 3", len(ladder.Rows))
+	}
+	if ladder.Rows[0][1] == "0" {
+		t.Errorf("raw-DRAM arm observed no silent reads: %v", ladder.Rows[0])
+	}
+	for _, row := range ladder.Rows[1:] {
+		if row[1] != "0" {
+			t.Errorf("armed row %v has silent reads", row)
+		}
+		if row[len(row)-1] != "yes" {
+			t.Errorf("armed row %v not bit-identical", row)
+		}
+	}
+
+	// Scrub pairing: the unscrubbed hot set must pair singles into
+	// uncorrectable doubles; the fastest scrub must pair strictly fewer.
+	pair := tables[2]
+	if len(pair.Rows) != 3 {
+		t.Fatalf("scrub pairing has %d rows, want 3", len(pair.Rows))
+	}
+	if pair.Rows[0][3] == "0" {
+		t.Errorf("unscrubbed hot set paired no faults: %v", pair.Rows[0])
+	}
+	if pair.Rows[2][2] == "0" {
+		t.Errorf("fastest scrub repaired nothing: %v", pair.Rows[2])
+	}
+	unscrubbed, _ := strconv.Atoi(pair.Rows[0][3])
+	fastest, _ := strconv.Atoi(pair.Rows[2][3])
+	if fastest >= unscrubbed {
+		t.Errorf("fastest scrub paired %d faults, unscrubbed %d — scrubbing did not help", fastest, unscrubbed)
+	}
+
+	// Audit overhead: audits fire only on the audit arms, and the audited
+	// runs cannot be faster than their baselines.
+	over := tables[3]
+	if len(over.Rows) != 4 {
+		t.Fatalf("audit overhead has %d rows, want 4", len(over.Rows))
+	}
+	for i, row := range over.Rows {
+		auditOn := i%2 == 1
+		if auditOn && row[3] == "0" {
+			t.Errorf("audit-on row %v ran no audits", row)
+		}
+		if !auditOn && row[3] != "0" {
+			t.Errorf("audit-off row %v ran audits", row)
+		}
+	}
+}
+
+// TestIntegrityExperimentDeterministic renders extI twice and requires
+// byte-identical output: the fault schedule, ECC lifecycle, rollbacks,
+// and every table cell must be pure functions of the seeds.
+func TestIntegrityExperimentDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full extI renders")
+	}
+	e, _ := Find("extI")
+	var a, b bytes.Buffer
+	e.RunAndRender(&a, Options{Quick: true})
+	e.RunAndRender(&b, Options{Quick: true})
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two extI renders differ:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+}

@@ -3,43 +3,41 @@
 // assumes a perfectly reliable fabric; this package provides the
 // opposite: transient link faults that drop or corrupt data packets
 // inside configurable cycle windows, per-packet transient fault rates,
-// and node stall faults that steal CPU cycles the way an inopportune
-// OS trap does (the paper's 25 µs message-receipt cost, §7.4).
+// node stall faults that steal CPU cycles the way an inopportune
+// OS trap does (the paper's 25 µs message-receipt cost, §7.4), and
+// memory bit-flip faults that strike DRAM words and cached lines.
 //
 // Everything derives from a single 64-bit seed through a splitmix64
-// generator: the schedule of link-fault windows and stalls is computed
-// up front and per-packet decisions consume the stream in simulation
-// event order, which the sim kernel makes deterministic. The same seed
-// therefore reproduces the same faults — and, with a deterministic
-// workload, bit-identical end-to-end cycle counts — on every run.
+// generator: the schedule of link-fault windows, stalls, and memory
+// flips is computed up front and per-packet decisions consume the
+// stream in simulation event order, which the sim kernel makes
+// deterministic. The same seed therefore reproduces the same faults —
+// and, with a deterministic workload, bit-identical end-to-end cycle
+// counts — on every run.
 package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/net"
 	"repro/internal/sim"
 )
 
-// rng is a splitmix64 stream: tiny, seedable, and plenty random for
-// schedule generation.
-type rng struct{ state uint64 }
-
-func (r *rng) next() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// float returns a uniform value in [0, 1).
-func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
-
-// intn returns a uniform value in [0, n).
-func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+// Stream salts. Each derived stream XORs the config seed with its own
+// large odd constant so adding a stream never perturbs the draws of an
+// existing one (the property the replay seeds printed by old chaos runs
+// depend on).
+const (
+	// packetStreamSalt seeds the per-packet drop/corrupt stream.
+	packetStreamSalt = 0xD1B54A32D192ED03
+	// memStreamSalt seeds the memory bit-flip stream, independent of
+	// both the schedule stream (raw seed) and the packet stream.
+	memStreamSalt = 0x9FB21C651E98DF25
+)
 
 // Config parameterizes a fault schedule. The zero value injects nothing.
 type Config struct {
@@ -75,31 +73,87 @@ type Config struct {
 	// has no correct continuation.
 	HardLinkFaults int
 	HardNodeFaults int
+
+	// Memory bit flips: MemFaultRate expected flips per PE per million
+	// cycles of the horizon, at uniform times in [0, Horizon) on
+	// uniformly chosen nodes and words. Each flip strikes the word's L1
+	// copy if one is resident (a parity fault the cache detects and
+	// refills from DRAM) and the DRAM word otherwise. MemMultiFrac of
+	// the flips are double-bit — uncorrectable by SECDED, so a read of
+	// the word returns poison instead of data. The flip stream is
+	// independent of the transient and hard plans: enabling memory
+	// faults replays an existing link/stall/crash schedule unchanged.
+	MemFaultRate float64
+	MemMultiFrac float64
+	// MemFaultWords, when positive, confines flips to a window of N words
+	// in each node's memory, starting at word MemFaultBase — a dense "hot
+	// working set" model used to aim flips at live data (e.g. the heap)
+	// and to study single-bit faults pairing into uncorrectable ones.
+	// A base at or beyond the memory wraps modulo the word count.
+	MemFaultWords int64
+	MemFaultBase  int64
+	// MemECCOff disables the SECDED model while still injecting flips:
+	// reads return raw corrupted bits with no detection, the baseline
+	// arm that motivates the integrity layer.
+	MemECCOff bool
+
+	// Scrub arms the background scrubber: every ScrubInterval cycles
+	// each node's DRAM sweeps one row (reading it through the ECC pipe,
+	// which occupies the bank), correcting latent single-bit faults
+	// before a second flip can pair them into an uncorrectable fault.
+	Scrub         bool
+	ScrubInterval sim.Time
 }
 
-// Validate rejects configurations that cannot form a schedule.
+// Validate rejects configurations that cannot form a schedule. Every
+// message is "fault: <field>: <reason>" so callers can grep rejections
+// by field.
 func (c Config) Validate() error {
-	if c.DropRate < 0 || c.DropRate > 1 || c.CorruptRate < 0 || c.CorruptRate > 1 {
-		return fmt.Errorf("fault: rates must be in [0,1] (drop=%g corrupt=%g)", c.DropRate, c.CorruptRate)
+	if c.DropRate < 0 || c.DropRate > 1 || math.IsNaN(c.DropRate) {
+		return fmt.Errorf("fault: DropRate: must be in [0,1], got %g", c.DropRate)
+	}
+	if c.CorruptRate < 0 || c.CorruptRate > 1 || math.IsNaN(c.CorruptRate) {
+		return fmt.Errorf("fault: CorruptRate: must be in [0,1], got %g", c.CorruptRate)
 	}
 	if c.DropRate+c.CorruptRate > 1 {
-		return fmt.Errorf("fault: drop+corrupt rate %g exceeds 1", c.DropRate+c.CorruptRate)
+		return fmt.Errorf("fault: DropRate+CorruptRate: sum %g exceeds 1", c.DropRate+c.CorruptRate)
 	}
-	if c.CorruptFrac < 0 || c.CorruptFrac > 1 {
-		return fmt.Errorf("fault: corrupt fraction %g outside [0,1]", c.CorruptFrac)
+	if c.CorruptFrac < 0 || c.CorruptFrac > 1 || math.IsNaN(c.CorruptFrac) {
+		return fmt.Errorf("fault: CorruptFrac: must be in [0,1], got %g", c.CorruptFrac)
 	}
-	if (c.LinkFaults > 0 || c.Stalls > 0 || c.HardLinkFaults > 0 || c.HardNodeFaults > 0) && c.Horizon <= 0 {
-		return fmt.Errorf("fault: scheduled faults need a positive horizon")
+	if c.MemFaultRate < 0 || math.IsNaN(c.MemFaultRate) {
+		return fmt.Errorf("fault: MemFaultRate: must be a non-negative number, got %g", c.MemFaultRate)
 	}
-	if c.HardLinkFaults < 0 || c.HardNodeFaults < 0 {
-		return fmt.Errorf("fault: negative hard-fault count (links=%d nodes=%d)",
-			c.HardLinkFaults, c.HardNodeFaults)
+	if c.MemMultiFrac < 0 || c.MemMultiFrac > 1 || math.IsNaN(c.MemMultiFrac) {
+		return fmt.Errorf("fault: MemMultiFrac: must be in [0,1], got %g", c.MemMultiFrac)
+	}
+	if c.MemFaultWords < 0 {
+		return fmt.Errorf("fault: MemFaultWords: must be non-negative, got %d", c.MemFaultWords)
+	}
+	if c.MemFaultBase < 0 {
+		return fmt.Errorf("fault: MemFaultBase: must be non-negative, got %d", c.MemFaultBase)
+	}
+	if c.MemFaultBase > 0 && c.MemFaultWords == 0 {
+		return fmt.Errorf("fault: MemFaultBase: needs MemFaultWords to bound the window, got base %d with no window", c.MemFaultBase)
+	}
+	if scheduled := c.LinkFaults > 0 || c.Stalls > 0 || c.HardLinkFaults > 0 ||
+		c.HardNodeFaults > 0 || c.MemFaultRate > 0 || c.Scrub; scheduled && c.Horizon <= 0 {
+		return fmt.Errorf("fault: Horizon: scheduled faults need a positive horizon, got %d", c.Horizon)
+	}
+	if c.HardLinkFaults < 0 {
+		return fmt.Errorf("fault: HardLinkFaults: must be non-negative, got %d", c.HardLinkFaults)
+	}
+	if c.HardNodeFaults < 0 {
+		return fmt.Errorf("fault: HardNodeFaults: must be non-negative, got %d", c.HardNodeFaults)
 	}
 	if c.LinkFaults > 0 && c.WindowCycles <= 0 {
-		return fmt.Errorf("fault: link faults need positive window cycles")
+		return fmt.Errorf("fault: WindowCycles: link faults need a positive window, got %d", c.WindowCycles)
 	}
 	if c.Stalls > 0 && c.StallCycles <= 0 {
-		return fmt.Errorf("fault: stalls need positive stall cycles")
+		return fmt.Errorf("fault: StallCycles: stalls need a positive duration, got %d", c.StallCycles)
+	}
+	if c.Scrub && c.ScrubInterval <= 0 {
+		return fmt.Errorf("fault: ScrubInterval: scrubbing needs a positive interval, got %d", c.ScrubInterval)
 	}
 	return nil
 }
@@ -137,6 +191,19 @@ type HardNode struct {
 	At sim.Time
 }
 
+// MemFlip is one memory bit-flip fault: at time At, the word selected
+// by WordDraw on node PE has Bit (and, for a double-bit fault, Bit2)
+// inverted. WordDraw is a raw 64-bit draw scaled to the node's word
+// count when the flip fires, so one schedule serves machines of any
+// memory size. Bit2 is -1 for single-bit flips.
+type MemFlip struct {
+	PE       int
+	At       sim.Time
+	WordDraw uint64
+	Bit      int
+	Bit2     int
+}
+
 // Schedule is a replayable fault plan: everything below is a pure
 // function of (Config, node count), so equal seeds give equal schedules.
 type Schedule struct {
@@ -146,6 +213,7 @@ type Schedule struct {
 	Stalls    []Stall
 	HardLinks []HardLink
 	HardNodes []HardNode
+	MemFlips  []MemFlip
 }
 
 // numDirs mirrors the torus fabric's six outgoing links per node.
@@ -161,17 +229,17 @@ func NewSchedule(cfg Config, nodes int) *Schedule {
 	if nodes <= 0 {
 		panic(fmt.Sprintf("fault: node count must be positive, got %d", nodes))
 	}
-	r := rng{state: cfg.Seed}
+	r := Rand{State: cfg.Seed}
 	s := &Schedule{Cfg: cfg, Nodes: nodes}
 	for i := 0; i < cfg.LinkFaults; i++ {
-		start := sim.Time(r.next() % uint64(cfg.Horizon))
+		start := sim.Time(r.Next() % uint64(cfg.Horizon))
 		kind := net.FaultDrop
-		if r.float() < cfg.CorruptFrac {
+		if r.Float() < cfg.CorruptFrac {
 			kind = net.FaultCorrupt
 		}
 		s.Links = append(s.Links, LinkFault{
-			Node:  r.intn(nodes),
-			Dir:   r.intn(numDirs),
+			Node:  r.Intn(nodes),
+			Dir:   r.Intn(numDirs),
 			From:  start,
 			Until: start + cfg.WindowCycles,
 			Kind:  kind,
@@ -180,8 +248,8 @@ func NewSchedule(cfg Config, nodes int) *Schedule {
 	sort.Slice(s.Links, func(i, j int) bool { return s.Links[i].From < s.Links[j].From })
 	for i := 0; i < cfg.Stalls; i++ {
 		s.Stalls = append(s.Stalls, Stall{
-			PE:     r.intn(nodes),
-			At:     sim.Time(r.next() % uint64(cfg.Horizon)),
+			PE:     r.Intn(nodes),
+			At:     sim.Time(r.Next() % uint64(cfg.Horizon)),
 			Cycles: cfg.StallCycles,
 		})
 	}
@@ -190,28 +258,52 @@ func NewSchedule(cfg Config, nodes int) *Schedule {
 	// enabling them never perturbs an existing transient schedule.
 	for i := 0; i < cfg.HardLinkFaults; i++ {
 		s.HardLinks = append(s.HardLinks, HardLink{
-			Node: r.intn(nodes),
-			Dir:  r.intn(numDirs),
-			At:   sim.Time(r.next() % uint64(cfg.Horizon)),
+			Node: r.Intn(nodes),
+			Dir:  r.Intn(numDirs),
+			At:   sim.Time(r.Next() % uint64(cfg.Horizon)),
 		})
 	}
 	sort.Slice(s.HardLinks, func(i, j int) bool { return s.HardLinks[i].At < s.HardLinks[j].At })
 	for i := 0; i < cfg.HardNodeFaults; i++ {
 		s.HardNodes = append(s.HardNodes, HardNode{
-			PE: r.intn(nodes),
-			At: sim.Time(r.next() % uint64(cfg.Horizon)),
+			PE: r.Intn(nodes),
+			At: sim.Time(r.Next() % uint64(cfg.Horizon)),
 		})
 	}
 	sort.Slice(s.HardNodes, func(i, j int) bool { return s.HardNodes[i].At < s.HardNodes[j].At })
+	// Memory flips draw from their own salted stream (not merely after
+	// the others on the same stream) so the flip plan is also a pure
+	// function of the seed alone — changing LinkFaults or Stalls never
+	// moves a memory flip.
+	if cfg.MemFaultRate > 0 {
+		mr := Rand{State: cfg.Seed ^ memStreamSalt}
+		count := int(cfg.MemFaultRate*float64(cfg.Horizon)*float64(nodes)/1e6 + 0.5)
+		for i := 0; i < count; i++ {
+			f := MemFlip{
+				PE:       mr.Intn(nodes),
+				At:       sim.Time(mr.Next() % uint64(cfg.Horizon)),
+				WordDraw: mr.Next(),
+				Bit:      mr.Intn(64),
+				Bit2:     -1,
+			}
+			if mr.Float() < cfg.MemMultiFrac {
+				// The second bit is drawn to never collide with the
+				// first: a "double" flip on one bit would be a single.
+				f.Bit2 = (f.Bit + 1 + mr.Intn(63)) % 64
+			}
+			s.MemFlips = append(s.MemFlips, f)
+		}
+		sort.Slice(s.MemFlips, func(i, j int) bool { return s.MemFlips[i].At < s.MemFlips[j].At })
+	}
 	return s
 }
 
 // Injector evaluates a schedule against live traffic. It implements
 // net.FaultHook for the link/packet faults; Attach wires it (and the
-// stall events) into a machine.
+// stall, crash, flip, and scrub events) into a machine.
 type Injector struct {
 	sched *Schedule
-	r     rng // per-packet stream, consumed in deterministic event order
+	r     Rand // per-packet stream, consumed in deterministic event order
 
 	// OnNodeCrash is invoked when a scheduled node hard-fault fires,
 	// with the dead PE's number. A recovery layer (splitc.Recovery sets
@@ -221,16 +313,21 @@ type Injector struct {
 	// recovery has no correct continuation.
 	OnNodeCrash func(pe int)
 
+	// scrubCursor tracks each node's sweep position (byte offset).
+	scrubCursor []int64
+
 	// Stats.
 	Drops, Corrupts, Stalled   int64
 	HardLinkFails, NodeCrashes int64
+	MemFlips, CacheFlips       int64
+	Scrubbed, ScrubTicks       int64
 }
 
 // NewInjector builds an injector for the schedule. The per-packet
 // stream is seeded from the schedule seed so the whole run replays from
 // one number.
 func NewInjector(s *Schedule) *Injector {
-	return &Injector{sched: s, r: rng{state: s.Cfg.Seed ^ 0xD1B54A32D192ED03}}
+	return &Injector{sched: s, r: Rand{State: s.Cfg.Seed ^ packetStreamSalt}}
 }
 
 // PacketFault implements net.FaultHook.
@@ -251,7 +348,7 @@ func (in *Injector) PacketFault(src, dst, payloadBytes int, route [][2]int, hopT
 	// Then the per-packet transient rates.
 	cfg := in.sched.Cfg
 	if cfg.DropRate > 0 || cfg.CorruptRate > 0 {
-		u := in.r.float()
+		u := in.r.Float()
 		if u < cfg.DropRate {
 			return in.count(net.FaultDrop)
 		}
@@ -273,9 +370,8 @@ func (in *Injector) count(f net.Fault) net.Fault {
 }
 
 // Attach installs the injector on a machine: the packet hook on the
-// fabric and one engine event per scheduled stall, which steals cycles
-// from the target CPU at its next instruction boundary. Call before the
-// simulation runs.
+// fabric and one engine event per scheduled stall, hard fault, memory
+// flip, and scrub tick. Call before the simulation runs.
 func (in *Injector) Attach(m *machine.T3D) {
 	m.Net.SetFaultHook(in)
 	for _, st := range in.sched.Stalls {
@@ -305,6 +401,69 @@ func (in *Injector) Attach(m *machine.T3D) {
 			in.OnNodeCrash(hn.PE)
 		})
 	}
+	in.attachMemory(m)
+}
+
+// attachMemory wires the memory-integrity side: ECC arming, flip
+// events, and the background scrubber.
+func (in *Injector) attachMemory(m *machine.T3D) {
+	cfg := in.sched.Cfg
+	if len(in.sched.MemFlips) == 0 && !cfg.Scrub {
+		return
+	}
+	// Memory faults or scrubbing arm the SECDED model machine-wide
+	// (unless the config runs the raw-DRAM baseline).
+	for _, n := range m.Nodes {
+		n.DRAM.SetECC(!cfg.MemECCOff)
+	}
+	for _, mf := range in.sched.MemFlips {
+		mf := mf
+		m.Eng.At(mf.At, func() {
+			node := m.Nodes[mf.PE]
+			total := uint64(node.DRAM.Size() / 8)
+			base := uint64(cfg.MemFaultBase) % total
+			words := total - base
+			if cfg.MemFaultWords > 0 && uint64(cfg.MemFaultWords) < words {
+				words = uint64(cfg.MemFaultWords)
+			}
+			addr := int64(base+mf.WordDraw%words) * 8
+			mask := uint64(1) << uint(mf.Bit)
+			if mf.Bit2 >= 0 {
+				mask |= uint64(1) << uint(mf.Bit2)
+			}
+			// A flip strikes wherever the word currently lives: the L1
+			// copy when resident (parity territory — the cache detects
+			// on the next hit and refills from DRAM, which still holds
+			// truth because the L1 is write-through), else the DRAM
+			// word itself (SECDED territory).
+			if node.L1.FlipBits(addr, mask) {
+				in.CacheFlips++
+				m.Eng.Trace("fault.memflip", "pe%d L1 word %#x mask %#x", mf.PE, addr, mask)
+			} else {
+				node.DRAM.InjectFlip(addr, mask)
+				in.MemFlips++
+				m.Eng.Trace("fault.memflip", "pe%d dram word %#x mask %#x", mf.PE, addr, mask)
+			}
+		})
+	}
+	if cfg.Scrub && cfg.ScrubInterval > 0 {
+		in.scrubCursor = make([]int64, len(m.Nodes))
+		for t := cfg.ScrubInterval; t <= cfg.Horizon; t += cfg.ScrubInterval {
+			m.Eng.At(t, func() {
+				for pe, n := range m.Nodes {
+					stripe := n.DRAM.Config().RowSize
+					cur := in.scrubCursor[pe] % n.DRAM.Size()
+					// The sweep reads the row through the ECC pipe:
+					// the bank is genuinely occupied for the access,
+					// which is the scrubber's whole timing cost.
+					n.DRAM.ReadAccess(m.Eng.Now(), cur)
+					in.Scrubbed += int64(n.DRAM.ScrubRange(cur, stripe))
+					in.scrubCursor[pe] = (cur + stripe) % n.DRAM.Size()
+				}
+				in.ScrubTicks++
+			})
+		}
+	}
 }
 
 // Inject is the one-call convenience: build the schedule for m, attach
@@ -313,4 +472,24 @@ func Inject(m *machine.T3D, cfg Config) *Injector {
 	in := NewInjector(NewSchedule(cfg, m.Net.Nodes()))
 	in.Attach(m)
 	return in
+}
+
+// MemIntegrity sums the per-node DRAM integrity counters of a machine —
+// the view experiments and soaks assert over.
+func MemIntegrity(m *machine.T3D) mem.IntegrityStats {
+	var s mem.IntegrityStats
+	for _, n := range m.Nodes {
+		s = s.Add(n.DRAM.Integrity())
+	}
+	return s
+}
+
+// LatentUncorrectable sums the machine's words that still hold an
+// undetected uncorrectable fault.
+func LatentUncorrectable(m *machine.T3D) int {
+	total := 0
+	for _, n := range m.Nodes {
+		total += n.DRAM.LatentUncorrectable()
+	}
+	return total
 }

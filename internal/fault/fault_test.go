@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/machine"
@@ -41,23 +43,106 @@ func TestScheduleReplayableFromSeed(t *testing.T) {
 	}
 }
 
+// TestConfigValidate table-tests every rejection Validate can issue.
+// Each error message must carry the "fault: <field>: " prefix so callers
+// can grep rejections by field.
 func TestConfigValidate(t *testing.T) {
-	bad := []Config{
-		{DropRate: -0.1},
-		{CorruptRate: 1.5},
-		{DropRate: 0.7, CorruptRate: 0.7},
-		{LinkFaults: 1, WindowCycles: 10}, // no horizon
-		{LinkFaults: 1, Horizon: 100},     // no window
-		{Stalls: 1, Horizon: 100},         // no stall cycles
+	nan := math.NaN()
+	bad := []struct {
+		name  string
+		field string
+		cfg   Config
+	}{
+		{"drop-negative", "DropRate", Config{DropRate: -0.1}},
+		{"drop-above-one", "DropRate", Config{DropRate: 1.5}},
+		{"drop-nan", "DropRate", Config{DropRate: nan}},
+		{"corrupt-above-one", "CorruptRate", Config{CorruptRate: 1.5}},
+		{"corrupt-nan", "CorruptRate", Config{CorruptRate: nan}},
+		{"rates-sum", "DropRate+CorruptRate", Config{DropRate: 0.7, CorruptRate: 0.7}},
+		{"corruptfrac-range", "CorruptFrac", Config{CorruptFrac: -0.5}},
+		{"memrate-negative", "MemFaultRate", Config{MemFaultRate: -1}},
+		{"memrate-nan", "MemFaultRate", Config{MemFaultRate: nan}},
+		{"multifrac-range", "MemMultiFrac", Config{MemMultiFrac: 1.5}},
+		{"multifrac-nan", "MemMultiFrac", Config{MemMultiFrac: nan}},
+		{"memwords-negative", "MemFaultWords", Config{MemFaultWords: -8}},
+		{"membase-negative", "MemFaultBase", Config{MemFaultBase: -8, MemFaultWords: 64}},
+		{"membase-unbounded", "MemFaultBase", Config{MemFaultBase: 64}},
+		{"links-no-horizon", "Horizon", Config{LinkFaults: 1, WindowCycles: 10}},
+		{"stalls-no-horizon", "Horizon", Config{Stalls: 1, StallCycles: 5}},
+		{"hardlinks-no-horizon", "Horizon", Config{HardLinkFaults: 1}},
+		{"hardnodes-no-horizon", "Horizon", Config{HardNodeFaults: 1}},
+		{"memrate-no-horizon", "Horizon", Config{MemFaultRate: 2}},
+		{"scrub-no-horizon", "Horizon", Config{Scrub: true, ScrubInterval: 10}},
+		{"hardlinks-negative", "HardLinkFaults", Config{HardLinkFaults: -1, Horizon: 100}},
+		{"hardnodes-negative", "HardNodeFaults", Config{HardNodeFaults: -1, Horizon: 100}},
+		{"links-no-window", "WindowCycles", Config{LinkFaults: 1, Horizon: 100}},
+		{"stalls-no-cycles", "StallCycles", Config{Stalls: 1, Horizon: 100}},
+		{"scrub-no-interval", "ScrubInterval", Config{Scrub: true, Horizon: 100}},
 	}
-	for i, c := range bad {
-		if err := c.Validate(); err == nil {
-			t.Errorf("config %d (%+v) accepted", i, c)
+	for _, tc := range bad {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: config %+v accepted", tc.name, tc.cfg)
+			continue
+		}
+		if want := "fault: " + tc.field + ":"; !strings.HasPrefix(err.Error(), want) {
+			t.Errorf("%s: error %q does not start with %q", tc.name, err, want)
 		}
 	}
-	good := Config{Seed: 1, DropRate: 0.01, LinkFaults: 2, WindowCycles: 10, Horizon: 1000, Stalls: 1, StallCycles: 5}
+	good := Config{Seed: 1, DropRate: 0.01, LinkFaults: 2, WindowCycles: 10, Horizon: 1000,
+		Stalls: 1, StallCycles: 5, MemFaultRate: 3, MemMultiFrac: 0.25,
+		MemFaultBase: 8192, MemFaultWords: 64, Scrub: true, ScrubInterval: 100}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestMemStreamIndependent pins the stream-isolation contract: enabling
+// memory flips must not move a single draw of the link/stall plan, so
+// recorded transient-fault replay seeds stay valid, and the flip plan
+// itself must be replayable and in bounds.
+func TestMemStreamIndependent(t *testing.T) {
+	base := Config{
+		Seed:       7,
+		LinkFaults: 20, WindowCycles: 500, Horizon: 100000, CorruptFrac: 0.25,
+		Stalls: 10, StallCycles: 3750,
+	}
+	withMem := base
+	withMem.MemFaultRate = 5
+	withMem.MemMultiFrac = 0.5
+	a := NewSchedule(base, 16)
+	b := NewSchedule(withMem, 16)
+	if !reflect.DeepEqual(a.Links, b.Links) || !reflect.DeepEqual(a.Stalls, b.Stalls) {
+		t.Error("enabling memory flips changed the link/stall schedule")
+	}
+	if len(a.MemFlips) != 0 {
+		t.Errorf("schedule without memory faults has %d flips", len(a.MemFlips))
+	}
+	c := NewSchedule(withMem, 16)
+	if !reflect.DeepEqual(b.MemFlips, c.MemFlips) {
+		t.Error("same seed produced different flip plans")
+	}
+	want := int(withMem.MemFaultRate*float64(withMem.Horizon)*16/1e6 + 0.5)
+	if len(b.MemFlips) != want {
+		t.Errorf("flip count %d, want %d", len(b.MemFlips), want)
+	}
+	multi := 0
+	for _, mf := range b.MemFlips {
+		if mf.PE < 0 || mf.PE >= 16 || mf.At < 0 || mf.At >= withMem.Horizon {
+			t.Errorf("flip %+v outside the machine/horizon", mf)
+		}
+		if mf.Bit < 0 || mf.Bit > 63 {
+			t.Errorf("flip %+v has an impossible bit", mf)
+		}
+		if mf.Bit2 >= 0 {
+			multi++
+			if mf.Bit2 > 63 || mf.Bit2 == mf.Bit {
+				t.Errorf("double flip %+v has an impossible second bit", mf)
+			}
+		}
+	}
+	if multi == 0 || multi == len(b.MemFlips) {
+		t.Errorf("MemMultiFrac 0.5 produced %d/%d double flips", multi, len(b.MemFlips))
 	}
 }
 

@@ -1,0 +1,34 @@
+package fault
+
+// Rand is the subsystem's seeded generator: splitmix64, the same core
+// the schedule draws used from day one. It is deliberately tiny and
+// fully deterministic — a Rand with a given State always emits the same
+// sequence, which is what lets a fault schedule, a memory-flip stream,
+// or a chaos soak be replayed from a single printed seed.
+//
+// Independent streams are derived by salting the seed with distinct
+// large odd constants (see memStreamSalt, packetStreamSalt): splitmix64
+// decorrelates even adjacent seeds, so salted streams never track each
+// other and adding a new stream cannot perturb an existing one.
+type Rand struct {
+	State uint64
+}
+
+// Next returns the next 64-bit draw.
+func (r *Rand) Next() uint64 {
+	r.State += 0x9E3779B97F4A7C15
+	z := r.State
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float returns a draw in [0, 1).
+func (r *Rand) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a draw in [0, n).
+func (r *Rand) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}

@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPageBoundaryCrossingUsesTwoBanks pins the rotation of consecutive
+// rows across banks: an access pair straddling a page boundary lands in
+// two different banks and both proceed in parallel, while two misses to
+// rows of the same bank serialize on the bank cycle time.
+func TestPageBoundaryCrossingUsesTwoBanks(t *testing.T) {
+	d := testDRAM()
+	rs := d.Config().RowSize
+	if d.BankOf(rs-8) == d.BankOf(rs) {
+		t.Fatalf("rows either side of a page boundary share bank %d", d.BankOf(rs))
+	}
+	c1, hit1 := d.ReadAccess(0, rs-8) // last word of row 0, bank 0
+	c2, hit2 := d.ReadAccess(0, rs)   // first word of row 1, bank 1
+	if hit1 || hit2 {
+		t.Fatalf("cold accesses hit (%v, %v)", hit1, hit2)
+	}
+	if c1 != 31 || c2 != 31 {
+		t.Errorf("boundary-straddling misses complete at (%d, %d), want both 31", c1, c2)
+	}
+
+	// Same pair of rows in ONE bank: row 0 and row Banks both map to
+	// bank 0, so the second miss waits out the 40-cycle bank busy time.
+	d2 := testDRAM()
+	sameBank := rs * int64(d2.Config().Banks)
+	if d2.BankOf(0) != d2.BankOf(sameBank) {
+		t.Fatalf("rows 0 and %d do not share a bank", d2.rowOf(sameBank))
+	}
+	d2.ReadAccess(0, 0)
+	c4, _ := d2.ReadAccess(0, sameBank)
+	if want := sim.Time(40 + 31); c4 != want {
+		t.Errorf("same-bank second miss completes at %d, want %d", c4, want)
+	}
+}
+
+// TestBackToBackSamePageReadsPipeline pins the open-row pipelining rate:
+// after a row is open, reads to the same page issue every ReadHitOcc=5
+// cycles even though each takes ReadRowHit=22 to complete.
+func TestBackToBackSamePageReadsPipeline(t *testing.T) {
+	d := testDRAM()
+	c0, _ := d.ReadAccess(0, 0) // miss: opens the row, completes at 31
+	if c0 != 31 {
+		t.Fatalf("opening miss completes at %d, want 31", c0)
+	}
+	c1, hit1 := d.ReadAccess(c0, 8)
+	c2, hit2 := d.ReadAccess(c0, 16) // issued at the same time as c1
+	if !hit1 || !hit2 {
+		t.Fatalf("same-page reads missed (%v, %v)", hit1, hit2)
+	}
+	if c1 != c0+22 {
+		t.Errorf("first hit completes at %d, want %d", c1, c0+22)
+	}
+	if c2 != c1+5 {
+		t.Errorf("pipelined hit completes at %d, want %d (spacing ReadHitOcc, not full latency)", c2, c1+5)
+	}
+
+	// Writes to the open row drain even faster: 5 cycles each.
+	cw, hitw := d.WriteAccess(c2, 24)
+	if !hitw || cw != c2+5 {
+		t.Errorf("open-row write completes at %d (hit=%v), want %d", cw, hitw, c2+5)
+	}
+}
+
+// TestECCArmedIsTimingNeutralWhenFaultFree runs one access sequence on
+// two identical DRAMs — one with SECDED armed, one without — and demands
+// bit-identical completion times, data, and zero corrections. The ECC
+// penalty may only ever be charged per corrected word; arming the
+// machinery on a healthy memory must not move a single cycle.
+func TestECCArmedIsTimingNeutralWhenFaultFree(t *testing.T) {
+	plain, armed := testDRAM(), testDRAM()
+	armed.SetECC(true)
+	rs := plain.Config().RowSize
+	addrs := []int64{0, 8, rs, rs - 8, 3 * rs, 0, rs * int64(plain.Config().Banks), 16}
+	now := sim.Time(0)
+	for i, addr := range addrs {
+		plain.Write64(addr, uint64(i)*0x0101010101010101)
+		armed.Write64(addr, uint64(i)*0x0101010101010101)
+		cp, hp := plain.ReadAccess(now, addr)
+		ca, ha := armed.ReadAccess(now, addr)
+		if cp != ca || hp != ha {
+			t.Fatalf("access %d (addr %#x): plain (%d, %v) vs armed (%d, %v)", i, addr, cp, hp, ca, ha)
+		}
+		wp, _ := plain.WriteAccess(now, addr)
+		wa, _ := armed.WriteAccess(now, addr)
+		if wp != wa {
+			t.Fatalf("write %d (addr %#x): plain %d vs armed %d", i, addr, wp, wa)
+		}
+		va, corrected, poisoned := armed.Read64Checked(addr)
+		if corrected != 0 || poisoned {
+			t.Fatalf("healthy armed read reported corrected=%d poisoned=%v", corrected, poisoned)
+		}
+		if vp := plain.Read64(addr); vp != va {
+			t.Fatalf("data diverged at %#x: %#x vs %#x", addr, vp, va)
+		}
+		now = cp
+	}
+	if s := armed.Integrity(); s != (IntegrityStats{}) {
+		t.Errorf("fault-free armed run touched integrity counters: %+v", s)
+	}
+}
+
+// TestWorkstationTimingParameters spot-checks the second Config
+// constructor so a regression in either parameter set cannot hide
+// behind the other.
+func TestWorkstationTimingParameters(t *testing.T) {
+	d := New(WorkstationConfig(1 << 20))
+	c0, hit := d.ReadAccess(0, 0)
+	if hit || c0 != 52 {
+		t.Errorf("workstation cold read = (%d, %v), want (52, miss)", c0, hit)
+	}
+	c1, hit := d.ReadAccess(c0, 8)
+	if !hit || c1 != c0+45 {
+		t.Errorf("workstation open-row read = (%d, %v), want (%d, hit)", c1, hit, c0+45)
+	}
+}

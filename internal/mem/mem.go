@@ -44,6 +44,12 @@ type Config struct {
 	WriteRowHit   sim.Time
 	WriteRowMiss  sim.Time
 	WriteMissBusy sim.Time
+
+	// ECCPenalty is the extra latency a read pays per word the SECDED
+	// pipe corrects: the data must make a second trip through the
+	// correction network before it can be forwarded. Charged only when
+	// a correction actually fires, so fault-free runs are unaffected.
+	ECCPenalty sim.Time
 }
 
 // T3DNodeConfig returns the memory parameters of a T3D node as measured in
@@ -64,6 +70,8 @@ func T3DNodeConfig(size int64) Config {
 		WriteRowHit:   5,
 		WriteRowMiss:  31,
 		WriteMissBusy: 40,
+
+		ECCPenalty: 7,
 	}
 }
 
@@ -83,6 +91,8 @@ func WorkstationConfig(size int64) Config {
 		WriteRowHit:   12,
 		WriteRowMiss:  52,
 		WriteMissBusy: 60,
+
+		ECCPenalty: 10,
 	}
 }
 
@@ -91,6 +101,12 @@ type DRAM struct {
 	cfg   Config
 	data  []byte
 	banks []bank
+
+	// SECDED state (ecc.go): the fault table maps word-aligned offsets
+	// to their flipped-bit masks; ecc arms correction/detection.
+	ecc    bool
+	faults map[int64]*wordFault
+	integ  IntegrityStats
 }
 
 type bank struct {
@@ -131,20 +147,24 @@ func (d *DRAM) Snapshot(buf []byte) []byte {
 	return buf[:d.cfg.Size]
 }
 
-// Restore overwrites memory with a Snapshot image.
+// Restore overwrites memory with a Snapshot image. Every latent fault
+// is overwritten with it — the property that lets a rollback clear
+// poison the same way it clears any other corruption.
 func (d *DRAM) Restore(img []byte) {
 	if int64(len(img)) != d.cfg.Size {
 		panic(fmt.Sprintf("mem: Restore image %d bytes, memory %d", len(img), d.cfg.Size))
 	}
 	copy(d.data, img)
+	d.clearAllFaults()
 }
 
 // Zero clears all memory — the fail-stop model of a node whose volatile
-// state is lost in a crash.
+// state is lost in a crash. Latent faults are lost with it.
 func (d *DRAM) Zero() {
 	for i := range d.data {
 		d.data[i] = 0
 	}
+	d.clearAllFaults()
 }
 
 // Config returns the configuration the DRAM was built with.
@@ -213,39 +233,57 @@ func (d *DRAM) WriteAccess(start sim.Time, addr int64) (complete sim.Time, rowHi
 	return complete, rowHit
 }
 
-// Read copies len(p) bytes starting at addr into p.
+// Read copies len(p) bytes starting at addr into p. This is the raw
+// host-window path: with ECC armed it still repairs single-bit faults
+// in passing (the array read goes through the correction network), but
+// it cannot signal poison — an uncorrectable word read here counts as a
+// silent read. Simulated-machine paths use ReadChecked instead.
 func (d *DRAM) Read(addr int64, p []byte) {
 	d.checkRange(addr, len(p))
+	if len(d.faults) > 0 {
+		d.sweepRange(addr, int64(len(p)), false)
+	}
 	copy(p, d.data[addr:])
 }
 
 // Write copies p into memory starting at addr.
 func (d *DRAM) Write(addr int64, p []byte) {
 	d.checkRange(addr, len(p))
+	d.clearOnWrite(addr, int64(len(p)))
 	copy(d.data[addr:], p)
 }
 
-// Read64 returns the little-endian 64-bit word at addr.
+// Read64 returns the little-endian 64-bit word at addr (raw host
+// window; see Read).
 func (d *DRAM) Read64(addr int64) uint64 {
 	d.checkRange(addr, 8)
+	if len(d.faults) > 0 {
+		d.sweepRange(addr, 8, false)
+	}
 	return binary.LittleEndian.Uint64(d.data[addr:])
 }
 
 // Write64 stores v as a little-endian 64-bit word at addr.
 func (d *DRAM) Write64(addr int64, v uint64) {
 	d.checkRange(addr, 8)
+	d.clearOnWrite(addr, 8)
 	binary.LittleEndian.PutUint64(d.data[addr:], v)
 }
 
-// Read32 returns the little-endian 32-bit word at addr.
+// Read32 returns the little-endian 32-bit word at addr (raw host
+// window; see Read).
 func (d *DRAM) Read32(addr int64) uint32 {
 	d.checkRange(addr, 4)
+	if len(d.faults) > 0 {
+		d.sweepRange(addr, 4, false)
+	}
 	return binary.LittleEndian.Uint32(d.data[addr:])
 }
 
 // Write32 stores v as a little-endian 32-bit word at addr.
 func (d *DRAM) Write32(addr int64, v uint32) {
 	d.checkRange(addr, 4)
+	d.clearOnWrite(addr, 4)
 	binary.LittleEndian.PutUint32(d.data[addr:], v)
 }
 

@@ -3,6 +3,7 @@ package shell
 import (
 	"fmt"
 
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -98,10 +99,22 @@ func (s *Shell) bltStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff,
 			src, dst, n := ch.src, ch.dst, ch.n
 			s.eng.At(complete, func() {
 				data := make([]byte, n)
-				srcNode.DRAM.Read(src, data)
+				// The chunk streams through the SECDED pipe: singles are
+				// repaired (the DMA pipeline hides the correction
+				// latency), uncorrectable words travel tagged and poison
+				// their destination copies — corruption never launders
+				// itself through a block transfer.
+				_, poisonedWords := srcNode.DRAM.ReadChecked(src, data)
 				s.fab.Net.Send(srcPE, dstPE, int(n), func() {
 					dn := s.node(dstPE)
 					dn.DRAM.Write(dst, data)
+					for _, pw := range poisonedWords {
+						dn.DRAM.PropagatePoison(dst + (pw - src))
+					}
+					if len(poisonedWords) > 0 && !s.bltPoison {
+						s.bltPoison = true
+						s.bltPoisonAddr = poisonedWords[0]
+					}
 					if s.cfg.InvalidateMode {
 						// Data changed beneath the destination's cache.
 						for line := dn.L1.LineAddr(dst); line < dst+n; line += dn.L1.Config().LineSize {
@@ -120,10 +133,32 @@ func (s *Shell) bltStart(p *sim.Proc, dir BLTDir, peer int, localOff, remoteOff,
 	})
 }
 
-// BLTWait blocks until the in-flight block transfer completes.
+// BLTWait blocks until the in-flight block transfer completes. If the
+// transfer moved an uncorrectable word (the engine's completion status
+// reports the ECC tag), it traps with *mem.PoisonError — after marking
+// the destination words poisoned, so even a caller that swallows the
+// trap cannot read the damage silently.
 func (s *Shell) BLTWait(p *sim.Proc) {
 	sim.AwaitDeadline(p, s.bltSig, "blt completion", func() bool { return !s.bltBusy })
+	if s.bltPoison {
+		a := s.bltPoisonAddr
+		s.bltPoison = false
+		panic(&mem.PoisonError{PE: s.pe, Addr: a})
+	}
+}
+
+// BLTDiscard is BLTWait for the rollback path: it drains the transfer
+// and clears any poison status without trapping — the epoch's data is
+// being rolled back anyway.
+func (s *Shell) BLTDiscard(p *sim.Proc) {
+	sim.AwaitDeadline(p, s.bltSig, "blt completion", func() bool { return !s.bltBusy })
+	s.bltPoison = false
 }
 
 // BLTBusy reports whether a transfer is in flight.
 func (s *Shell) BLTBusy() bool { return s.bltBusy }
+
+// BLTPoisoned reports whether a completed transfer left unconsumed
+// poison status (BLTWait will trap). Completion points must check it
+// even when the engine is idle.
+func (s *Shell) BLTPoisoned() bool { return s.bltPoison }

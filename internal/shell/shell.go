@@ -11,6 +11,7 @@
 package shell
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/addr"
@@ -120,6 +121,11 @@ type Shell struct {
 
 	bltBusy bool
 	bltSig  *sim.Signal
+	// bltPoison latches that a completed BLT transfer moved at least one
+	// uncorrectable word since the last BLTWait/BLTDiscard; bltPoisonAddr
+	// is the first such source word.
+	bltPoison     bool
+	bltPoisonAddr int64
 
 	drainer Drainer
 
@@ -137,8 +143,11 @@ type Shell struct {
 }
 
 type pqSlot struct {
-	filled bool
-	val    uint64
+	filled   bool
+	val      uint64
+	poisoned bool  // the response carried an uncorrectable-error marker
+	srcPE    int   // responder, for the poison report
+	addr     int64 // source word offset, for the poison report
 }
 
 // PE returns the shell's node number.
@@ -282,12 +291,19 @@ func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("readword")
 	var val uint64
-	s.startRead(e.PE, off, size, func(v uint64, _ []byte) {
-		val = v
+	var poisoned bool
+	s.startRead(e.PE, off, size, func(v uint64, _ []byte, poi bool) {
+		val, poisoned = v, poi
 		done.Fire(s.eng)
 	})
 	p.WaitSignalDeadline(done, "remote read")
 	p.Wait(s.cfg.RespAccept)
+	if poisoned {
+		// The response arrived but its payload is an uncorrectable
+		// memory error: trap on the requesting processor rather than
+		// hand garbage to the program.
+		panic(&mem.PoisonError{PE: e.PE, Addr: off})
+	}
 	return val
 }
 
@@ -301,18 +317,24 @@ func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 	s.RemoteReads++
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("readline")
-	s.startRead(e.PE, off, len(line), func(_ uint64, data []byte) {
+	var poisoned bool
+	s.startRead(e.PE, off, len(line), func(_ uint64, data []byte, poi bool) {
 		copy(line, data)
+		poisoned = poi
 		done.Fire(s.eng)
 	})
 	p.WaitSignalDeadline(done, "remote line fill")
 	p.Wait(s.cfg.RespAccept + s.cfg.CachedFillExtra)
+	if poisoned {
+		// Unwind before the caller can install the line in its cache.
+		panic(&mem.PoisonError{PE: e.PE, Addr: off})
+	}
 }
 
 // startRead launches the request/response event chain for a remote read
 // of size bytes at off on node pe, paying the full request-injection cost.
 // finish runs at the moment the response tail arrives back at this node.
-func (s *Shell) startRead(pe int, off int64, size int, finish func(val uint64, data []byte)) {
+func (s *Shell) startRead(pe int, off int64, size int, finish func(val uint64, data []byte, poisoned bool)) {
 	start := s.reqPort.Acquire(s.eng.Now(), s.cfg.ReqInject)
 	s.eng.At(start+s.cfg.ReqInject, func() {
 		s.sendReadRequest(pe, off, size, finish)
@@ -321,7 +343,7 @@ func (s *Shell) startRead(pe int, off int64, size int, finish func(val uint64, d
 
 // sendReadRequest is the post-injection half of startRead, used directly
 // by prefetch requests (which pay the cheaper FetchInject instead).
-func (s *Shell) sendReadRequest(pe int, off int64, size int, finish func(val uint64, data []byte)) {
+func (s *Shell) sendReadRequest(pe int, off int64, size int, finish func(val uint64, data []byte, poisoned bool)) {
 	s.fab.Net.Send(s.pe, pe, 8, func() { // request carries the address
 		rn := s.node(pe)
 		t := s.eng.Now() + s.cfg.RemoteReadProc
@@ -331,23 +353,38 @@ func (s *Shell) sendReadRequest(pe int, off int64, size int, finish func(val uin
 		}
 		data := make([]byte, size)
 		var val uint64
+		var corrected int
+		var poisoned bool
 		s.eng.At(service, func() {
 			// Latch the data when the bank samples the array, not when
 			// the full access completes — a concurrently queued write
-			// behind us at the bank must not leak into this read.
-			rn.DRAM.Read(off, data)
+			// behind us at the bank must not leak into this read. The
+			// data streams through the SECDED pipe on its way out:
+			// single-bit faults are repaired (the response is held back
+			// ECCPenalty per correction), double-bit faults tag the
+			// response poisoned instead of trusting the bytes.
+			var pw []int64
+			corrected, pw = rn.DRAM.ReadChecked(off, data)
+			poisoned = len(pw) > 0
 			switch size {
 			case 8:
-				val = rn.DRAM.Read64(off)
+				val = binary.LittleEndian.Uint64(data)
 			case 4:
-				val = uint64(rn.DRAM.Read32(off))
+				val = uint64(binary.LittleEndian.Uint32(data))
 			}
 		})
 		s.eng.At(complete, func() {
-			rs := rn.Shell.respPort.Acquire(s.eng.Now(), s.cfg.RespInject)
-			s.eng.At(rs+s.cfg.RespInject, func() {
-				s.fab.Net.Send(pe, s.pe, size, func() { finish(val, data) })
-			})
+			respond := func() {
+				rs := rn.Shell.respPort.Acquire(s.eng.Now(), s.cfg.RespInject)
+				s.eng.At(rs+s.cfg.RespInject, func() {
+					s.fab.Net.Send(pe, s.pe, size, func() { finish(val, data, poisoned) })
+				})
+			}
+			if corrected > 0 {
+				s.eng.After(rn.DRAM.Config().ECCPenalty*sim.Time(corrected), respond)
+			} else {
+				respond()
+			}
 		})
 	})
 }
@@ -443,18 +480,19 @@ func (s *Shell) injectFetch(p *sim.Proc, e *wbuf.Entry) {
 		panic(fmt.Sprintf("shell: prefetch queue overflow on PE %d (>%d outstanding)",
 			s.pe, s.cfg.PrefetchEntries))
 	}
-	slot := &pqSlot{}
+	slot := &pqSlot{srcPE: ae.PE, addr: off}
 	s.pq = append(s.pq, slot)
 	s.Prefetches++
 	s.eng.Trace("shell.prefetch", "pe%d prefetch pe%d+%#x (%d outstanding)", s.pe, ae.PE, off, len(s.pq))
 	start := s.storePort.Acquire(p.Now(), s.cfg.FetchInject)
 	p.WaitUntil(start + s.cfg.FetchInject)
-	s.sendReadRequest(ae.PE, off, 8, func(v uint64, _ []byte) {
+	s.sendReadRequest(ae.PE, off, 8, func(v uint64, _ []byte, poi bool) {
 		// The response still pays the off-chip acceptance path on its way
 		// into the prefetch FIFO, plus the FIFO's own management cost.
 		s.eng.After(s.cfg.RespAccept+s.cfg.PrefetchFillExtra, func() {
 			slot.filled = true
 			slot.val = v
+			slot.poisoned = poi
 			s.pqSig.Fire(s.eng)
 		})
 	})
@@ -471,7 +509,22 @@ func (s *Shell) PopPrefetch(p *sim.Proc) uint64 {
 	sim.AwaitDeadline(p, s.pqSig, "prefetch response", func() bool { return head.filled })
 	p.Wait(s.cfg.PopCost)
 	s.pq = s.pq[1:]
+	if head.poisoned {
+		panic(&mem.PoisonError{PE: head.srcPE, Addr: head.addr})
+	}
 	return head.val
+}
+
+// DiscardPrefetches pops and drops every outstanding prefetch, poisoned
+// or not — the rollback path's drain, where the epoch's data is being
+// thrown away anyway and a poison trap would re-enter recovery.
+func (s *Shell) DiscardPrefetches(p *sim.Proc) {
+	for len(s.pq) > 0 {
+		head := s.pq[0]
+		sim.AwaitDeadline(p, s.pqSig, "prefetch response", func() bool { return head.filled })
+		p.Wait(s.cfg.PopCost)
+		s.pq = s.pq[1:]
+	}
 }
 
 // PrefetchOutstanding reports the number of FIFO slots in use.
@@ -551,6 +604,7 @@ func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("swap")
 	var old uint64
+	var poisoned bool
 	start := s.reqPort.Acquire(p.Now(), s.cfg.ReqInject)
 	s.eng.At(start+s.cfg.ReqInject, func() {
 		s.fab.Net.Send(s.pe, ae.PE, 16, func() {
@@ -558,7 +612,10 @@ func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 			t := s.eng.Now() + s.cfg.SwapAccess
 			complete, _ := rn.DRAM.ReadAccess(t, off)
 			s.eng.At(complete, func() {
-				o := rn.DRAM.Read64(off)
+				// The read half goes through the SECDED pipe like any
+				// other read; the write half installs v regardless,
+				// which also clears the word's fault state.
+				o, _, poi := rn.DRAM.Read64Checked(off)
 				rn.DRAM.Write64(off, v)
 				if s.cfg.InvalidateMode {
 					rn.L1.Invalidate(off)
@@ -567,6 +624,7 @@ func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 				s.eng.At(rs+s.cfg.RespInject, func() {
 					s.fab.Net.Send(ae.PE, s.pe, 8, func() {
 						old = o
+						poisoned = poi
 						done.Fire(s.eng)
 					})
 				})
@@ -575,6 +633,9 @@ func (s *Shell) Swap(p *sim.Proc, pa int64, v uint64) uint64 {
 	})
 	p.WaitSignalDeadline(done, "atomic swap")
 	p.Wait(s.cfg.RespAccept)
+	if poisoned {
+		panic(&mem.PoisonError{PE: ae.PE, Addr: off})
+	}
 	return old
 }
 

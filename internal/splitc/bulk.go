@@ -84,6 +84,11 @@ func (c *Ctx) BulkReadVia(mech Mechanism, dst int64, g GlobalPtr, n int64) {
 	default:
 		panic("splitc: " + mech.String() + " is not a read mechanism")
 	}
+	// Blocking semantics: the caller consumes dst on return, so the audit
+	// cannot wait for the next completion point.
+	if c.rt.Cfg.Audit {
+		c.auditNow(g, dst, n, false)
+	}
 }
 
 func (c *Ctx) bulkReadUncached(dst int64, g GlobalPtr, n int64) {
@@ -168,6 +173,11 @@ func (c *Ctx) BulkWriteVia(mech Mechanism, g GlobalPtr, src int64, n int64) {
 	default:
 		panic("splitc: " + mech.String() + " is not a write mechanism")
 	}
+	// Blocking semantics: the caller may reuse src on return, so the
+	// audit cannot be deferred.
+	if c.rt.Cfg.Audit {
+		c.auditNow(g, src, n, true)
+	}
 }
 
 func (c *Ctx) bulkWriteStores(g GlobalPtr, src int64, n int64) {
@@ -191,6 +201,11 @@ func (c *Ctx) BulkGet(dst int64, g GlobalPtr, n int64) {
 		c.localCopy(dst, g.Local(), n)
 		return
 	}
+	if c.rt.Cfg.Audit {
+		// Split-phase contract: dst is undefined until Sync, which is
+		// also when the audit runs — after the transfer completes.
+		c.recordAudit(g, dst, n, false)
+	}
 	if n < c.rt.Cfg.BulkGetBLTMin {
 		c.bulkReadPrefetch(dst, g, n)
 		return
@@ -209,6 +224,11 @@ func (c *Ctx) BulkPut(g GlobalPtr, src int64, n int64) {
 	}
 	if c.rt.Cfg.Reliable {
 		c.recordRegion(g, src, n)
+	}
+	if c.rt.Cfg.Audit {
+		// src must stay stable until Sync — the split-phase contract the
+		// reliable layer already relies on.
+		c.recordAudit(g, src, n, true)
 	}
 	c.bulkWriteStores(g, src, n)
 }

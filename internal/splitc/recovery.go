@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/net"
 	"repro/internal/shell"
 	"repro/internal/sim"
@@ -80,6 +81,13 @@ type RecoveryStats struct {
 	Checkpoints int64 // completed global checkpoints (incl. the pre-run image)
 	Rollbacks   int64 // completed rollback-and-replay cycles
 	NodeCrashes int64 // node hard-faults delivered to CrashNode
+
+	// IntegrityRollbacks counts rollbacks triggered by data-integrity
+	// traps — ECC poison or an audit mismatch — rather than crashes.
+	// CheckpointsAborted counts checkpoints abandoned because scrubbing
+	// found an uncorrectable word in the image about to be committed.
+	IntegrityRollbacks int64
+	CheckpointsAborted int64
 }
 
 // EpochFunc runs one epoch of the program on one PE and reports whether
@@ -271,11 +279,22 @@ func (r *Recovery) Run(setup SetupFunc) (sim.Time, RecoveryStats, error) {
 }
 
 // protect runs body, converting a sim.InterruptSignal panic (rollback
-// requested) into a true return. Any other panic propagates.
+// requested) into a true return. Integrity traps — an uncorrectable
+// memory word reaching the program (*mem.PoisonError) or an end-to-end
+// audit mismatch (*splitc.AuditError) — also convert: the epoch's data
+// is damaged, detection is the contract, and the recovery is a rollback
+// to the last clean checkpoint. Any other panic propagates.
 func (r *Recovery) protect(body func()) (rolledBack bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			if _, ok := rec.(sim.InterruptSignal); ok {
+			switch rec.(type) {
+			case sim.InterruptSignal:
+				rolledBack = true
+				return
+			case *mem.PoisonError, *AuditError:
+				r.Stats.IntegrityRollbacks++
+				r.rt.M.Eng.Trace("recovery", "integrity trap: %v; rolling back", rec)
+				r.initiateRollback()
 				rolledBack = true
 				return
 			}
@@ -295,10 +314,11 @@ func (r *Recovery) quiesce(c *Ctx) {
 	c.drainGets()
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
-	if c.Node.Shell.BLTBusy() {
+	if c.Node.Shell.BLTBusy() || c.Node.Shell.BLTPoisoned() {
 		c.Node.Shell.BLTWait(c.P)
 	}
 	c.settleWrites()
+	c.settleAudits()
 	for _, it := range r.items[c.MyPE()] {
 		it.QuiesceState(c)
 	}
@@ -338,7 +358,7 @@ func (r *Recovery) rendezvous(c *Ctx, nextEpoch int, done bool) {
 	r.exhausted[pe] = done
 	r.arrived++
 	if r.arrived == len(r.procs) {
-		r.takeCheckpoint(nextEpoch)
+		r.takeCheckpoint(c, nextEpoch)
 		return
 	}
 	myGen := r.ckptGen
@@ -354,7 +374,29 @@ func (r *Recovery) rendezvous(c *Ctx, nextEpoch int, done bool) {
 // arriver's proc context with every PE quiesced and no program traffic
 // in flight, consuming no simulated time (the barrier cost was already
 // charged in quiesce).
-func (r *Recovery) takeCheckpoint(nextEpoch int) {
+//
+// Before snapshotting, every node's memory is scrubbed: latent
+// single-bit faults are repaired so they cannot pair into uncorrectable
+// doubles inside the saved image. If scrubbing finds a word already
+// uncorrectable, the image about to be committed is damaged — committing
+// it would launder the corruption into every future rollback — so the
+// checkpoint aborts and the machine rolls back to the previous clean
+// image instead. The abort panics the last arriver's own interrupt (the
+// other PEs are interrupted by initiateRollback), so no proc returns
+// from a rendezvous that never committed.
+func (r *Recovery) takeCheckpoint(c *Ctx, nextEpoch int) {
+	uncorrectable := 0
+	for _, n := range r.rt.M.Nodes {
+		_, unc := n.DRAM.ScrubAll()
+		uncorrectable += unc
+	}
+	if uncorrectable > 0 {
+		r.Stats.CheckpointsAborted++
+		r.Stats.IntegrityRollbacks++
+		r.rt.M.Eng.Trace("recovery", "checkpoint aborted: %d uncorrectable words in image; rolling back", uncorrectable)
+		r.initiateRollback()
+		panic(sim.InterruptSignal{Proc: c.P.Name()})
+	}
 	r.snapshotMachine()
 	copy(r.soft, r.softNext)
 	r.ckptEpoch = nextEpoch
@@ -412,24 +454,24 @@ func (r *Recovery) awaitRollback(c *Ctx) bool {
 }
 
 // rollbackQuiesce drains this PE's local hardware without any global
-// cooperation: outstanding prefetch responses are popped into the void,
-// buffered writes drain and acknowledge (the hardware outlives the
-// crash), BLT transfers finish, and reliable-mode write records — which
-// describe an epoch being abandoned — are discarded.
+// cooperation: outstanding prefetch responses are discarded into the
+// void, buffered writes drain and acknowledge (the hardware outlives the
+// crash), BLT transfers finish, and reliable-mode write records and
+// pending audits — which describe an epoch being abandoned — are
+// discarded. The discard variants of the drain primitives swallow ECC
+// poison rather than trapping: the damaged data is being rolled away,
+// and a re-trap here would wedge the rollback itself.
 func (r *Recovery) rollbackQuiesce(c *Ctx) {
-	for c.Node.Shell.PrefetchOutstanding() > 0 {
-		c.Node.Shell.PopPrefetch(c.P)
-	}
+	c.Node.Shell.DiscardPrefetches(c.P)
 	c.gets = nil
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
-	if c.Node.Shell.BLTBusy() {
-		c.Node.Shell.BLTWait(c.P)
-	}
+	c.Node.Shell.BLTDiscard(c.P)
 	c.relPending = nil
 	c.relIndex = nil
 	c.relRegions = nil
 	c.settling = false
+	c.auditRegions = nil
 }
 
 // restoreAll reinstates the last checkpoint machine-wide: every node's
@@ -479,6 +521,7 @@ func (c *Ctx) resetForRestart() {
 	c.relIndex = nil
 	c.relRegions = nil
 	c.settling = false
+	c.auditRegions = nil
 }
 
 // RunRecoverable is the convenience entry point: build a Recovery with

@@ -64,6 +64,16 @@ type Config struct {
 	// MaxWriteRetries bounds verification passes per completion point
 	// before the runtime declares the fabric dead (0 = a default of 8).
 	MaxWriteRetries int
+
+	// Audit arms end-to-end integrity auditing of bulk transfers against
+	// memory corruption (which Reliable cannot catch: it trusts the local
+	// buffer as ground truth). Blocking bulk reads and writes are
+	// checksummed inline; split-phase ones (BulkGet, BulkPut) at the next
+	// completion point. A mismatch — or an ECC-poisoned word met along
+	// the way — traps, and a recovery runtime rolls back to the last
+	// clean checkpoint. Off by default: audits re-read every transferred
+	// word remotely, a real cycle cost the extI experiment measures.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's production choices.
@@ -86,8 +96,10 @@ type Runtime struct {
 
 	// Rewrites aggregates reliable-mode verification rewrites across all
 	// threads (the event loop serializes them, so a plain counter is
-	// deterministic).
+	// deterministic). Audits aggregates completed end-to-end integrity
+	// audits the same way.
 	Rewrites int64
+	Audits   int64
 }
 
 // NewRuntime builds a runtime over a machine.
@@ -178,10 +190,15 @@ type Ctx struct {
 	relRegions []relRegion
 	settling   bool // true while verification rewrites are in flight
 
+	// Audit-mode bulk transfers awaiting their end-to-end checksum.
+	auditRegions []auditRegion
+
 	// Stats. Rewrites counts words rewritten by reliable-mode
-	// verification (i.e. remote writes damaged in flight).
+	// verification (i.e. remote writes damaged in flight); Audits counts
+	// completed end-to-end region audits.
 	Reads, Writes, Gets, Puts, Stores, Syncs int64
 	Rewrites                                 int64
+	Audits                                   int64
 }
 
 // relWrite is one remote word write awaiting verification.

@@ -76,10 +76,14 @@ func (c *Ctx) Sync() {
 	c.drainGets()
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
-	if c.Node.Shell.BLTBusy() {
+	// BLTPoisoned: a transfer that already completed may hold an
+	// unconsumed ECC tag; BLTWait delivers the trap here, at the
+	// completion point, rather than letting it go stale.
+	if c.Node.Shell.BLTBusy() || c.Node.Shell.BLTPoisoned() {
 		c.Node.Shell.BLTWait(c.P)
 	}
 	c.settleWrites()
+	c.settleAudits()
 }
 
 // Store is the Split-C := operator: a one-way write with extremely weak
@@ -108,6 +112,7 @@ func (c *Ctx) AllStoreSync() {
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
 	c.settleWrites()
+	c.settleAudits()
 	tk := c.Node.Shell.BarrierStart(c.P)
 	c.Node.Shell.BarrierEnd(c.P, tk)
 }
@@ -120,10 +125,11 @@ func (c *Ctx) Barrier() {
 	c.drainGets()
 	c.Node.CPU.MB(c.P)
 	c.Node.Shell.WaitWritesComplete(c.P)
-	if c.Node.Shell.BLTBusy() {
+	if c.Node.Shell.BLTBusy() || c.Node.Shell.BLTPoisoned() {
 		c.Node.Shell.BLTWait(c.P)
 	}
 	c.settleWrites()
+	c.settleAudits()
 	tk := c.Node.Shell.BarrierStart(c.P)
 	c.Node.Shell.BarrierEnd(c.P, tk)
 }
