@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check race bench chaos fuzz cover
+.PHONY: all build test vet lint check race bench chaos fuzz cover
 
 all: check
 
@@ -13,9 +13,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# check is the tier-1 gate: everything must build, vet clean, and pass,
-# then survive the randomized hard-fault soak.
-check: build vet test chaos
+# lint runs the in-tree invariant suite (cmd/t3dlint): the Split-C
+# split-phase sync discipline, deterministic-replay rules, the
+# deadline/partition/poison error taxonomy, and simulated-time-only
+# cycle accounting. Exit 1 on any finding; waivers need a written
+# //lint:allow <pass> <reason>. See DESIGN.md §11.
+lint:
+	$(GO) run ./cmd/t3dlint ./...
+
+# check is the tier-1 gate: everything must build, vet and lint clean,
+# and pass, then survive the randomized hard-fault soak.
+check: build vet lint test chaos
 
 # chaos is the hard-fault soak gate: randomized-seed permanent link and
 # node failures injected into recoverable EM3D and sample-sort runs,

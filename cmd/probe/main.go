@@ -35,7 +35,7 @@ func main() {
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := parseBytes(strings.TrimSpace(s))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "probe: bad size %q\n", s)
+			fmt.Fprintf(os.Stderr, "probe: bad size %q: %v\n", s, err)
 			os.Exit(1)
 		}
 		cfg.Sizes = append(cfg.Sizes, n)

@@ -1,0 +1,94 @@
+// Command t3dlint runs the simulator's compiler-perspective invariant
+// suite (internal/analysis) over module packages: the Split-C
+// split-phase sync discipline, deterministic-replay rules, the
+// deadline/partition/poison error taxonomy, and simulated-time-only
+// cycle accounting.
+//
+// Usage:
+//
+//	t3dlint ./...                 # whole module (what make lint runs)
+//	t3dlint ./internal/em3d       # one package
+//	t3dlint -json ./...           # machine-readable findings
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type error.
+// Findings are suppressed line by line with `//lint:allow <pass>
+// <reason>`; unused or malformed suppressions are findings themselves.
+// See DESIGN.md §11 for the pass catalog and policy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cycleaccount"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errtaxonomy"
+	"repro/internal/analysis/splitphase"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	root, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fail(err)
+	}
+	paths, err := analysis.ExpandPatterns(root, modPath, patterns)
+	if err != nil {
+		fail(err)
+	}
+
+	analyzers := []*analysis.Analyzer{
+		splitphase.Analyzer,
+		determinism.Analyzer,
+		errtaxonomy.Analyzer,
+		cycleaccount.Analyzer,
+	}
+	l := analysis.NewLoader(root, modPath)
+	findings, err := analysis.RunPackages(l, paths, analyzers)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Findings []analysis.Diagnostic `json:"findings"`
+		}{Findings: findings}
+		if out.Findings == nil {
+			out.Findings = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "t3dlint: %d finding(s) in %d package(s)\n", len(findings), len(paths))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "t3dlint:", err)
+	os.Exit(2)
+}

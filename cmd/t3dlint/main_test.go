@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cycleaccount"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errtaxonomy"
+	"repro/internal/analysis/splitphase"
+)
+
+// TestTreeClean runs the full suite over the whole module — exactly
+// what `make lint` does — and asserts zero findings. Every real
+// violation must be fixed or carry a reviewed //lint:allow; deleting
+// any single suppression (or reintroducing a fixed bug) fails this
+// test because unused allows are findings too.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module including stdlib from source")
+	}
+	root, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := analysis.ExpandPatterns(root, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(root, modPath)
+	findings, err := analysis.RunPackages(l, paths, []*analysis.Analyzer{
+		splitphase.Analyzer,
+		determinism.Analyzer,
+		errtaxonomy.Analyzer,
+		cycleaccount.Analyzer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range findings {
+		t.Errorf("finding on the merged tree: %s", d)
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysistest runs one analyzer over a golden fixture package
+// and checks its raw diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live in a GOPATH-style tree (testdata/src/<import path>/),
+// and import stub versions of the real module packages — same import
+// paths, skeletal bodies — so the tests exercise exactly the type-based
+// matching the passes do on the real tree while staying hermetic.
+//
+// Expectations are written on the offending line:
+//
+//	c.Get(dst, g) // want `not settled`
+//
+// Each backquoted string is a regexp; a line must produce exactly as
+// many diagnostics as it has want patterns, and every diagnostic must
+// match one of them. Files without want comments double as
+// no-false-positive fixtures: any diagnostic in them fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package at importPath from srcRoot, applies the
+// analyzer, and reports mismatches against // want expectations.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	l := analysis.NewOverlayLoader(srcRoot)
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	diags, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, importPath, err)
+	}
+
+	wants := collectWants(t, l, pkg)
+
+	// Group diagnostics by file:line and match against expectations.
+	unmatched := map[string][]analysis.Diagnostic{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		unmatched[key] = append(unmatched[key], d)
+	}
+	for key, ws := range wants {
+		got := unmatched[key]
+		for _, w := range ws {
+			idx := -1
+			for i, d := range got {
+				if w.re.MatchString(d.Message) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s: no %s diagnostic matching %q (got %d on this line)", key, a.Name, w.pattern, len(got))
+				continue
+			}
+			got = append(got[:idx], got[idx+1:]...)
+		}
+		if len(got) == 0 {
+			delete(unmatched, key)
+		} else {
+			unmatched[key] = got
+		}
+	}
+	for _, ds := range unmatched {
+		for _, d := range ds {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+type want struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+// collectWants parses // want `re` `re` comments from the fixture
+// files, keyed by file:line.
+func collectWants(t *testing.T, l *analysis.Loader, pkg *analysis.Package) map[string][]want {
+	t.Helper()
+	wants := map[string][]want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range splitPatterns(text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], want{pattern: pat, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the backquoted regexps from a want comment.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '`')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '`')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}

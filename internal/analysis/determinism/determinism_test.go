@@ -1,0 +1,31 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden checks every violation kind against bad.go and the
+// blessed real-tree patterns in ok.go (which must stay silent).
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, fixtures(t), determinism.Analyzer, "repro/internal/fixdet")
+}
+
+// TestSchedulerExempt proves repro/internal/sim may use raw go
+// statements: the event kernel owns goroutine creation. The stub
+// package contains one and must stay silent.
+func TestSchedulerExempt(t *testing.T) {
+	analysistest.Run(t, fixtures(t), determinism.Analyzer, "repro/internal/sim")
+}

@@ -1,0 +1,19 @@
+package errtaxonomy_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errtaxonomy"
+)
+
+// TestGolden checks every violation kind against bad.go and the
+// blessed real-tree patterns in ok.go (which must stay silent).
+func TestGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, root, errtaxonomy.Analyzer, "repro/internal/fixerr")
+}

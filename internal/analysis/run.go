@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunPackage executes the analyzers over one loaded package and returns
+// the raw (unsuppressed) diagnostics in source order.
+func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s over %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackages loads every path, runs the analyzers, and applies the
+// //lint:allow suppression policy per package. The returned diagnostics
+// are the actionable findings: real violations, malformed suppressions,
+// and stale suppressions.
+func RunPackages(l *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := RunPackage(l, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		allows, bad := CollectAllows(l.Fset, pkg, known)
+		all = append(all, ApplySuppressions(diags, allows)...)
+		all = append(all, bad...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, pass.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+}

@@ -1,0 +1,429 @@
+// Package splitphase enforces the Split-C sync-counter discipline from
+// the paper, statically: every split-phase operation a function issues
+// (Ctx.Get, Put, BulkGet, BulkPut) must be settled by a dominating
+// Sync, SyncWithin, AllStoreSync, or Barrier before the function can
+// return, and the destination of a Get must not be read locally while
+// the get is still in flight.
+//
+// The paper's Split-C compiler implements split-phase assignments by
+// incrementing a per-processor sync counter at issue and spinning on it
+// at the sync point; code motion between the two is what buys the
+// latency tolerance, and reading the landing zone before the counter
+// drains is the canonical miscompilation. This pass is the
+// intraprocedural shadow of that counter: it tracks may-be-unsettled
+// operations along every control-flow path.
+//
+// Approximations, chosen to match how the tree actually writes Split-C
+// (see internal/analysis/testdata/src/repro/internal/fixsplit/ok.go for
+// the blessed patterns):
+//
+//   - Any sync operation settles every pending operation (the runtime
+//     distinguishes get/put/store counters; the lint does not).
+//   - Ctx.WithDeadline(budget, fn) counts as a sync when fn's body
+//     contains a sync call; the body is also analyzed on its own.
+//   - A function that defers a sync is exempt from exit checks.
+//   - A "local read" is a call to a method named Load64, Load32, Load8,
+//     ReadWord, or ReadLocal — the CPU/memory local-access surface.
+//   - Functions that intentionally return with operations in flight
+//     (an interpreter dispatching one instruction per call, a helper
+//     settled by its caller's barrier) carry a //lint:allow splitphase
+//     comment stating whose sync settles them.
+//
+// Package repro/internal/splitc itself is exempt: the runtime that
+// implements Sync cannot be a client of its own discipline.
+package splitphase
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the splitphase pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "splitphase",
+	Doc:  "split-phase Get/Put must be settled by a dominating sync; Get destinations must not be read before the sync",
+	Run:  run,
+}
+
+const splitcPath = "repro/internal/splitc"
+
+var issueOps = map[string]bool{"Get": true, "Put": true, "BulkGet": true, "BulkPut": true}
+var syncOps = map[string]bool{"Sync": true, "SyncWithin": true, "AllStoreSync": true, "Barrier": true}
+var localReadNames = map[string]bool{
+	"Load64": true, "Load32": true, "Load8": true, "ReadWord": true, "ReadLocal": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Path == splitcPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fc := &funcCtx{pass: pass, reported: map[ast.Node]bool{}}
+				fc.analyzeBody(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// A pendingOp is one issued, not-yet-settled split-phase operation.
+type pendingOp struct {
+	call *ast.CallExpr
+	op   string
+	dst  types.Object // root variable of the Get/BulkGet destination, if any
+}
+
+// state is the may-be-unsettled set along one control-flow path.
+type state struct {
+	pending     []*pendingOp
+	unreachable bool
+}
+
+func (s state) clone() state {
+	return state{pending: append([]*pendingOp(nil), s.pending...), unreachable: s.unreachable}
+}
+
+// merge joins path states: an operation is settled only if it is
+// settled on every reachable incoming path.
+func merge(states ...state) state {
+	out := state{unreachable: true}
+	seen := map[*pendingOp]bool{}
+	for _, s := range states {
+		if s.unreachable {
+			continue
+		}
+		out.unreachable = false
+		for _, p := range s.pending {
+			if !seen[p] {
+				seen[p] = true
+				out.pending = append(out.pending, p)
+			}
+		}
+	}
+	return out
+}
+
+type funcCtx struct {
+	pass      *analysis.Pass
+	reported  map[ast.Node]bool
+	deferSync bool
+	// breaks collects the states flowing into the exit of the
+	// innermost breakable statement (loop, switch, select).
+	breaks []*[]state
+}
+
+// analyzeBody checks one function body with a fresh discipline state.
+// Nested function literals reach here too: each function owns its own
+// sync obligations.
+func (fc *funcCtx) analyzeBody(body *ast.BlockStmt) {
+	inner := &funcCtx{pass: fc.pass, reported: fc.reported}
+	out := inner.stmt(body, state{})
+	if !out.unreachable && !inner.deferSync {
+		inner.reportPending(out)
+	}
+}
+
+func (fc *funcCtx) reportPending(s state) {
+	for _, p := range s.pending {
+		if fc.reported[p.call] {
+			continue
+		}
+		fc.reported[p.call] = true
+		fc.pass.Reportf(p.call.Pos(),
+			"split-phase %s is not settled by a dominating Sync/SyncWithin/AllStoreSync/Barrier on some path to function exit (Split-C sync-counter discipline)", p.op)
+	}
+}
+
+func (fc *funcCtx) stmt(s ast.Stmt, in state) state {
+	if s == nil {
+		return in
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			in = fc.stmt(st, in)
+		}
+		return in
+	case *ast.ExprStmt:
+		fc.expr(s.X, &in)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && fc.terminates(call) {
+			in.unreachable = true
+		}
+		return in
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			fc.expr(e, &in)
+		}
+		for _, e := range s.Lhs {
+			fc.expr(e, &in)
+		}
+		return in
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						fc.expr(v, &in)
+					}
+				}
+			}
+		}
+		return in
+	case *ast.IncDecStmt:
+		fc.expr(s.X, &in)
+		return in
+	case *ast.SendStmt:
+		fc.expr(s.Chan, &in)
+		fc.expr(s.Value, &in)
+		return in
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			fc.expr(a, &in)
+		}
+		fc.expr(s.Call.Fun, &in)
+		return in
+	case *ast.DeferStmt:
+		if fn := fc.pass.CalleeFunc(s.Call); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
+			fc.deferSync = true
+		}
+		for _, a := range s.Call.Args {
+			fc.expr(a, &in)
+		}
+		return in
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			fc.expr(e, &in)
+		}
+		if !in.unreachable && !fc.deferSync {
+			fc.reportPending(in)
+		}
+		in.unreachable = true
+		return in
+	case *ast.IfStmt:
+		in = fc.stmt(s.Init, in)
+		fc.expr(s.Cond, &in)
+		then := fc.stmt(s.Body, in.clone())
+		if s.Else != nil {
+			els := fc.stmt(s.Else, in.clone())
+			return merge(then, els)
+		}
+		return merge(then, in)
+	case *ast.ForStmt:
+		in = fc.stmt(s.Init, in)
+		fc.expr(s.Cond, &in)
+		exits := fc.pushBreaks()
+		body := fc.stmt(s.Body, in.clone())
+		body = fc.stmt(s.Post, body)
+		fc.popBreaks()
+		if s.Cond == nil {
+			// `for {}` only exits through break.
+			return merge(*exits...)
+		}
+		return merge(append(*exits, in, body)...)
+	case *ast.RangeStmt:
+		fc.expr(s.X, &in)
+		exits := fc.pushBreaks()
+		body := fc.stmt(s.Body, in.clone())
+		fc.popBreaks()
+		return merge(append(*exits, in, body)...)
+	case *ast.SwitchStmt:
+		in = fc.stmt(s.Init, in)
+		fc.expr(s.Tag, &in)
+		return fc.clauses(s.Body, in)
+	case *ast.TypeSwitchStmt:
+		in = fc.stmt(s.Init, in)
+		in = fc.stmt(s.Assign, in)
+		return fc.clauses(s.Body, in)
+	case *ast.SelectStmt:
+		return fc.clauses(s.Body, in)
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if n := len(fc.breaks); n > 0 {
+				t := fc.breaks[n-1]
+				*t = append(*t, in.clone())
+			}
+		case "goto":
+			// Conservative blind spot: goto paths are not tracked.
+		}
+		in.unreachable = true
+		return in
+	case *ast.LabeledStmt:
+		return fc.stmt(s.Stmt, in)
+	default:
+		return in
+	}
+}
+
+// clauses merges the bodies of switch/select clauses. Without a default
+// (or in a select), the zero-clause path also flows through.
+func (fc *funcCtx) clauses(body *ast.BlockStmt, in state) state {
+	exits := fc.pushBreaks()
+	outs := []state{}
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				fc.expr(e, &in)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		}
+		st := in.clone()
+		for _, s := range stmts {
+			st = fc.stmt(s, st)
+		}
+		outs = append(outs, st)
+	}
+	fc.popBreaks()
+	if !hasDefault {
+		outs = append(outs, in)
+	}
+	return merge(append(*exits, outs...)...)
+}
+
+func (fc *funcCtx) pushBreaks() *[]state {
+	t := &[]state{}
+	fc.breaks = append(fc.breaks, t)
+	return t
+}
+
+func (fc *funcCtx) popBreaks() { fc.breaks = fc.breaks[:len(fc.breaks)-1] }
+
+// expr walks an expression, applying call effects in evaluation order
+// and descending into function literals with fresh discipline state.
+func (fc *funcCtx) expr(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fc.analyzeBody(n.Body)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				fc.expr(sel.X, st)
+			}
+			for _, a := range n.Args {
+				fc.expr(a, st)
+			}
+			fc.applyCall(n, st)
+			return false
+		}
+		return true
+	})
+}
+
+func (fc *funcCtx) applyCall(call *ast.CallExpr, st *state) {
+	fn := fc.pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	if isCtxMethod(fn) {
+		name := fn.Name()
+		switch {
+		case issueOps[name]:
+			p := &pendingOp{call: call, op: name}
+			if (name == "Get" || name == "BulkGet") && len(call.Args) > 0 {
+				p.dst = rootVar(fc.pass, call.Args[0])
+			}
+			st.pending = append(st.pending, p)
+			return
+		case syncOps[name]:
+			st.pending = nil
+			return
+		case name == "WithDeadline":
+			if litContainsSync(fc.pass, call) {
+				st.pending = nil
+			}
+			return
+		}
+	}
+	// Local reads of an in-flight Get destination.
+	if _, tn := analysis.ReceiverNamed(fn); tn != "" && localReadNames[fn.Name()] {
+		for _, a := range call.Args {
+			obj := rootVar(fc.pass, a)
+			if obj == nil {
+				continue
+			}
+			for _, p := range st.pending {
+				if p.dst != nil && p.dst == obj && !fc.reported[call] {
+					fc.reported[call] = true
+					fc.pass.Reportf(call.Pos(),
+						"local read of %s, the destination of an un-synced %s — the transfer may not have landed; Sync first", obj.Name(), p.op)
+				}
+			}
+		}
+	}
+}
+
+// terminates reports whether call never returns (panic, os.Exit).
+func (fc *funcCtx) terminates(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := fc.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := fc.pass.CalleeFunc(call)
+	return analysis.IsPkgFunc(fn, "os", "Exit") ||
+		analysis.IsPkgFunc(fn, "log", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln")
+}
+
+func isCtxMethod(fn *types.Func) bool {
+	pkg, tn := analysis.ReceiverNamed(fn)
+	return pkg == splitcPath && tn == "Ctx"
+}
+
+// litContainsSync reports whether any function-literal argument of call
+// syntactically contains a sync operation.
+func litContainsSync(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, a := range call.Args {
+		lit, ok := a.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn := pass.CalleeFunc(c); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// rootVar returns the first variable mentioned in e — the "base" of a
+// destination expression like dst+int64(i)*8.
+func rootVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				obj = v
+				return false
+			}
+		}
+		return true
+	})
+	return obj
+}

@@ -1,0 +1,31 @@
+package splitphase_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/splitphase"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden checks every violation kind against bad.go and the
+// blessed real-tree patterns in ok.go (which must stay silent).
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, fixtures(t), splitphase.Analyzer, "repro/internal/fixsplit")
+}
+
+// TestRuntimeExempt proves repro/internal/splitc itself is out of
+// scope: the runtime that implements Sync is not a client of its own
+// discipline. The stub package stands in for the real one.
+func TestRuntimeExempt(t *testing.T) {
+	analysistest.Run(t, fixtures(t), splitphase.Analyzer, "repro/internal/splitc")
+}

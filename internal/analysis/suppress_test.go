@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+)
+
+// TestSuppressionPolicy runs the full pipeline (RunPackages, the same
+// entry point t3dlint uses) over the fixallow fixture and checks both
+// directions of the policy's teeth: a justified //lint:allow silences
+// its finding, while stale and malformed allows become findings.
+func TestSuppressionPolicy(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewOverlayLoader(root)
+	findings, err := analysis.RunPackages(l, []string{"repro/internal/fixallow"},
+		[]*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range findings {
+		if d.Pass == "determinism" {
+			t.Errorf("waived finding survived suppression: %s", d)
+		}
+	}
+	wantSubstrings := []string{
+		"unused //lint:allow determinism",
+		"has no reason",
+		"unknown pass nosuchpass",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range findings {
+			if d.Pass == "suppress" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no suppress finding containing %q; got %v", want, findings)
+		}
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wantSubstrings), findings)
+	}
+}

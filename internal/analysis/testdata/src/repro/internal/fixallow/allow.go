@@ -1,0 +1,30 @@
+// Package fixallow exercises the //lint:allow suppression policy: a
+// justified waiver silences its finding, while stale and malformed
+// waivers become findings themselves.
+package fixallow
+
+import "time"
+
+// waived carries a justified suppression: the wall-clock finding on the
+// return line must vanish.
+func waived() int64 {
+	//lint:allow determinism fixture: proves a written-down waiver silences the finding
+	return time.Now().UnixNano()
+}
+
+// stale carries a suppression with no finding under it: the allow
+// itself must be reported as unused.
+func stale() int64 {
+	//lint:allow determinism fixture: nothing on the next line violates anything
+	return 42
+}
+
+// missingReason omits the mandatory justification.
+//
+//lint:allow determinism
+func missingReason() {}
+
+// unknownPass names a pass that does not exist.
+//
+//lint:allow nosuchpass fixture: the pass name is unknown
+func unknownPass() {}

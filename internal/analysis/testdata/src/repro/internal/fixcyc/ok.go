@@ -1,0 +1,50 @@
+// ok.go is the no-false-positive fixture: every function mirrors a
+// blessed pattern from the real tree and must produce zero
+// cycleaccount diagnostics.
+package fixcyc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// simTime charges cost in simulated cycles and reads the simulated
+// clock — the blessed pattern.
+func simTime(p *sim.Proc) sim.Time {
+	p.Compute(120)
+	return p.Now()
+}
+
+// waitSignal parks through the scheduler, not the OS.
+func waitSignal(p *sim.Proc, s *sim.Signal) {
+	p.WaitSignal(s)
+}
+
+// hostHarness has no *sim.Proc in its signature: wall-clock and
+// channels are fine outside the simulated-time contract (this is what
+// test harnesses and CLI drivers do).
+func hostHarness(results chan int) (int, time.Duration) {
+	t0 := time.Now()
+	v := <-results
+	return v, time.Since(t0)
+}
+
+// nestedLitOwnContract: a closure without a *sim.Proc parameter is
+// judged by its own signature, even when built inside a proc function.
+func nestedLitOwnContract(p *sim.Proc, mu *sync.Mutex) func() {
+	p.Compute(1)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+// nonBlockingSync: Unlock and Add never park; only the blocking
+// surface is flagged.
+func nonBlockingSync(p *sim.Proc, mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Unlock()
+	wg.Add(1)
+	wg.Done()
+}

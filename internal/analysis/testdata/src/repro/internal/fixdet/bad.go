@@ -1,0 +1,55 @@
+// Package fixdet holds determinism golden fixtures. bad.go carries one
+// function per violation kind; each // want line is the expected
+// diagnostic.
+package fixdet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+var last string
+var total int64
+
+// wallClock reads host time: different on every run.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `wall-clock time.Now in simulator code`
+	return time.Since(t0) // want `wall-clock time.Since in simulator code`
+}
+
+// globalRand draws from the process-seeded shared source.
+func globalRand() int {
+	return rand.Intn(16) // want `global math/rand Intn draws from the process-seeded shared source`
+}
+
+// globalShuffle: mutating helpers on the global source are just as bad.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand Shuffle draws from the process-seeded shared source`
+}
+
+// rawGoroutine races the event kernel.
+func rawGoroutine(f func()) {
+	go f() // want `raw go statement outside the internal/sim scheduler`
+}
+
+// mapOrderOutput emits output in map order: line order differs per run.
+func mapOrderOutput(m map[string]int) {
+	for k, v := range m { // want `iteration over map m emits output \(Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+// mapOrderAssign leaves whichever key the runtime visited last.
+func mapOrderAssign(m map[string]int) {
+	for k := range m { // want `iteration over map m assigns last outside the loop`
+		last = k
+	}
+}
+
+// mapOrderReduce: %= is not commutative, so the fold depends on order.
+func mapOrderReduce(m map[int]int64) {
+	for _, v := range m { // want `iteration over map m assigns total outside the loop`
+		total %= v
+	}
+}

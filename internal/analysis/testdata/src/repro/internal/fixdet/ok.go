@@ -1,0 +1,67 @@
+// ok.go is the no-false-positive fixture: every function mirrors a
+// blessed pattern from the real tree and must produce zero determinism
+// diagnostics.
+package fixdet
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+)
+
+// seededRand mirrors em3d/graph.go: an explicit seeded source replays
+// bit-identically, so the constructors are exempt.
+func seededRand(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(1024)
+	}
+	return out
+}
+
+// collectThenSort mirrors exp/local.go: keys gathered in map order and
+// immediately sorted are order-independent.
+func collectThenSort(set map[int64]bool) []int64 {
+	xs := make([]int64, 0, len(set))
+	for s := range set {
+		xs = append(xs, s)
+	}
+	slices.Sort(xs)
+	return xs
+}
+
+// perKeyWrite: one write per key lands identically in any order.
+func perKeyWrite(src map[string]int, dst map[string]string) {
+	for k, v := range src {
+		dst[k] = fmt.Sprintf("%s=%d", k, v)
+	}
+}
+
+// accumulate: += folds are commutative, hence order-independent.
+func accumulate(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// loopLocals: temporaries scoped inside the body carry no state across
+// iterations.
+func loopLocals(m map[string]int) {
+	for _, v := range m {
+		double := v * 2
+		double++
+		_ = double
+	}
+}
+
+// sliceRange: only map iteration is randomized; slices are ordered.
+func sliceRange(xs []int) {
+	var out string
+	for _, x := range xs {
+		out = fmt.Sprint(x)
+	}
+	_ = out
+}

@@ -1,0 +1,63 @@
+// Package fixerr holds errtaxonomy golden fixtures. bad.go carries one
+// function per violation kind; each // want line is the expected
+// diagnostic.
+package fixerr
+
+import (
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/net"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// compareDeadline tests identity against a sentinel: wrapped values
+// compare false.
+func compareDeadline(c *splitc.Ctx, g splitc.GlobalPtr) bool {
+	_, err := c.ReadWithin(g, 100)
+	return err == sim.ErrDeadline // want `ErrDeadline compared with ==`
+}
+
+// comparePartition: != has the same wrapping bug.
+func comparePartition(err error) bool {
+	return err != net.ErrPartitioned // want `ErrPartitioned compared with !=`
+}
+
+// comparePoison covers the third sentinel.
+func comparePoison(err error) bool {
+	return err == mem.ErrPoisoned // want `ErrPoisoned compared with ==`
+}
+
+// textMatch discriminates by message text, twice over.
+func textMatch(err error) bool {
+	if err.Error() == "mem: poisoned word" { // want `error discriminated by message text`
+		return true
+	}
+	return strings.Contains(err.Error(), "poisoned") // want `strings.Contains over err.Error\(\)`
+}
+
+// discard throws a verdict-bearing error away as a bare statement.
+func discard(c *splitc.Ctx) {
+	c.SyncWithin(100) // want `error result of splitc.SyncWithin discarded`
+}
+
+// discardShell: package-level fallible calls count too.
+func discardShell() {
+	shell.Wait(100) // want `error result of shell.Wait discarded`
+}
+
+// blankError ships the value and drops the verdict.
+func blankError(c *splitc.Ctx, g splitc.GlobalPtr) uint64 {
+	v, _ := c.ReadWithin(g, 100) // want `error result of splitc.ReadWithin assigned to _`
+	return v
+}
+
+// swallow tests the error and then ignores which error it was.
+func swallow(c *splitc.Ctx, g splitc.GlobalPtr) {
+	err := c.WriteWithin(g, 1, 100)
+	if err != nil { // want `err is checked non-nil but its verdict is dropped`
+		return
+	}
+}

@@ -1,0 +1,56 @@
+// ok.go is the no-false-positive fixture: every function mirrors the
+// blessed error-handling patterns from the real tree and must produce
+// zero errtaxonomy diagnostics.
+package fixerr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// discriminate mirrors the apps' retry loops: every verdict is tested
+// with errors.Is and the unknown case propagates.
+func discriminate(c *splitc.Ctx, g splitc.GlobalPtr) (uint64, error) {
+	v, err := c.ReadWithin(g, 100)
+	switch {
+	case err == nil:
+		return v, nil
+	case errors.Is(err, sim.ErrDeadline):
+		return 0, fmt.Errorf("fixerr: read timed out: %w", err)
+	case errors.Is(err, net.ErrPartitioned):
+		return 0, fmt.Errorf("fixerr: target unreachable: %w", err)
+	case errors.Is(err, mem.ErrPoisoned):
+		return 0, fmt.Errorf("fixerr: data lost: %w", err)
+	}
+	return 0, err
+}
+
+// propagate hands the verdict up unexamined — legal: the caller
+// discriminates.
+func propagate(c *splitc.Ctx) error {
+	return c.SyncWithin(100)
+}
+
+// wrapAndPanic uses the error inside the non-nil branch.
+func wrapAndPanic(c *splitc.Ctx, g splitc.GlobalPtr) uint64 {
+	v, err := c.ReadWithin(g, 100)
+	if err != nil {
+		panic(fmt.Sprintf("fixerr: unrecoverable: %v", err))
+	}
+	return v
+}
+
+// checkedBank: fallible calls outside the taxonomy packages' blessed
+// callers still count when handled properly.
+func checkedBank(b *mem.Bank) (uint64, error) {
+	v, err := b.ReadChecked(0x40)
+	if err != nil {
+		return 0, fmt.Errorf("fixerr: bank read: %w", err)
+	}
+	return v, nil
+}

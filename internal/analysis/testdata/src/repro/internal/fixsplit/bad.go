@@ -1,0 +1,52 @@
+// Package fixsplit holds splitphase golden fixtures. bad.go carries
+// one function per violation kind; each // want line is the expected
+// diagnostic.
+package fixsplit
+
+import "repro/internal/splitc"
+
+// getNoSync issues a get and returns without any settling sync.
+func getNoSync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	c.Get(dst, g) // want `split-phase Get is not settled by a dominating Sync`
+}
+
+// branchOnlySync settles only on one control-flow path: the fall-through
+// exit still carries the pending counter.
+func branchOnlySync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64, fast bool) {
+	c.Get(dst, g) // want `split-phase Get is not settled by a dominating Sync`
+	if fast {
+		c.Sync()
+	}
+}
+
+// readBeforeSync reads the landing zone while the get is in flight —
+// the canonical Split-C miscompilation.
+func readBeforeSync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) uint64 {
+	c.Get(dst, g)
+	v := c.Node.CPU.Load64(c.P, dst) // want `local read of dst, the destination of an un-synced Get`
+	c.Sync()
+	return v
+}
+
+// putLoopNoSettle pipelines puts but never drains the store counter.
+func putLoopNoSettle(c *splitc.Ctx, g splitc.GlobalPtr) {
+	for i := 0; i < 8; i++ {
+		c.Put(g, uint64(i)) // want `split-phase Put is not settled by a dominating Sync`
+	}
+}
+
+// bulkNoSync: bulk transfers carry the same obligation as word ops.
+func bulkNoSync(c *splitc.Ctx, g splitc.GlobalPtr, src int64) {
+	c.BulkPut(g, src, 1<<10) // want `split-phase BulkPut is not settled by a dominating Sync`
+}
+
+// litEscapes: a function literal owns its own sync obligations even
+// when declared inside a function that syncs.
+func litEscapes(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) func() {
+	f := func() {
+		c.BulkGet(dst, g, 64) // want `split-phase BulkGet is not settled by a dominating Sync`
+	}
+	c.Get(dst, g)
+	c.Sync()
+	return f
+}

@@ -1,0 +1,79 @@
+// ok.go is the no-false-positive fixture: every function mirrors a
+// blessed pattern from the real tree (internal/apps, internal/exp) and
+// must produce zero splitphase diagnostics.
+package fixsplit
+
+import "repro/internal/splitc"
+
+// getWindowThenSync mirrors the em3d gather: a window of pipelined gets
+// settled by one sync.
+func getWindowThenSync(c *splitc.Ctx, gs []splitc.GlobalPtr, base int64) {
+	for i, g := range gs {
+		c.Get(base+int64(i)*8, g)
+	}
+	c.Sync()
+}
+
+// bothBranchesSettle settles on every path to exit.
+func bothBranchesSettle(c *splitc.Ctx, g splitc.GlobalPtr, dst int64, fast bool) {
+	c.Get(dst, g)
+	if fast {
+		c.Sync()
+	} else {
+		c.Barrier()
+	}
+}
+
+// bulkPipeline mirrors the bulk-put experiments: AllStoreSync drains
+// the store counter before the closing barrier.
+func bulkPipeline(c *splitc.Ctx, g splitc.GlobalPtr, src int64) {
+	c.BulkPut(g, src, 1<<10)
+	c.AllStoreSync()
+	c.Barrier()
+}
+
+// syncWithinSettles: the deadline-bounded sync is still a sync.
+func syncWithinSettles(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) error {
+	c.Get(dst, g)
+	return c.SyncWithin(500)
+}
+
+// deadlineBodySyncs: WithDeadline whose body syncs counts as a settle
+// at the call site.
+func deadlineBodySyncs(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) error {
+	c.Get(dst, g)
+	return c.WithDeadline(1000, func() {
+		c.Sync()
+	})
+}
+
+// readAfterSync touches the landing zone only after the counter drains.
+func readAfterSync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) uint64 {
+	c.Get(dst, g)
+	c.Sync()
+	return c.Node.CPU.Load64(c.P, dst)
+}
+
+// deferredSync settles at every exit via defer.
+func deferredSync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64, n int) {
+	defer c.Sync()
+	for i := 0; i < n; i++ {
+		c.Get(dst+int64(i)*8, g)
+	}
+}
+
+// panicPathExempt: a path that cannot return carries no obligation.
+func panicPathExempt(c *splitc.Ctx, g splitc.GlobalPtr, dst int64, ok bool) {
+	c.Get(dst, g)
+	if !ok {
+		panic("fixsplit: bad input")
+	}
+	c.Sync()
+}
+
+// blockingOpsFree: Read/Write are blocking, not split-phase; no sync
+// obligation attaches.
+func blockingOpsFree(c *splitc.Ctx, g splitc.GlobalPtr) uint64 {
+	c.Write(g, 7)
+	return c.Read(g)
+}

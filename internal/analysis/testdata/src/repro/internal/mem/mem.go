@@ -1,0 +1,15 @@
+// Package mem is a hermetic stub of repro/internal/mem for analyzer
+// golden tests: the taxonomy sentinel plus one fallible entry point.
+package mem
+
+import "errors"
+
+// ErrPoisoned mirrors the poison taxonomy sentinel.
+var ErrPoisoned = errors.New("mem: poisoned word")
+
+// Bank mirrors a memory bank with checked reads.
+type Bank struct{}
+
+// ReadChecked mirrors a fallible read whose error carries the poison
+// verdict.
+func (b *Bank) ReadChecked(addr int64) (uint64, error) { return 0, nil }

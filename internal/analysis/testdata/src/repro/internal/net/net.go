@@ -1,0 +1,8 @@
+// Package net is a hermetic stub of repro/internal/net for analyzer
+// golden tests: just the taxonomy sentinel.
+package net
+
+import "errors"
+
+// ErrPartitioned mirrors the partition taxonomy sentinel.
+var ErrPartitioned = errors.New("net: torus partitioned")

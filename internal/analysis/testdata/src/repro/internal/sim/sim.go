@@ -1,0 +1,34 @@
+// Package sim is a hermetic stub of repro/internal/sim for analyzer
+// golden tests: the same import path and the slice of the API the
+// fixtures touch, with no behavior.
+package sim
+
+import "errors"
+
+// Time mirrors the event-kernel clock type.
+type Time = int64
+
+// ErrDeadline mirrors the deadline taxonomy sentinel.
+var ErrDeadline = errors.New("sim: deadline exceeded")
+
+// Proc mirrors a simulated processor context.
+type Proc struct{}
+
+// Now returns the simulated clock.
+func (p *Proc) Now() Time { return 0 }
+
+// Compute charges n simulated cycles.
+func (p *Proc) Compute(n Time) {}
+
+// Signal mirrors the scheduler wait primitive.
+type Signal struct{}
+
+// WaitSignal parks the proc until the signal fires.
+func (p *Proc) WaitSignal(s *Signal) {}
+
+// spawn exists to prove the determinism exemption: the scheduler
+// itself owns goroutine creation, so a raw go statement inside
+// repro/internal/sim must not be flagged.
+func spawn(f func()) {
+	go f()
+}

@@ -164,8 +164,12 @@ func layout(g *graph, rt *splitc.Runtime) *regions {
 		if n := g.totalGhosts(pe); n > r.maxGhost {
 			r.maxGhost = n
 		}
+		// Destination order, not map order: the max-tracking below is
+		// order-independent today, but deterministic iteration keeps it
+		// that way if this loop ever grows layout side effects.
 		send := 0
-		for _, idxs := range g.pes[pe].sendTo {
+		for dst := 0; dst < g.nproc; dst++ {
+			idxs := g.pes[pe].sendTo[dst]
 			send += len(idxs)
 			if len(idxs) > r.maxPair {
 				r.maxPair = len(idxs)

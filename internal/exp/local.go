@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -29,7 +30,7 @@ func profileTable(title string, prof core.Profile) report.Table {
 	for s := range strides {
 		xs = append(xs, s)
 	}
-	sortInt64(xs)
+	slices.Sort(xs)
 	t := report.Table{Title: title}
 	t.Headers = append(t.Headers, "stride")
 	for _, c := range prof.Curves {
@@ -49,14 +50,6 @@ func profileTable(title string, prof core.Profile) report.Table {
 		t.Rows = append(t.Rows, row)
 	}
 	return t
-}
-
-func sortInt64(xs []int64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 func init() {

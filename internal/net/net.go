@@ -314,6 +314,7 @@ func (n *Network) send(src, dst, payloadBytes int, faultable bool, deliver func(
 	occ := n.occupancy(payloadBytes)
 	t := n.eng.Now()
 	route, err := n.RouteErr(src, dst)
+	//lint:allow errtaxonomy the only failure here is partition; it is deliberately translated into the loss (FaultDrop) and deadlock reporting paths below
 	if err != nil {
 		// No surviving path. A data packet is reported lost so the
 		// reliability layer's retries can exhaust into an explicit

@@ -38,6 +38,7 @@ func (n *Network) FailLink(node, dir int) {
 	n.dead[node][dir] = true
 	n.deadLinks++
 	n.invalidateRoutes()
+	//lint:allow determinism every flight crossing the dead link gets the same forced mark; the set of marks and the counter total are order-independent
 	for _, fl := range n.flights {
 		if fl.forced {
 			continue

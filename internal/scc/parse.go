@@ -83,7 +83,7 @@ func (p *parser) imm(tok string) (uint64, error) {
 	}
 	v, err := strconv.ParseUint(tok, 0, 64)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: bad immediate %q", p.line, tok)
+		return 0, fmt.Errorf("line %d: bad immediate %q: %w", p.line, tok, err)
 	}
 	return v, nil
 }
@@ -275,6 +275,7 @@ func RegNamed(src string, name string) (Reg, bool) {
 	pp := &parser{regs: map[string]Reg{}, b: NewBuilder()}
 	lines := strings.Split(src, "\n")
 	_, _, err := pp.block(lines, 0)
+	//lint:allow errtaxonomy boolean API deliberately collapses re-parse failure to not-found; the source already failed loudly in Parse
 	if err != nil {
 		return 0, false
 	}

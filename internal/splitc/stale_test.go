@@ -1,0 +1,55 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestGetStaleReadDeterministic pins down the dynamic half of the
+// contract the splitphase lint pass enforces statically: the
+// destination of a remote Get holds its old contents — not garbage,
+// not the new value — until Sync drains the counter, and it does so
+// identically on every run. Reading the landing zone before Sync is
+// exactly what t3dlint flags in production code; test files are
+// outside its scope, which is what lets this test commit the
+// violation on purpose and assert what a miscompiled program would
+// actually observe.
+func TestGetStaleReadDeterministic(t *testing.T) {
+	const (
+		sentinel = uint64(0xDEADBEEFCAFE)
+		remote   = uint64(42424242)
+	)
+	run := func() (before, after uint64) {
+		rt := NewRuntime(machine.New(machine.DefaultConfig(2)), DefaultConfig())
+		rt.Run(func(c *Ctx) {
+			region := c.Alloc(8) // symmetric: same offset on every PE
+			dst := c.Alloc(8)
+			if c.MyPE() == 1 {
+				c.Node.CPU.Store64(c.P, region, remote)
+			}
+			c.Barrier()
+			if c.MyPE() == 0 {
+				c.Node.CPU.Store64(c.P, dst, sentinel)
+				c.Get(dst, Global(1, region))
+				before = c.Node.CPU.Load64(c.P, dst) // in flight: must still be the sentinel
+				c.Sync()
+				after = c.Node.CPU.Load64(c.P, dst)
+			}
+			c.Barrier()
+		})
+		return
+	}
+
+	before, after := run()
+	if before != sentinel {
+		t.Errorf("read before Sync = %#x, want the stale sentinel %#x: the get landed early", before, sentinel)
+	}
+	if after != remote {
+		t.Errorf("read after Sync = %#x, want the remote value %#x", after, remote)
+	}
+	b2, a2 := run()
+	if b2 != before || a2 != after {
+		t.Errorf("stale-read behavior differs across runs: (%#x,%#x) then (%#x,%#x)", before, after, b2, a2)
+	}
+}

@@ -79,6 +79,7 @@ func (t *TLB) Lookup(addr int64) sim.Time {
 	if len(t.pages) >= t.cfg.Entries {
 		var lruPage int64
 		lru := t.useSeq + 1
+		//lint:allow determinism use-sequence values are unique per entry, so the strict minimum picks the same victim in any iteration order
 		for p, use := range t.pages {
 			if use < lru {
 				lru = use
