@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check race bench chaos fuzz cover
+.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke
 
 all: check
 
@@ -55,5 +55,16 @@ cover:
 race:
 	$(GO) test -race ./...
 
+# serve-smoke is the end-to-end crash-safety gate for cmd/t3dserve: a
+# job served over HTTP must match the batch digest, and a server
+# SIGKILLed mid-job must replay the journaled job to that same digest
+# after restart. See scripts/serve_smoke.sh.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# bench runs the root benchmark suite (sim-heap throughput in events/sec
+# plus allocs/op for the sim heap, shell hot path, and net routing) and
+# files the parsed results as the next free BENCH_<n>.json snapshot via
+# cmd/benchjson. Committed snapshots are the serving-capacity baseline.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson

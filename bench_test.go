@@ -22,6 +22,7 @@ import (
 	"repro/internal/em3d"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/net"
 	"repro/internal/scc"
 	"repro/internal/sim"
 	"repro/internal/splitc"
@@ -482,9 +483,12 @@ func BenchmarkAblationStoreVsWrite(b *testing.B) {
 }
 
 // BenchmarkHostSimulatorThroughput measures the host-side cost of the
-// simulator itself (events per wall second), the only benchmark here
-// about real time rather than simulated time.
+// simulator itself — events per wall second, the serving-capacity
+// number t3dserve's admission control is ultimately bounded by. One of
+// the few benchmarks here about real time rather than simulated time.
 func BenchmarkHostSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		m := newM()
 		m.RunOn(0, func(p *sim.Proc, n *machine.Node) {
@@ -492,6 +496,62 @@ func BenchmarkHostSimulatorThroughput(b *testing.B) {
 				n.CPU.Load64(p, (r*32)%(64<<10))
 			}
 		})
+		events += m.Eng.Events()
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// --- Host allocation profile (BENCH_*.json): allocs/op on the three
+// paths every served job hammers — the event heap, the shell's remote
+// access path, and torus route computation. A regression here is a
+// service-throughput regression before it is anything else. ---
+
+// BenchmarkAllocSimHeap churns the raw event heap: 1024 schedules and
+// pops per op, no machine attached.
+func BenchmarkAllocSimHeap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		for r := 0; r < 1024; r++ {
+			eng.At(sim.Time(r%64), func() {})
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkAllocShellHotPath drives the remote-load fast path: annexed
+// uncached loads, the inner loop of every Split-C read.
+func BenchmarkAllocShellHotPath(b *testing.B) {
+	m := newM() // built once: the metric is the access path, not setup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunOn(0, func(p *sim.Proc, n *machine.Node) {
+			n.Shell.SetAnnex(p, 1, 1, false)
+			for r := int64(0); r < 256; r++ {
+				n.CPU.Load64(p, addr.Make(1, (r*32)%(8<<10)))
+			}
+		})
+	}
+}
+
+// BenchmarkAllocNetRouting computes all-pairs torus routes on a fresh
+// network each op — the cold-cache cost paid after every topology
+// change (fault, heal, reroute).
+func BenchmarkAllocNetRouting(b *testing.B) {
+	b.ReportAllocs()
+	const nodes = 8
+	for i := 0; i < b.N; i++ {
+		nw := net.New(sim.NewEngine(), net.DefaultConfig(nodes))
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				if s != d {
+					nw.Route(s, d)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+// Command benchjson turns `go test -bench` output into the committed
+// BENCH_<n>.json artifact: one record per benchmark with ns/op, B/op,
+// allocs/op, and every custom metric (events/sec, simns/read, simMB/s,
+// ...) keyed by unit. It reads the benchmark stream on stdin and picks
+// the first free BENCH_<n>.json in the output directory, so successive
+// `make bench` runs file consecutive snapshots instead of overwriting
+// history:
+//
+//	go test -bench=. -benchmem | go run ./cmd/benchjson
+//	go test -bench=. -benchmem | go run ./cmd/benchjson -o BENCH_override.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NSPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the whole artifact.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	Package   string   `json:"package,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default: first free BENCH_<n>.json in -dir)")
+	dir := flag.String("dir", ".", "directory for auto-numbered output")
+	flag.Parse()
+
+	f := File{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the stream through so the run stays visible
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			f.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				f.Results = append(f.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(f.Results) == 0 {
+		fatalf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+
+	path := *out
+	if path == "" {
+		path = nextFree(*dir)
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(f.Results), path)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   100   12345 ns/op   67 B/op   8 allocs/op   9.1 simns/read
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix, keeping sub-benchmark slashes.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name}
+	if iters, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+		r.Iterations = iters
+	} else {
+		return Result{}, false // not a result line after all
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var val float64
+		if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			val = v
+		} else {
+			return Result{}, false // malformed value column
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NSPerOp = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}
+
+// nextFree returns dir/BENCH_<n>.json for the smallest n >= 1 with no
+// existing file.
+func nextFree(dir string) string {
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

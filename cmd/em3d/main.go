@@ -7,6 +7,8 @@
 //	em3d                              # quick scale (8 PEs)
 //	em3d -pes 32 -nodes 500 -degree 20 -iters 3   # the Figure 9 workload
 //	em3d -version Bulk -remote 0.4    # one point
+//	em3d -digest -version Bulk -seed 7   # batch digest, for comparing
+//	                                     # against a t3dserve result
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/em3d"
 	"repro/internal/exp"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -29,6 +32,8 @@ func main() {
 		version = flag.String("version", "", "run a single version (Simple, Ghost, Unroll, Get, Put, Bulk)")
 		remote  = flag.String("remote", "0,0.05,0.1,0.2,0.4", "comma-separated remote-edge fractions")
 		stats   = flag.Bool("stats", false, "print machine hardware counters after each run (with -version)")
+		seed    = flag.Int64("seed", 42, "graph generation seed")
+		digest  = flag.Bool("digest", false, "run once through the batch harness and print only the result digest (requires -version; uses the first -remote fraction)")
 	)
 	flag.Parse()
 
@@ -42,6 +47,25 @@ func main() {
 		fractions = append(fractions, f)
 	}
 
+	if *digest {
+		if *version == "" {
+			fmt.Fprintln(os.Stderr, "em3d: -digest requires -version")
+			os.Exit(1)
+		}
+		spec := serve.JobSpec{
+			App: serve.AppEM3D, PEs: *pes, Version: *version,
+			NodesPerPE: *nodes, Degree: *degree, RemoteFrac: fractions[0],
+			Iters: *iters, Seed: *seed,
+		}
+		res, err := serve.RunBatch(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "em3d: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Digest)
+		return
+	}
+
 	if *version != "" {
 		v, ok := parseVersion(*version)
 		if !ok {
@@ -50,7 +74,7 @@ func main() {
 		}
 		for _, f := range fractions {
 			m := em3d.NewMachine(*pes)
-			cfg := em3d.Config{NodesPerPE: *nodes, Degree: *degree, RemoteFrac: f, Seed: 42, Iters: *iters}
+			cfg := em3d.Config{NodesPerPE: *nodes, Degree: *degree, RemoteFrac: f, Seed: *seed, Iters: *iters}
 			res := em3d.Run(m, cfg, v, em3d.DefaultKnobs())
 			ok := "ok"
 			if !res.Validated {

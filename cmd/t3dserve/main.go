@@ -1,0 +1,88 @@
+// Command t3dserve is the multi-tenant simulation service: an HTTP/JSON
+// job API over (machine config, app, seed, fault config) backed by the
+// deterministic T3D simulator, with AIMD admission control, 429 +
+// Retry-After shedding, a crash-safe write-ahead job journal, and a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	t3dserve -addr :8080 -journal t3dserve.journal
+//
+// Submit a job and watch it:
+//
+//	curl -s localhost:8080/jobs -d '{"app":"em3d","pes":8,"seed":7}'
+//	curl -s 'localhost:8080/jobs/j00000001?watch=1'
+//
+// SIGTERM/SIGINT drains gracefully: /readyz flips to 503, in-flight
+// jobs finish within -drain-timeout, stragglers are canceled (they
+// replay from the journal on restart), and the journal is synced.
+// SIGKILL is also safe — that is the journal's job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		journal      = flag.String("journal", "t3dserve.journal", "write-ahead job journal path ('' disables crash safety)")
+		workers      = flag.Int("workers", 2, "concurrent simulation workers")
+		queue        = flag.Int("queue", 64, "hard bound on queued jobs before shedding")
+		targetWait   = flag.Duration("target-wait", 2*time.Second, "queueing-delay target driving AIMD admission")
+		cacheCap     = flag.Int("cache", 1024, "result cache capacity (entries)")
+		cycleLimit   = flag.Int64("cycle-limit", 2_000_000_000, "default per-job simulated-cycle budget")
+		wallLimit    = flag.Duration("wall-limit", 120*time.Second, "default per-job wall-clock budget")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "t3dserve: ", log.LstdFlags)
+	srv, err := serve.NewServer(serve.Config{
+		Pool: serve.PoolConfig{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			TargetWait: *targetWait,
+		},
+		JournalPath:       *journal,
+		CacheCap:          *cacheCap,
+		DefaultCycleLimit: *cycleLimit,
+		DefaultWallLimit:  *wallLimit,
+		Logf:              logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "t3dserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (journal %q, %d workers, queue %d)", *addr, *journal, *workers, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("caught %s: draining (budget %s)", sig, *drainTimeout)
+		if err := srv.Drain(*drainTimeout); err != nil {
+			logger.Printf("drain: %v", err)
+		}
+		if err := hs.Close(); err != nil {
+			logger.Printf("http close: %v", err)
+		}
+		logger.Printf("drained clean")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "t3dserve: %v\n", err)
+		os.Exit(1)
+	}
+}

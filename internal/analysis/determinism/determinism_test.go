@@ -29,3 +29,10 @@ func TestGolden(t *testing.T) {
 func TestSchedulerExempt(t *testing.T) {
 	analysistest.Run(t, fixtures(t), determinism.Analyzer, "repro/internal/sim")
 }
+
+// TestHostLayerExempt proves repro/internal/serve — the t3dserve host
+// layer — is exempt wholesale: its stub reads the wall clock and spawns
+// a goroutine and must stay silent.
+func TestHostLayerExempt(t *testing.T) {
+	analysistest.Run(t, fixtures(t), determinism.Analyzer, "repro/internal/serve")
+}

@@ -40,9 +40,10 @@ var Analyzer = &analysis.Analyzer{
 
 // sentinels are the taxonomy roots, keyed by defining package path.
 var sentinels = map[string]map[string]bool{
-	"repro/internal/sim": {"ErrDeadline": true},
-	"repro/internal/net": {"ErrPartitioned": true},
-	"repro/internal/mem": {"ErrPoisoned": true},
+	"repro/internal/sim":   {"ErrDeadline": true},
+	"repro/internal/net":   {"ErrPartitioned": true},
+	"repro/internal/mem":   {"ErrPoisoned": true},
+	"repro/internal/serve": {"ErrShed": true, "ErrJobDeadline": true},
 }
 
 // falliblePkgs are the packages whose error returns carry taxonomy
@@ -52,6 +53,7 @@ var falliblePkgs = map[string]bool{
 	"repro/internal/splitc": true,
 	"repro/internal/am":     true,
 	"repro/internal/mem":    true,
+	"repro/internal/serve":  true,
 }
 
 func run(pass *analysis.Pass) error {

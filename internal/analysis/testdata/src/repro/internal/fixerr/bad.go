@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/net"
+	"repro/internal/serve"
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/splitc"
@@ -28,6 +29,23 @@ func comparePartition(err error) bool {
 // comparePoison covers the third sentinel.
 func comparePoison(err error) bool {
 	return err == mem.ErrPoisoned // want `ErrPoisoned compared with ==`
+}
+
+// compareShed covers the service-layer sentinels: *ShedError wraps
+// ErrShed, so identity comparison is silently false.
+func compareShed(err error) bool {
+	return err == serve.ErrShed // want `ErrShed compared with ==`
+}
+
+// compareJobDeadline: same for the per-job budget sentinel.
+func compareJobDeadline(err error) bool {
+	return err != serve.ErrJobDeadline // want `ErrJobDeadline compared with !=`
+}
+
+// discardSubmit drops an admission verdict: the caller never learns the
+// job was shed.
+func discardSubmit(s *serve.Server) {
+	s.Submit(7) // want `error result of serve.Submit discarded`
 }
 
 // textMatch discriminates by message text, twice over.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/net"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/splitc"
 )
@@ -43,6 +44,22 @@ func wrapAndPanic(c *splitc.Ctx, g splitc.GlobalPtr) uint64 {
 		panic(fmt.Sprintf("fixerr: unrecoverable: %v", err))
 	}
 	return v
+}
+
+// submitWithBackoff mirrors a well-behaved t3dserve client: shed and
+// deadline verdicts are discriminated with errors.Is; everything else
+// propagates.
+func submitWithBackoff(s *serve.Server, spec int) (string, error) {
+	id, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		return id, nil
+	case errors.Is(err, serve.ErrShed):
+		return "", fmt.Errorf("fixerr: overloaded, retry later: %w", err)
+	case errors.Is(err, serve.ErrJobDeadline):
+		return "", fmt.Errorf("fixerr: budget exhausted: %w", err)
+	}
+	return "", err
 }
 
 // checkedBank: fallible calls outside the taxonomy packages' blessed

@@ -1,0 +1,30 @@
+// Package serve is a hermetic stub of repro/internal/serve for
+// analyzer golden tests: the service-layer taxonomy sentinels plus one
+// fallible entry point.
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrShed mirrors the overload-shed sentinel (HTTP 429 + Retry-After).
+var ErrShed = errors.New("serve: shed")
+
+// ErrJobDeadline mirrors the per-job budget sentinel.
+var ErrJobDeadline = errors.New("serve: job deadline")
+
+// Server mirrors the service with a fallible submit.
+type Server struct{}
+
+// Submit mirrors admission: the error may carry a shed or drain
+// verdict.
+func (s *Server) Submit(spec int) (string, error) { return "", nil }
+
+// watch mirrors host-layer idiom — wall-clock deadlines and worker
+// goroutines are this package's job. The determinism pass exempts
+// repro/internal/serve wholesale; this must stay silent.
+func watch(f func()) time.Time {
+	go f()
+	return time.Now()
+}

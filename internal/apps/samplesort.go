@@ -43,6 +43,20 @@ func sortDigest(words []uint64) uint64 {
 // the CPU model; all data actually moves through simulated memory, so
 // the validation at the end checks the complete machine state.
 func SampleSort(rt *splitc.Runtime, keys [][]uint64) SampleSortResult {
+	res, err := SampleSortChecked(rt, keys)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// SampleSortChecked is SampleSort with structured failure reporting: an
+// aborted simulation — cycle Limit, cancel poll, deadlock, a proc
+// failing with a partition or poison verdict — surfaces as an error
+// instead of a panic, so a hosting layer (the job service) can classify
+// it with errors.Is and reap the machine. On error the result carries
+// the key count only.
+func SampleSortChecked(rt *splitc.Runtime, keys [][]uint64) (SampleSortResult, error) {
 	nproc := len(rt.M.Nodes)
 	total := 0
 	var want []uint64
@@ -71,7 +85,7 @@ func SampleSort(rt *splitc.Runtime, keys [][]uint64) SampleSortResult {
 		}
 	}
 
-	rt.Run(func(c *splitc.Ctx) {
+	_, err := rt.RunErr(func(c *splitc.Ctx) {
 		me := c.MyPE()
 		n := int64(len(keys[me]))
 		co := c.AllocCollectives(int64(nproc))
@@ -158,6 +172,9 @@ func SampleSort(rt *splitc.Runtime, keys [][]uint64) SampleSortResult {
 		}
 		results[me] = outcome{start: outBase, count: int64(len(merged))}
 	})
+	if err != nil {
+		return SampleSortResult{Keys: total}, err
+	}
 
 	// Validate: concatenating the per-PE outputs in processor order must
 	// equal the sorted reference.
@@ -177,7 +194,7 @@ func SampleSort(rt *splitc.Runtime, keys [][]uint64) SampleSortResult {
 			}
 		}
 	}
-	return SampleSortResult{Cycles: elapsed, Keys: total, Validated: ok, Digest: sortDigest(got)}
+	return SampleSortResult{Cycles: elapsed, Keys: total, Validated: ok, Digest: sortDigest(got)}, nil
 }
 
 // loadWords reads n words from local memory, charging each load.

@@ -90,12 +90,39 @@ func NewMachine(nproc int) *machine.T3D {
 	return machine.New(cfg)
 }
 
+// Hooks observes a run in flight. The zero value observes nothing.
+type Hooks struct {
+	// Progress, if non-nil, is called on PE 0 after each timed
+	// iteration with the 1-based iteration index and the simulated
+	// time so far. It runs in simulation context between barriers —
+	// it must not block, and any state it exports to the host (the
+	// job service's cycle-accurate progress counters) must be safe to
+	// read from other host goroutines.
+	Progress func(iter int, now sim.Time)
+}
+
 // Run executes one EM3D experiment: builds the synthetic graph, lays it
 // out in simulated memory, runs one untimed warm-up half-step plus
 // cfg.Iters timed half-steps of the chosen version, validates the
 // computed E values against a host-side reference, and reports the
-// average time per edge.
+// average time per edge. It panics on a failed run; RunChecked is the
+// variant that reports failures as errors.
 func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
+	res, err := RunChecked(m, cfg, v, knobs, Hooks{})
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunChecked is Run with structured failure reporting and optional
+// in-flight observation: an aborted simulation — cycle Limit, cancel
+// poll, deadlock, a proc failing with a partition or poison verdict —
+// surfaces as an error instead of a panic, so a hosting layer can
+// classify it with errors.Is and reap the machine with
+// m.Eng.Shutdown(). On error the Result carries the identifying
+// fields only; no digest or validation is computed.
+func RunChecked(m *machine.T3D, cfg Config, v Version, knobs Knobs, hooks Hooks) (Result, error) {
 	nproc := len(m.Nodes)
 	g := buildGraph(nproc, cfg)
 	rtCfg := splitc.DefaultConfig()
@@ -107,7 +134,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 
 	edges := g.edgeCount()
 	var elapsed sim.Time
-	rt.Run(func(c *splitc.Ctx) {
+	_, err := rt.RunErr(func(c *splitc.Ctx) {
 		pe := c.MyPE()
 		step := func() {
 			exchange(c, g, lay, pe, v)
@@ -119,11 +146,17 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 		start := c.P.Now()
 		for it := 0; it < cfg.Iters; it++ {
 			step()
+			if pe == 0 && hooks.Progress != nil {
+				hooks.Progress(it+1, c.P.Now()-start)
+			}
 		}
 		if pe == 0 {
 			elapsed = c.P.Now() - start
 		}
 	})
+	if err != nil {
+		return Result{Version: v, Cfg: cfg, NProc: nproc, EdgesPerPE: edges}, err
+	}
 
 	res := Result{
 		Version:    v,
@@ -139,7 +172,7 @@ func Run(m *machine.T3D, cfg Config, v Version, knobs Knobs) Result {
 	perEdge := float64(elapsed) / float64(edges*int64(cfg.Iters))
 	res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3
 	res.MFlopsPE = 2 / res.USPerEdge
-	return res
+	return res, nil
 }
 
 // mem layout: every processor allocates identical (maximum) extents so

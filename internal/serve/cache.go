@@ -1,0 +1,62 @@
+package serve
+
+import "sync"
+
+// Cache is the content-addressed result store: canonical spec hash →
+// completed JobResult. Determinism makes every entry a perfect proxy
+// for re-running the job, so a hit costs zero simulation. Capacity is
+// bounded (FIFO eviction) so duplicate-heavy traffic cannot grow the
+// heap without limit; persistence is the journal's done records, which
+// repopulate the cache on recovery.
+type Cache struct {
+	mu    sync.Mutex
+	m     map[uint64]JobResult
+	order []uint64 // insertion order, for FIFO eviction
+	cap   int
+	hits  int64
+	miss  int64
+}
+
+// NewCache returns a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{m: make(map[uint64]JobResult), cap: capacity}
+}
+
+// Get returns the cached result for key, counting the hit or miss.
+func (c *Cache) Get(key uint64) (JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return r, ok
+}
+
+// Put stores a completed result, evicting the oldest entry past
+// capacity. Only successful terminal results belong here: failures
+// carry budgets and host state in their cause, which are not content.
+func (c *Cache) Put(key uint64, r JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok {
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.m[key] = r
+}
+
+// Stats reports (hits, misses, entries).
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss, len(c.m)
+}

@@ -1,0 +1,49 @@
+// Package serve turns the batch simulation harness into a long-running
+// multi-tenant job service: an HTTP/JSON API over (machine config, app,
+// seed, fault config) with the same robustness discipline the extF–extI
+// arcs built into the simulated machine, applied to the host layer.
+//
+// The pieces:
+//
+//   - spec.go / hash.go: a job is a JobSpec; its canonical FNV-1a hash
+//     is its content address. Determinism makes identical requests
+//     perfect duplicates — same spec, same digest — so the hash keys
+//     both the result cache and in-flight dedup.
+//   - pool.go: a bounded worker pool with AIMD admission control
+//     mirroring the extH send-window semantics at the service layer:
+//     the admitted-work window grows additively while jobs start
+//     promptly and halves when queueing delay blows past the target;
+//     work beyond the window or the hard queue bound is shed with a
+//     *ShedError carrying a Retry-After estimate (HTTP 429), never
+//     queued unboundedly.
+//   - journal.go: a write-ahead job journal (submitted/running/done
+//     records, fsync'd per append) makes the service crash-safe: a
+//     killed process recovers its in-flight jobs on restart and
+//     replays them — determinism guarantees the replay lands on the
+//     same digests.
+//   - cache.go: the content-addressed result cache. Journal "done"
+//     records double as its persistent form, so recovery repopulates
+//     the cache for free and duplicate traffic costs zero
+//     re-simulation.
+//   - runner.go: the seam onto the simulator. Each job runs on a fresh
+//     machine with a simulated-cycle budget (sim.Engine.Limit) and a
+//     wall-clock budget (sim cancel poll); either expiry cancels
+//     cleanly and the abandoned machine is reaped with
+//     sim.Engine.Shutdown so no proc goroutines leak.
+//   - server.go: the HTTP layer — POST /jobs, GET /jobs/{id} (with
+//     ?watch=1 streaming cycle-accurate progress), /healthz, /readyz —
+//     plus graceful drain on SIGTERM.
+//
+// Error discipline follows the repo taxonomy: transient host failures
+// (journal I/O) are retried with exponential backoff; deterministic
+// simulation verdicts (net.ErrPartitioned, mem.ErrPoisoned, deadlock)
+// are results — retrying them re-derives the same bits — and are never
+// retried; budget expiries are reported with the serve.ErrJobDeadline
+// sentinel. See Classify.
+//
+// This package is host-layer code, exempt from the determinism lint
+// pass: it runs real goroutines and reads the wall clock by design.
+// Determinism is enforced one layer down, at the job boundary — the
+// simulations it launches remain bit-exact, which is precisely what
+// makes the cache and crash recovery sound.
+package serve

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/net"
+	"repro/internal/sim"
+)
+
+// ErrShed reports that admission control refused a job: the queue is at
+// its bound or the AIMD window is closed. The request was not enqueued
+// and cost no simulation work; the client should back off for the
+// RetryAfter carried by the concrete *ShedError and resubmit — the
+// service-layer mirror of the extH bounded-queue shedding.
+var ErrShed = errors.New("serve: overloaded, job shed")
+
+// ShedError is the concrete admission refusal: how loaded the service
+// was and when to come back. It unwraps to ErrShed so callers
+// discriminate with errors.Is.
+type ShedError struct {
+	Depth      int           // jobs queued or running at refusal
+	Window     int           // current admission window (jobs)
+	RetryAfter time.Duration // backoff hint, also the HTTP Retry-After
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: overloaded, job shed (depth %d, window %d, retry after %s)",
+		e.Depth, e.Window, e.RetryAfter)
+}
+
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// ErrJobDeadline reports that a job ran out of budget — simulated
+// cycles (the engine Limit) or wall-clock time — and was canceled
+// cleanly. The partial machine state is discarded; resubmitting with a
+// larger budget may succeed, which distinguishes it from the
+// deterministic verdicts below.
+var ErrJobDeadline = errors.New("serve: job deadline exceeded")
+
+// JobDeadlineError is the concrete budget expiry. Kind is "cycles" for
+// a simulated-cycle budget and "wall" for a wall-clock one. It unwraps
+// to ErrJobDeadline.
+type JobDeadlineError struct {
+	ID     string // job ID
+	Kind   string // "cycles" or "wall"
+	Budget int64  // the armed budget (cycles, or milliseconds for wall)
+}
+
+func (e *JobDeadlineError) Error() string {
+	unit := "cycles"
+	if e.Kind == "wall" {
+		unit = "ms"
+	}
+	return fmt.Sprintf("serve: job %s deadline exceeded (%s budget %d %s)", e.ID, e.Kind, e.Budget, unit)
+}
+
+func (e *JobDeadlineError) Unwrap() error { return ErrJobDeadline }
+
+// ErrDraining reports that the server is shutting down and no longer
+// admits work. Like a shed, the job was not accepted; unlike a shed,
+// retrying against this instance will not succeed — clients should
+// fail over. Surfaced as HTTP 503.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// ErrUnknownJob reports a status query for an ID the server has no
+// record of (never submitted here, or journal-compacted away).
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// HostError marks a host-side failure — journal or cache I/O, never a
+// simulation verdict. Host failures are the only transient class in the
+// service: the simulation is deterministic, so everything it reports
+// would recur on retry, but a full disk or interrupted write may not.
+type HostError struct {
+	Op  string // what the host was doing ("journal append", ...)
+	Err error
+}
+
+func (e *HostError) Error() string { return fmt.Sprintf("serve: host %s: %v", e.Op, e.Err) }
+
+func (e *HostError) Unwrap() error { return e.Err }
+
+// Class is the retry classification of a job failure.
+type Class int
+
+const (
+	// ClassDeterministic: a simulation verdict (partition, poison,
+	// deadlock, proc failure). Deterministic replay would reproduce it
+	// bit for bit; the error IS the result. Never retried.
+	ClassDeterministic Class = iota
+	// ClassDeadline: a cycle or wall budget expired. Reported to the
+	// client; a resubmission with a larger budget is the client's call.
+	ClassDeadline
+	// ClassTransient: a host-side failure (journal I/O, shed). Safe to
+	// retry with exponential backoff; the worker retries journal
+	// appends itself, clients retry sheds.
+	ClassTransient
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassDeterministic:
+		return "deterministic"
+	case ClassDeadline:
+		return "deadline"
+	case ClassTransient:
+		return "transient"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify maps a job failure onto the retry taxonomy. The
+// discrimination is by sentinel (errors.Is / errors.As), mirroring the
+// deadline/partition/poison discipline the errtaxonomy lint pass
+// enforces inside the simulator.
+func Classify(err error) Class {
+	var host *HostError
+	switch {
+	case errors.Is(err, ErrJobDeadline), errors.Is(err, sim.ErrDeadline):
+		return ClassDeadline
+	case errors.Is(err, ErrShed), errors.Is(err, ErrDraining), errors.As(err, &host):
+		return ClassTransient
+	case errors.Is(err, net.ErrPartitioned), errors.Is(err, mem.ErrPoisoned):
+		return ClassDeterministic
+	}
+	// Deadlock, livelock, proc failures, validation: all products of a
+	// deterministic execution. Defaulting unknown errors here is the
+	// safe side — a misclassified transient is retried by a human, a
+	// misclassified deterministic error would be retried forever.
+	return ClassDeterministic
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Canonical hashing: a JobSpec's content address is FNV-1a (64-bit)
+// over a canonical binary encoding of its normalized form. The encoding
+// is explicit — a fixed field order, each field prefixed by its tag —
+// so the key is independent of JSON field order, map iteration, struct
+// layout, and host architecture, and adding a field later perturbs
+// every key only if the encoder changes (bump hashVersion when it
+// does). Budget fields are deliberately not encoded: they bound the
+// computation without changing it (see JobSpec).
+
+// hashVersion is folded into every key; bump it whenever the encoding
+// below changes so stale journals/caches cannot alias new specs.
+const hashVersion = 1
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) bytes(p []byte) {
+	v := uint64(*h)
+	for _, b := range p {
+		v ^= uint64(b)
+		v *= fnvPrime
+	}
+	*h = fnv64(v)
+}
+
+func (h *fnv64) u64(x uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(x >> (8 * i))
+	}
+	h.bytes(b[:])
+}
+
+// field hashes one tagged value: the tag (length-prefixed, so "ab"+"c"
+// never collides with "a"+"bc") then the 64-bit value.
+func (h *fnv64) field(tag string, v uint64) {
+	h.u64(uint64(len(tag)))
+	h.bytes([]byte(tag))
+	h.u64(v)
+}
+
+func (h *fnv64) str(tag, s string) {
+	h.u64(uint64(len(tag)))
+	h.bytes([]byte(tag))
+	h.u64(uint64(len(s)))
+	h.bytes([]byte(s))
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Key returns the canonical content address of the spec: identical
+// computations — identical normalized specs — get identical keys, on
+// every run, on every host. The determinism gate for the result cache.
+func Key(s JobSpec) uint64 {
+	n := s.Normalize()
+	h := fnv64(fnvOffset)
+	h.field("v", hashVersion)
+	h.str("app", n.App)
+	h.field("pes", uint64(n.PEs))
+	h.field("mem_bytes", uint64(n.MemBytes))
+	h.str("version", n.Version)
+	h.field("nodes_per_pe", uint64(n.NodesPerPE))
+	h.field("degree", uint64(n.Degree))
+	h.field("remote_frac", math.Float64bits(n.RemoteFrac))
+	h.field("iters", uint64(n.Iters))
+	h.field("keys_per_pe", uint64(n.KeysPerPE))
+	h.field("seed", uint64(n.Seed))
+	h.field("reliable", b2u(n.Reliable))
+	h.field("audit", b2u(n.Audit))
+	h.field("fault.seed", n.Fault.Seed)
+	h.field("fault.drop_rate", math.Float64bits(n.Fault.DropRate))
+	h.field("fault.corrupt_rate", math.Float64bits(n.Fault.CorruptRate))
+	h.field("fault.mem_fault_rate", math.Float64bits(n.Fault.MemFaultRate))
+	h.field("fault.mem_multi_frac", math.Float64bits(n.Fault.MemMultiFrac))
+	h.field("fault.horizon", uint64(n.Fault.Horizon))
+	return uint64(h)
+}
+
+// KeyString is Key rendered as the fixed-width hex used in journal
+// records, HTTP responses, and logs.
+func KeyString(s JobSpec) string { return fmt.Sprintf("%016x", Key(s)) }

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func specFromJSON(t *testing.T, doc string) JobSpec {
+	t.Helper()
+	var s JobSpec
+	if err := json.Unmarshal([]byte(doc), &s); err != nil {
+		t.Fatalf("unmarshal %q: %v", doc, err)
+	}
+	return s
+}
+
+// TestKeyJSONFieldOrder: the canonical hash must not depend on the
+// order fields arrive on the wire.
+func TestKeyJSONFieldOrder(t *testing.T) {
+	a := specFromJSON(t, `{"app":"em3d","pes":16,"seed":7,"degree":4,"nodes_per_pe":60,"fault":{"drop_rate":0.01,"seed":3}}`)
+	b := specFromJSON(t, `{"fault":{"seed":3,"drop_rate":0.01},"nodes_per_pe":60,"seed":7,"degree":4,"pes":16,"app":"em3d"}`)
+	if Key(a) != Key(b) {
+		t.Fatalf("JSON field order changed the key: %016x vs %016x", Key(a), Key(b))
+	}
+}
+
+// TestKeyDefaultedZeros: spelling out a default must hash identically
+// to omitting it — otherwise the cache misses on equivalent requests.
+func TestKeyDefaultedZeros(t *testing.T) {
+	cases := []struct{ terse, spelled string }{
+		{`{}`, `{"app":"em3d","pes":8,"mem_bytes":2097152,"version":"Bulk","nodes_per_pe":120,"degree":8,"iters":2,"seed":42}`},
+		{`{"app":"samplesort"}`, `{"app":"samplesort","pes":8,"keys_per_pe":48,"seed":42}`},
+		{`{"fault":{"mem_fault_rate":0.5}}`, `{"fault":{"mem_fault_rate":0.5,"horizon":5000000}}`},
+	}
+	for _, c := range cases {
+		a, b := specFromJSON(t, c.terse), specFromJSON(t, c.spelled)
+		if Key(a) != Key(b) {
+			t.Errorf("defaulted vs spelled-out diverged:\n  %s -> %016x\n  %s -> %016x",
+				c.terse, Key(a), c.spelled, Key(b))
+		}
+	}
+}
+
+// TestKeyPerFieldPerturbation: every hashed field must perturb the key,
+// and every perturbation must land on a distinct key — a field the hash
+// ignores would alias two different computations onto one cache entry.
+func TestKeyPerFieldPerturbation(t *testing.T) {
+	base := JobSpec{App: AppEM3D, PEs: 16, MemBytes: 4 << 20, Version: "Scatter",
+		NodesPerPE: 60, Degree: 4, RemoteFrac: 0.3, Iters: 3, Seed: 7,
+		Reliable: true, Audit: true,
+		Fault: FaultSpec{Seed: 3, DropRate: 0.01, CorruptRate: 0.002, MemFaultRate: 0.5, MemMultiFrac: 0.1, Horizon: 1 << 20}}
+	muts := map[string]func(*JobSpec){
+		"app":                  func(s *JobSpec) { s.App = AppSampleSort },
+		"pes":                  func(s *JobSpec) { s.PEs = 32 },
+		"mem_bytes":            func(s *JobSpec) { s.MemBytes = 8 << 20 },
+		"version":              func(s *JobSpec) { s.Version = "Bulk" },
+		"nodes_per_pe":         func(s *JobSpec) { s.NodesPerPE = 61 },
+		"degree":               func(s *JobSpec) { s.Degree = 5 },
+		"remote_frac":          func(s *JobSpec) { s.RemoteFrac = 0.4 },
+		"iters":                func(s *JobSpec) { s.Iters = 4 },
+		"seed":                 func(s *JobSpec) { s.Seed = 8 },
+		"reliable":             func(s *JobSpec) { s.Reliable = false },
+		"audit":                func(s *JobSpec) { s.Audit = false },
+		"fault.seed":           func(s *JobSpec) { s.Fault.Seed = 4 },
+		"fault.drop_rate":      func(s *JobSpec) { s.Fault.DropRate = 0.02 },
+		"fault.corrupt_rate":   func(s *JobSpec) { s.Fault.CorruptRate = 0.003 },
+		"fault.mem_fault_rate": func(s *JobSpec) { s.Fault.MemFaultRate = 0.6 },
+		"fault.mem_multi_frac": func(s *JobSpec) { s.Fault.MemMultiFrac = 0.2 },
+		"fault.horizon":        func(s *JobSpec) { s.Fault.Horizon = 1 << 21 },
+	}
+	baseKey := Key(base)
+	seen := map[uint64]string{baseKey: "base"}
+	for field, mut := range muts {
+		s := base
+		mut(&s)
+		k := Key(s)
+		if k == baseKey {
+			t.Errorf("perturbing %s did not change the key", field)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbing %s collides with %s (%016x)", field, prev, k)
+		}
+		seen[k] = field
+	}
+}
+
+// TestKeyBudgetsExcluded: budgets bound the run without changing what
+// it computes — a result under any budget is a hit for every budget.
+func TestKeyBudgetsExcluded(t *testing.T) {
+	base := JobSpec{App: AppEM3D, Seed: 7}
+	budgeted := base
+	budgeted.CycleLimit = 1_000_000
+	budgeted.WallLimitMS = 5000
+	if Key(base) != Key(budgeted) {
+		t.Fatalf("budget fields perturb the key: %016x vs %016x", Key(base), Key(budgeted))
+	}
+}
+
+// TestKeyCrossAppFieldsZeroed: em3d knobs on a samplesort spec are dead
+// fields; Normalize zeroes them so they cannot split the cache.
+func TestKeyCrossAppFieldsZeroed(t *testing.T) {
+	a := JobSpec{App: AppSampleSort, KeysPerPE: 64}
+	b := JobSpec{App: AppSampleSort, KeysPerPE: 64, NodesPerPE: 120, Degree: 8, Iters: 2, Version: "Bulk"}
+	if Key(a) != Key(b) {
+		t.Fatalf("dead em3d fields perturb a samplesort key: %016x vs %016x", Key(a), Key(b))
+	}
+}
+
+// TestKeyStability pins the encoding: these constants may only change
+// together with a hashVersion bump, or every journal and cache written
+// by an older server silently stops matching.
+func TestKeyStability(t *testing.T) {
+	golden := []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{}, "0d89159392f1acec"},
+		{JobSpec{App: AppEM3D, PEs: 16, Seed: 7}, "7d50e9a00457398f"},
+		{JobSpec{App: AppSampleSort, PEs: 4, KeysPerPE: 48}, "6fa54c227763f659"},
+		{JobSpec{App: AppEM3D, Reliable: true, Audit: true, Fault: FaultSpec{DropRate: 0.01}}, "469abe337779bbc0"},
+	}
+	for i, g := range golden {
+		if got := KeyString(g.spec); got != g.want {
+			t.Errorf("golden[%d]: key %s, want %s (encoding changed? bump hashVersion)", i, got, g.want)
+		}
+	}
+}

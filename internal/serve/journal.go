@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal record types.
+const (
+	recSubmitted = "submitted" // spec accepted and admitted
+	recRunning   = "running"   // a worker picked the job up
+	recDone      = "done"      // terminal: result or classified failure
+)
+
+// Record is one write-ahead journal entry. The journal is JSON lines,
+// fsync'd per append: after a crash, every job with a submitted record
+// and no done record is re-run (determinism lands the replay on the
+// same digest), and every done record repopulates the result cache —
+// the cache's persistent form and the recovery fast path are the same
+// bytes.
+type Record struct {
+	Type   string     `json:"type"`
+	ID     string     `json:"id"`
+	Key    string     `json:"key,omitempty"` // canonical spec hash, hex
+	Spec   *JobSpec   `json:"spec,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+	Err    string     `json:"err,omitempty"`
+	Class  string     `json:"class,omitempty"` // Classify(err) for failed jobs
+}
+
+// Journal is the append-only WAL. Appends are serialized and durable
+// (fsync) before they return: a job is only acknowledged to a client
+// after its submitted record is on disk, so an acknowledged job
+// survives SIGKILL.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if absent) the journal at path and
+// replays its existing records. A torn final line — the signature of a
+// crash mid-append — is tolerated and dropped; corruption anywhere
+// else is an error, since silently skipping acknowledged jobs would
+// break the recovery contract.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, &HostError{Op: "journal open", Err: err}
+	}
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineno := 0
+	goodOff := int64(0) // byte offset past the last parsable record
+	tornAt := -1
+	var tornErr error
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			goodOff++ // the newline
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			tornAt, tornErr = lineno, err
+			break
+		}
+		recs = append(recs, r)
+		goodOff += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, &HostError{Op: "journal scan", Err: err}
+	}
+	if tornAt >= 0 {
+		if sc.Scan() {
+			f.Close()
+			return nil, nil, &HostError{Op: "journal replay",
+				Err: fmt.Errorf("corrupt record at line %d (not the final line): %w", tornAt, tornErr)}
+		}
+		// Crash-torn tail: rewind the file to the end of the last good
+		// record so the next append starts on a clean line. Every good
+		// line before a torn one ended in the newline Append wrote, so
+		// the scanned byte count is the exact offset.
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, &HostError{Op: "journal truncate", Err: err}
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, &HostError{Op: "journal seek", Err: err}
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Append writes one record durably: marshal, write, fsync. Failures are
+// *HostError — the transient class; callers retry with backoff.
+func (j *Journal) Append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return &HostError{Op: "journal marshal", Err: err}
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return &HostError{Op: "journal append", Err: fmt.Errorf("journal %s is closed", j.path)}
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return &HostError{Op: "journal append", Err: err}
+	}
+	if err := j.f.Sync(); err != nil {
+		return &HostError{Op: "journal sync", Err: err}
+	}
+	return nil
+}
+
+// Close syncs and closes the journal. Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return &HostError{Op: "journal sync", Err: err}
+	}
+	if err := f.Close(); err != nil {
+		return &HostError{Op: "journal close", Err: err}
+	}
+	return nil
+}
+
+// appendRetry is the transient-failure discipline around journal
+// appends: exponential backoff, bounded attempts. Deterministic errors
+// never reach here — only *HostError is retriable — so the backoff
+// cannot loop on an error that would recur by construction.
+func appendRetry(j *Journal, r Record, attempts int, sleep func(time.Duration)) error {
+	backoff := 5 * time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = j.Append(r)
+		if err == nil || Classify(err) != ClassTransient {
+			return err
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+	return err
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	return j, recs
+}
+
+// TestJournalRoundTrip: appended records replay in order on reopen.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, recs := openTestJournal(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := JobSpec{App: AppEM3D, Seed: 7}
+	res := JobResult{App: AppEM3D, Digest: "00deadbeef00cafe", Cycles: 123, Validated: true}
+	want := []Record{
+		{Type: recSubmitted, ID: "j00000001", Key: KeyString(spec), Spec: &spec},
+		{Type: recRunning, ID: "j00000001"},
+		{Type: recDone, ID: "j00000001", Key: KeyString(spec), Spec: &spec, Result: &res},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, got := openTestJournal(t, path)
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].ID != want[i].ID || got[i].Key != want[i].Key {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[2].Result == nil || got[2].Result.Digest != res.Digest {
+		t.Errorf("done record lost the result: %+v", got[2].Result)
+	}
+}
+
+// TestJournalTornTail: a partial final line — the signature of a crash
+// mid-append — is dropped and truncated away; the journal then appends
+// cleanly from the last good record.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, _ := openTestJournal(t, path)
+	spec := JobSpec{App: AppEM3D, Seed: 7}
+	for _, id := range []string{"j00000001", "j00000002"} {
+		if err := j.Append(Record{Type: recSubmitted, ID: id, Spec: &spec}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate the crash: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"done","id":"j0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs := openTestJournal(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records past a torn tail, want 2", len(recs))
+	}
+	if err := j2.Append(Record{Type: recDone, ID: "j00000001", Spec: &spec}); err != nil {
+		t.Fatalf("Append after torn-tail recovery: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j3, recs := openTestJournal(t, path)
+	defer j3.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after healing, want 3", len(recs))
+	}
+	if recs[2].Type != recDone || recs[2].ID != "j00000001" {
+		t.Errorf("healed tail record wrong: %+v", recs[2])
+	}
+}
+
+// TestJournalMidFileCorruption: a corrupt record that is NOT the final
+// line cannot be a torn append — refusing to open beats silently
+// dropping acknowledged jobs.
+func TestJournalMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	content := `{"type":"submitted","id":"j00000001"}` + "\n" +
+		`GARBAGE NOT JSON` + "\n" +
+		`{"type":"done","id":"j00000001"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenJournal(path)
+	if err == nil {
+		t.Fatal("OpenJournal accepted mid-file corruption")
+	}
+	var host *HostError
+	if !errors.As(err, &host) {
+		t.Fatalf("corruption error is %T, want *HostError", err)
+	}
+}
+
+// TestJournalClosedAppend: appends after Close fail transient — the
+// caller's retry loop handles it, not a crash.
+func TestJournalClosedAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, _ := openTestJournal(t, path)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	err := j.Append(Record{Type: recSubmitted, ID: "j00000001"})
+	if err == nil {
+		t.Fatal("Append on closed journal succeeded")
+	}
+	if got := Classify(err); got != ClassTransient {
+		t.Errorf("closed-journal append classified %v, want transient", got)
+	}
+}
+
+// TestAppendRetryBackoff: transient failures retry with exponential
+// backoff and give up after the attempt budget.
+func TestAppendRetryBackoff(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, _ := openTestJournal(t, path)
+	j.Close() // every Append now fails transient
+
+	var sleeps []time.Duration
+	err := appendRetry(j, Record{Type: recSubmitted, ID: "j00000001"}, 3,
+		func(d time.Duration) { sleeps = append(sleeps, d) })
+	if err == nil {
+		t.Fatal("appendRetry succeeded against a closed journal")
+	}
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(sleeps), sleeps, len(want))
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("backoff %d: %v, want %v", i, sleeps[i], want[i])
+		}
+	}
+}

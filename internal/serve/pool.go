@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is the lifecycle of a job inside the service.
+type JobState int32
+
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Job is one admitted simulation request and its live status. Status
+// handlers read state/progress concurrently with the worker, hence the
+// atomics; Result/Err are written exactly once, before done closes.
+type Job struct {
+	ID   string
+	Key  uint64
+	Spec JobSpec
+
+	Progress Progress
+	state    atomic.Int32
+
+	// Terminal outcome: valid after done is closed.
+	Result JobResult
+	Err    string
+	Class  string
+	terr   error // the structured terminal error behind Err
+	done   chan struct{}
+
+	enqueuedAt   time.Time
+	wallDeadline time.Time   // zero = no wall budget
+	aborted      atomic.Bool // drain/cancel request, polled by the run
+	recovered    bool        // journal-replayed job: bypasses admission
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return JobState(j.state.Load()) }
+
+// Done exposes the completion channel (closed at terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// TerminalError returns the structured failure (nil if the job
+// succeeded or is not yet terminal). Callers discriminate with
+// errors.Is against ErrJobDeadline and the simulation sentinels.
+func (j *Job) TerminalError() error {
+	select {
+	case <-j.done:
+		return j.terr
+	default:
+		return nil
+	}
+}
+
+// PoolConfig tunes the worker pool and its admission control.
+type PoolConfig struct {
+	Workers    int           // concurrent simulations (default 2)
+	QueueDepth int           // hard bound on waiting jobs (default 64)
+	TargetWait time.Duration // queueing-delay target driving AIMD (default 2s)
+	RetryMin   time.Duration // floor for the shed Retry-After hint (default 1s)
+
+	// now is the injectable clock (tests drive admission decisions
+	// deterministically); nil means time.Now.
+	now func() time.Time
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TargetWait <= 0 {
+		c.TargetWait = 2 * time.Second
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Pool is the bounded worker pool with AIMD admission control — the
+// extH send-window discipline transplanted to the service layer. The
+// admission window bounds jobs in the system (queued + running): it
+// grows additively while dequeued jobs started within the TargetWait
+// budget and halves when queueing delay blows past it, floored at the
+// worker count and capped at Workers+QueueDepth. Work past the window
+// or the hard queue bound is refused with a *ShedError whose
+// Retry-After estimates when capacity frees up — clients back off
+// exponentially instead of the queue growing without bound.
+type Pool struct {
+	cfg PoolConfig
+	run func(*Job)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Job
+	running   int
+	window    float64
+	ewmaMS    float64 // EWMA of per-job service wall time
+	draining  bool
+	closed    bool
+	wg        sync.WaitGroup
+	sheds     int64
+	completed int64
+}
+
+// NewPool starts cfg.Workers workers that execute run for each admitted
+// job. run must mark the job terminal (the server's worker does).
+func NewPool(cfg PoolConfig, run func(*Job)) *Pool {
+	p := &Pool{cfg: cfg.withDefaults(), run: run}
+	p.cond = sync.NewCond(&p.mu)
+	p.window = float64(p.cfg.Workers)
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit admits or sheds a job. A shed returns *ShedError (429); a
+// draining pool returns ErrDraining (503). Admitted jobs are queued
+// FIFO and eventually run.
+func (p *Pool) Submit(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining || p.closed {
+		return ErrDraining
+	}
+	inSystem := len(p.queue) + p.running
+	limit := int(p.window)
+	if max := p.cfg.Workers + p.cfg.QueueDepth; limit > max {
+		limit = max
+	}
+	if !j.recovered && (inSystem >= limit || len(p.queue) >= p.cfg.QueueDepth) {
+		p.sheds++
+		return &ShedError{Depth: inSystem, Window: limit, RetryAfter: p.retryAfterLocked()}
+	}
+	j.enqueuedAt = p.cfg.now()
+	p.queue = append(p.queue, j)
+	p.cond.Signal()
+	return nil
+}
+
+// retryAfterLocked estimates when a shed client should come back: the
+// backlog drained at the observed service rate, floored at RetryMin.
+func (p *Pool) retryAfterLocked() time.Duration {
+	perJob := time.Duration(p.ewmaMS) * time.Millisecond
+	if perJob <= 0 {
+		perJob = p.cfg.RetryMin
+	}
+	est := time.Duration(len(p.queue)+1) * perJob / time.Duration(p.cfg.Workers)
+	if est < p.cfg.RetryMin {
+		est = p.cfg.RetryMin
+	}
+	return est
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.running++
+		// AIMD update on the observed queueing delay of this dequeue.
+		wait := p.cfg.now().Sub(j.enqueuedAt)
+		if wait > p.cfg.TargetWait {
+			p.window /= 2
+			if floor := float64(p.cfg.Workers); p.window < floor {
+				p.window = floor
+			}
+		} else {
+			p.window += 1 / p.window
+			if max := float64(p.cfg.Workers + p.cfg.QueueDepth); p.window > max {
+				p.window = max
+			}
+		}
+		p.mu.Unlock()
+
+		start := p.cfg.now()
+		p.run(j)
+
+		p.mu.Lock()
+		p.running--
+		p.completed++
+		ms := float64(p.cfg.now().Sub(start)) / float64(time.Millisecond)
+		if p.ewmaMS == 0 {
+			p.ewmaMS = ms
+		} else {
+			p.ewmaMS = 0.8*p.ewmaMS + 0.2*ms
+		}
+		p.cond.Broadcast() // wake drain waiters and idle workers
+		p.mu.Unlock()
+	}
+}
+
+// Enqueue bypasses admission for journal-recovered jobs: acknowledged
+// work is re-run even if the instant load would shed a fresh request.
+func (p *Pool) Enqueue(j *Job) {
+	j.recovered = true
+	p.mu.Lock()
+	j.enqueuedAt = p.cfg.now()
+	p.queue = append(p.queue, j)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Depth reports (queued, running).
+func (p *Pool) Depth() (queued, running int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.running
+}
+
+// Stats reports (sheds, completed, admission window).
+func (p *Pool) Stats() (sheds, completed int64, window int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sheds, p.completed, int(p.window)
+}
+
+// SetDraining stops admission (Submit returns ErrDraining) without
+// touching queued or running work.
+func (p *Pool) SetDraining() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// Idle reports whether no work is queued or running.
+func (p *Pool) Idle() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) == 0 && p.running == 0
+}
+
+// Stop shuts the workers down after the queue drains. Callers wanting a
+// bounded stop abort running jobs first (Job.aborted) and SetDraining
+// so nothing new arrives.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

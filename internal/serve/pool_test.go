@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable pool clock: tests advance it explicitly,
+// so AIMD decisions are driven, not raced.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolShedsAtWindow: the AIMD window starts at the worker count, so
+// with one busy worker the next submit sheds with a structured
+// *ShedError carrying a Retry-After at least the configured floor.
+func TestPoolShedsAtWindow(t *testing.T) {
+	clock := newFakeClock()
+	gate := make(chan struct{})
+	var started atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 4, RetryMin: 250 * time.Millisecond, now: clock.now},
+		func(j *Job) { started.Add(1); <-gate; close(j.done) })
+	defer func() { close(gate); p.Stop() }()
+
+	if err := p.Submit(&Job{ID: "a", done: make(chan struct{})}); err != nil {
+		t.Fatalf("first submit refused: %v", err)
+	}
+	waitFor(t, "worker pickup", func() bool { return started.Load() == 1 })
+
+	// The window opens a little on each prompt dequeue, but the system
+	// is bounded: Workers+QueueDepth jobs at the absolute most.
+	var err error
+	for i := 0; i < 1+4+1 && err == nil; i++ {
+		err = p.Submit(&Job{done: make(chan struct{})})
+	}
+	if err == nil {
+		t.Fatal("no shed after filling past Workers+QueueDepth")
+	}
+	if q, _ := p.Depth(); q > 4 {
+		t.Fatalf("queue depth %d exceeds the hard bound 4", q)
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("shed error is %v, want ErrShed", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed error is %T, want *ShedError", err)
+	}
+	if shed.RetryAfter < 250*time.Millisecond {
+		t.Errorf("Retry-After %v below the configured floor", shed.RetryAfter)
+	}
+	if sheds, _, _ := p.Stats(); sheds < 1 {
+		t.Errorf("shed counter %d, want >= 1", sheds)
+	}
+}
+
+// TestPoolAIMD: prompt dequeues grow the window additively; a dequeue
+// that waited past TargetWait halves it — extH's send-window discipline
+// at the service layer.
+func TestPoolAIMD(t *testing.T) {
+	clock := newFakeClock()
+	gate := make(chan struct{}, 64)
+	var started atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 8, TargetWait: time.Second, now: clock.now},
+		func(j *Job) { started.Add(1); <-gate; close(j.done) })
+	defer p.Stop()
+
+	// Growth: jobs dequeued with zero simulated wait.
+	for i := 0; i < 6; i++ {
+		j := &Job{done: make(chan struct{})}
+		if err := p.Submit(j); err != nil {
+			t.Fatalf("submit %d refused: %v", i, err)
+		}
+		gate <- struct{}{}
+		<-j.Done()
+	}
+	waitFor(t, "queue to drain", p.Idle)
+	_, _, grown := p.Stats()
+	if grown < 2 {
+		t.Fatalf("window %d after 6 prompt dequeues, want >= 2", grown)
+	}
+
+	// Halving: park a job in the queue while the worker is busy, then
+	// let simulated time blow past TargetWait before it is dequeued.
+	busy := &Job{done: make(chan struct{})}
+	if err := p.Submit(busy); err != nil {
+		t.Fatalf("busy submit refused: %v", err)
+	}
+	waitFor(t, "busy pickup", func() bool { return started.Load() == 7 })
+	late := &Job{done: make(chan struct{})}
+	if err := p.Submit(late); err != nil {
+		t.Fatalf("late submit refused: %v", err)
+	}
+	clock.advance(3 * time.Second) // late has now waited 3s > 1s target
+	gate <- struct{}{}             // finish busy; worker dequeues late
+	waitFor(t, "late pickup", func() bool { return started.Load() == 8 })
+	_, _, halved := p.Stats()
+	if halved >= grown {
+		t.Errorf("window %d after a late dequeue, want < %d", halved, grown)
+	}
+	if halved < 1 {
+		t.Errorf("window %d fell below the worker-count floor", halved)
+	}
+	gate <- struct{}{}
+	<-late.Done()
+}
+
+// TestPoolDraining: a draining pool refuses fresh work with ErrDraining
+// (the 503 path) but keeps running what it has.
+func TestPoolDraining(t *testing.T) {
+	clock := newFakeClock()
+	p := NewPool(PoolConfig{Workers: 1, now: clock.now}, func(j *Job) { close(j.done) })
+	defer p.Stop()
+	p.SetDraining()
+	err := p.Submit(&Job{done: make(chan struct{})})
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit to draining pool: %v, want ErrDraining", err)
+	}
+}
+
+// TestPoolRecoveredBypass: journal-recovered jobs were already
+// acknowledged; they enqueue even when a fresh submit would shed.
+func TestPoolRecoveredBypass(t *testing.T) {
+	clock := newFakeClock()
+	gate := make(chan struct{})
+	var started atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 2, now: clock.now},
+		func(j *Job) { started.Add(1); <-gate; close(j.done) })
+	defer func() { close(gate); p.Stop() }()
+
+	if err := p.Submit(&Job{done: make(chan struct{})}); err != nil {
+		t.Fatalf("first submit refused: %v", err)
+	}
+	waitFor(t, "worker pickup", func() bool { return started.Load() == 1 })
+	var err error
+	for i := 0; i < 1+2+1 && err == nil; i++ {
+		err = p.Submit(&Job{done: make(chan struct{})})
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("fresh submit past the bound: %v, want ErrShed", err)
+	}
+	qBefore, _ := p.Depth()
+	rec := &Job{done: make(chan struct{})}
+	p.Enqueue(rec)
+	if q, _ := p.Depth(); q != qBefore+1 {
+		t.Fatalf("recovered job not queued: depth %d, want %d", q, qBefore+1)
+	}
+}

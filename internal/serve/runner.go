@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/em3d"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// cancelPollEvents is how many simulation events run between host
+// cancel polls: frequent enough that a wall deadline lands within
+// milliseconds, rare enough that the poll never shows on a profile.
+const cancelPollEvents = 4096
+
+// Progress is the cycle-accurate partial state of a running job,
+// exported by the simulation's progress hook and read concurrently by
+// status handlers — hence the atomics.
+type Progress struct {
+	Iters      atomic.Int64 // timed iterations completed
+	TotalIters atomic.Int64 // iterations the job will run (0 if unknown)
+	Cycles     atomic.Int64 // simulated cycles elapsed in the timed phase
+}
+
+// Snapshot is one consistent-enough read of a job's progress.
+type Snapshot struct {
+	Iters      int64 `json:"iters"`
+	TotalIters int64 `json:"total_iters,omitempty"`
+	Cycles     int64 `json:"cycles"`
+}
+
+// Read returns the current snapshot.
+func (p *Progress) Read() Snapshot {
+	return Snapshot{Iters: p.Iters.Load(), TotalIters: p.TotalIters.Load(), Cycles: p.Cycles.Load()}
+}
+
+// RunBatch executes one spec synchronously with no budgets, no
+// cancelation, and no server: the batch harness entry point. Its result
+// is bit-identical to what the service computes and caches for the same
+// spec — the comparator the serve-smoke gate is built on.
+func RunBatch(spec JobSpec) (JobResult, error) {
+	if err := spec.Validate(); err != nil {
+		return JobResult{}, err
+	}
+	return runSpec(spec, 0, nil, nil)
+}
+
+// runSpec executes one spec on a fresh machine. cycleLimit bounds the
+// simulated cycles (0 = unbounded); cancel, polled from inside the
+// event loop, aborts the run with its error (wall deadlines, drain).
+// The machine is always reaped with Engine.Shutdown before return, so
+// an aborted run leaks no proc goroutines. Every error path reports a
+// structured error classified by Classify; the bit-exact Result of a
+// completed run is independent of budgets, cancelation timing, and
+// host scheduling — the property the cache is built on.
+func runSpec(spec JobSpec, cycleLimit int64, cancel func() error, prog *Progress) (JobResult, error) {
+	n := spec.Normalize()
+	mcfg := machine.DefaultConfig(n.PEs)
+	mcfg.MemBytes = n.MemBytes
+	m, err := machine.NewChecked(mcfg)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("serve: machine config: %w", err)
+	}
+	defer m.Eng.Shutdown()
+	if cycleLimit > 0 {
+		m.Eng.Limit = cycleLimit
+	}
+	if cancel != nil {
+		m.Eng.SetCancelPoll(cancelPollEvents, cancel)
+	}
+	if n.Fault.enabled() {
+		fault.NewInjector(fault.NewSchedule(n.Fault.config(), n.PEs)).Attach(m)
+	}
+
+	switch n.App {
+	case AppEM3D:
+		v, ok := parseVersion(n.Version)
+		if !ok {
+			return JobResult{}, fmt.Errorf("serve: version: unknown em3d version %q", n.Version)
+		}
+		cfg := em3d.Config{
+			NodesPerPE: n.NodesPerPE, Degree: n.Degree, RemoteFrac: n.RemoteFrac,
+			Seed: n.Seed, Iters: n.Iters, Reliable: n.Reliable, Audit: n.Audit,
+		}
+		var hooks em3d.Hooks
+		if prog != nil {
+			prog.TotalIters.Store(int64(n.Iters))
+			hooks.Progress = func(iter int, now sim.Time) {
+				prog.Iters.Store(int64(iter))
+				prog.Cycles.Store(now)
+			}
+		}
+		res, err := em3d.RunChecked(m, cfg, v, em3d.DefaultKnobs(), hooks)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{
+			App: AppEM3D, Digest: fmt.Sprintf("%016x", res.Digest),
+			Cycles: res.Cycles, Validated: res.Validated, USPerEdge: res.USPerEdge,
+			Rewrites: res.Rewrites, Audits: res.Audits,
+		}, nil
+
+	case AppSampleSort:
+		rtCfg := splitc.DefaultConfig()
+		rtCfg.Reliable = n.Reliable
+		rtCfg.Audit = n.Audit
+		rt := splitc.NewRuntime(m, rtCfg)
+		res, err := apps.SampleSortChecked(rt, sortKeys(n.PEs, n.KeysPerPE, n.Seed))
+		if err != nil {
+			return JobResult{}, err
+		}
+		if prog != nil {
+			prog.Cycles.Store(res.Cycles)
+		}
+		return JobResult{
+			App: AppSampleSort, Digest: fmt.Sprintf("%016x", res.Digest),
+			Cycles: res.Cycles, Validated: res.Validated,
+			Rewrites: rt.Rewrites, Audits: rt.Audits,
+		}, nil
+	}
+	return JobResult{}, fmt.Errorf("serve: app: unknown app %q", n.App)
+}
+
+// sortKeys derives the deterministic samplesort input: an explicitly
+// seeded source, so the same (seed, pes, keys_per_pe) always sorts the
+// same data.
+func sortKeys(pes, perPE int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]uint64, pes)
+	for pe := range keys {
+		keys[pe] = make([]uint64, perPE)
+		for i := range keys[pe] {
+			keys[pe][i] = rng.Uint64()
+		}
+	}
+	return keys
+}

@@ -1,0 +1,572 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config tunes a Server.
+type Config struct {
+	Pool PoolConfig
+	// JournalPath is the write-ahead journal file. Empty disables
+	// crash-safety (in-memory service, useful for tests and one-offs).
+	JournalPath string
+	// CacheCap bounds the result cache (default 1024 entries).
+	CacheCap int
+	// DefaultCycleLimit is the per-job simulated-cycle budget when the
+	// spec carries none (default 2e9 cycles ≈ 13 simulated seconds).
+	DefaultCycleLimit int64
+	// DefaultWallLimit is the per-job wall-clock budget when the spec
+	// carries none (default 120s).
+	DefaultWallLimit time.Duration
+	// Logf, if non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheCap <= 0 {
+		c.CacheCap = 1024
+	}
+	if c.DefaultCycleLimit <= 0 {
+		c.DefaultCycleLimit = 2_000_000_000
+	}
+	if c.DefaultWallLimit <= 0 {
+		c.DefaultWallLimit = 120 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the multi-tenant simulation service: admission-controlled
+// job execution over the deterministic simulator, with a write-ahead
+// journal for crash recovery and a content-addressed result cache.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	journal *Journal // nil when journaling is disabled
+
+	mu    sync.Mutex
+	jobs  map[string]*Job   // by ID, terminal jobs included
+	byKey map[uint64]*Job   // non-terminal jobs, for in-flight dedup
+	seq   int               // next job number
+	drain bool              // readyz gate
+	stats struct{ submits, dedups, recovered int64 }
+
+	journalOK bool
+}
+
+// NewServer opens (and replays) the journal and starts the worker
+// pool. Journal recovery order: done records repopulate the cache
+// first — the recovery fast path — then every acknowledged job without
+// a done record is re-enqueued, bypassing admission; determinism
+// replays it to the same digest the lost process would have produced.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheCap),
+		jobs:      make(map[string]*Job),
+		byKey:     make(map[uint64]*Job),
+		seq:       1,
+		journalOK: true,
+	}
+
+	var recovered []*Job
+	if cfg.JournalPath != "" {
+		j, recs, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		done := make(map[string]bool)
+		pending := make(map[string]*Record)
+		order := []string{}
+		for i := range recs {
+			r := &recs[i]
+			switch r.Type {
+			case recSubmitted:
+				if r.Spec != nil {
+					pending[r.ID] = r
+					order = append(order, r.ID)
+				}
+			case recDone:
+				done[r.ID] = true
+				delete(pending, r.ID)
+				if r.Result != nil && r.Spec != nil {
+					s.cache.Put(Key(*r.Spec), *r.Result)
+				}
+			}
+			if n := seqOf(r.ID); n >= s.seq {
+				s.seq = n + 1
+			}
+		}
+		// Done records may omit the spec; recover cache entries from the
+		// submitted record's spec instead.
+		for _, id := range order {
+			r, ok := pending[id]
+			if !ok || done[id] {
+				continue
+			}
+			job := &Job{ID: r.ID, Key: Key(*r.Spec), Spec: *r.Spec, done: make(chan struct{})}
+			if _, dup := s.byKey[job.Key]; dup {
+				// Same content already recovering: finishing the first
+				// run completes both logically; drop the duplicate.
+				continue
+			}
+			s.jobs[job.ID] = job
+			s.byKey[job.Key] = job
+			recovered = append(recovered, job)
+		}
+	}
+
+	s.pool = NewPool(cfg.Pool, s.execute)
+	for _, j := range recovered {
+		s.stats.recovered++
+		s.pool.Enqueue(j)
+		cfg.Logf("serve: recovered job %s (key %016x) from journal", j.ID, j.Key)
+	}
+	return s, nil
+}
+
+func seqOf(id string) int {
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil {
+		return n
+	}
+	return 0 // foreign ID shape; never minted by this server
+}
+
+// Submit validates, dedups, admits, and journals one spec. The
+// returned job may already be terminal (cache hit). *ShedError,
+// ErrDraining, and validation errors map to HTTP 429/503/400.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key := Key(spec)
+
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.stats.submits++
+	// In-flight dedup: identical content already queued or running —
+	// attach the caller to that job instead of simulating twice.
+	if live, ok := s.byKey[key]; ok {
+		s.stats.dedups++
+		s.mu.Unlock()
+		return live, nil
+	}
+	// Cache hit: done before it started.
+	if res, ok := s.cache.Get(key); ok {
+		job := s.newJobLocked(key, spec)
+		res.Cached = true
+		job.Result = res
+		job.state.Store(int32(StateDone))
+		close(job.done)
+		delete(s.byKey, key)
+		s.mu.Unlock()
+		return job, nil
+	}
+	job := s.newJobLocked(key, spec)
+	s.mu.Unlock()
+
+	if err := s.pool.Submit(job); err != nil {
+		s.forget(job)
+		return nil, err
+	}
+	// WAL: the job is acknowledged only after its submitted record is
+	// durable. A crash before this append loses a job no client was
+	// ever promised.
+	if err := s.journalSubmitted(job); err != nil {
+		job.aborted.Store(true)
+		s.forget(job)
+		return nil, err
+	}
+	return job, nil
+}
+
+// newJobLocked allocates and registers a job (s.mu held).
+func (s *Server) newJobLocked(key uint64, spec JobSpec) *Job {
+	job := &Job{ID: fmt.Sprintf("j%08d", s.seq), Key: key, Spec: spec, done: make(chan struct{})}
+	s.seq++
+	s.jobs[job.ID] = job
+	s.byKey[key] = job
+	return job
+}
+
+// forget unregisters a job that never ran (shed, journal failure).
+func (s *Server) forget(job *Job) {
+	s.mu.Lock()
+	delete(s.jobs, job.ID)
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) journalSubmitted(job *Job) error {
+	if s.journal == nil {
+		return nil
+	}
+	spec := job.Spec
+	if err := appendRetry(s.journal, Record{
+		Type: recSubmitted, ID: job.ID, Key: fmt.Sprintf("%016x", job.Key), Spec: &spec,
+	}, 5, time.Sleep); err != nil {
+		s.mu.Lock()
+		s.journalOK = false
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// execute runs one job on a worker. Terminal handling implements the
+// retry taxonomy: results and deterministic/deadline failures get a
+// durable done record (never re-run); a drain abort writes nothing, so
+// the restarted server replays the job.
+func (s *Server) execute(j *Job) {
+	if j.aborted.Load() {
+		s.finish(j, JobResult{}, ErrDraining)
+		return
+	}
+	j.state.Store(int32(StateRunning))
+	j.wallDeadline = time.Now().Add(s.wallLimit(j))
+	if s.journal != nil {
+		// Informational; recovery keys off submitted/done only.
+		if err := s.journal.Append(Record{Type: recRunning, ID: j.ID}); err != nil {
+			s.cfg.Logf("serve: journal running record: %v", err)
+		}
+	}
+
+	cancel := func() error {
+		if j.aborted.Load() {
+			return ErrDraining
+		}
+		if time.Now().After(j.wallDeadline) {
+			return &JobDeadlineError{ID: j.ID, Kind: "wall", Budget: int64(s.wallLimit(j) / time.Millisecond)}
+		}
+		return nil
+	}
+	res, err := runSpec(j.Spec, s.cycleLimit(j), cancel, &j.Progress)
+	// The engine reports an expired cycle budget as *sim.LimitError;
+	// lift it into the service deadline taxonomy so clients see one
+	// sentinel for both budget kinds.
+	var lim *sim.LimitError
+	if errors.As(err, &lim) {
+		err = &JobDeadlineError{ID: j.ID, Kind: "cycles", Budget: lim.Limit}
+	}
+	if err == nil {
+		s.cache.Put(j.Key, res)
+	}
+	s.finish(j, res, err)
+}
+
+func (s *Server) cycleLimit(j *Job) int64 {
+	if j.Spec.CycleLimit > 0 {
+		return j.Spec.CycleLimit
+	}
+	return s.cfg.DefaultCycleLimit
+}
+
+func (s *Server) wallLimit(j *Job) time.Duration {
+	if j.Spec.WallLimitMS > 0 {
+		return time.Duration(j.Spec.WallLimitMS) * time.Millisecond
+	}
+	return s.cfg.DefaultWallLimit
+}
+
+// finish marks a job terminal, journals the outcome, and releases its
+// dedup slot.
+func (s *Server) finish(j *Job, res JobResult, err error) {
+	var rec *Record
+	if err == nil {
+		j.Result = res
+		j.state.Store(int32(StateDone))
+		spec := j.Spec
+		rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key), Spec: &spec, Result: &res}
+	} else {
+		class := Classify(err)
+		j.Err = err.Error()
+		j.Class = class.String()
+		j.terr = err
+		j.state.Store(int32(StateFailed))
+		if !errors.Is(err, ErrDraining) {
+			// Deterministic and deadline failures are terminal results:
+			// journal them so a restart reports instead of re-running.
+			// A drain abort is the one failure that must NOT be
+			// journaled — the job replays after restart.
+			spec := j.Spec
+			rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key), Spec: &spec,
+				Err: j.Err, Class: j.Class}
+		}
+		s.cfg.Logf("serve: job %s failed (%s): %v", j.ID, j.Class, err)
+	}
+	if rec != nil && s.journal != nil {
+		if jerr := appendRetry(s.journal, *rec, 5, time.Sleep); jerr != nil {
+			s.cfg.Logf("serve: journal done record for %s: %v (job will replay on restart)", j.ID, jerr)
+			s.mu.Lock()
+			s.journalOK = false
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	if s.byKey[j.Key] == j {
+		delete(s.byKey, j.Key)
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Job returns the job with the given ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Drain gracefully shuts the service down: stop admitting (readyz goes
+// 503, submits get ErrDraining), let in-flight work finish within
+// timeout, then abort stragglers — unfinished journaled jobs replay on
+// the next start — and close the journal. Idempotent-ish: a second
+// call waits again but everything is already stopped.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.drain = true
+	s.mu.Unlock()
+	s.pool.SetDraining()
+
+	deadline := time.Now().Add(timeout)
+	for !s.pool.Idle() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !s.pool.Idle() {
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			st := j.State()
+			if st == StateQueued || st == StateRunning {
+				j.aborted.Store(true)
+			}
+		}
+		s.mu.Unlock()
+	}
+	s.pool.Stop()
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// Kill is the crash path (tests and emergencies): abort everything and
+// abandon the journal without the drain protocol, as a SIGKILL would.
+// Running jobs are canceled so their worker goroutines exit; nothing
+// terminal is journaled, so a restart replays them.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.drain = true
+	for _, j := range s.jobs {
+		j.aborted.Store(true)
+	}
+	s.mu.Unlock()
+	s.pool.SetDraining()
+	s.pool.Stop()
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.cfg.Logf("serve: journal close on kill: %v", err)
+		}
+	}
+}
+
+// --- HTTP layer ---
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID       string     `json:"id"`
+	Key      string     `json:"key"`
+	State    string     `json:"state"`
+	Progress Snapshot   `json:"progress"`
+	Result   *JobResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Class    string     `json:"class,omitempty"`
+}
+
+func statusOf(j *Job) jobStatus {
+	st := jobStatus{
+		ID: j.ID, Key: fmt.Sprintf("%016x", j.Key),
+		State: j.State().String(), Progress: j.Progress.Read(),
+	}
+	switch j.State() {
+	case StateDone:
+		r := j.Result
+		st.Result = &r
+	case StateFailed:
+		st.Error, st.Class = j.Err, j.Class
+	}
+	return st
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The client went away mid-response; nothing to recover.
+		_ = err
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad spec: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrShed):
+		var shed *ShedError
+		retry := time.Second
+		if errors.As(err, &shed) {
+			retry = shed.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.999)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	default:
+		code := http.StatusBadRequest
+		var host *HostError
+		if errors.As(err, &host) {
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if j := job.State(); j == StateDone || j == StateFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, statusOf(job))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, statusOf(job))
+		return
+	}
+	// Watch mode: stream NDJSON status snapshots — cycle-accurate
+	// partial progress — until the job is terminal.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	var last jobStatus
+	for {
+		st := statusOf(job)
+		if st != last {
+			if enc.Encode(st) != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last = st
+		}
+		if job.State() == StateDone || job.State() == StateFailed {
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready := !s.drain && s.journalOK
+	s.mu.Unlock()
+	if !ready {
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// Statusz is the operational counter snapshot.
+type Statusz struct {
+	Queued      int   `json:"queued"`
+	Running     int   `json:"running"`
+	Window      int   `json:"window"`
+	Sheds       int64 `json:"sheds"`
+	Completed   int64 `json:"completed"`
+	Submits     int64 `json:"submits"`
+	Dedups      int64 `json:"dedups"`
+	Recovered   int64 `json:"recovered"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+	Draining    bool  `json:"draining"`
+}
+
+// Status returns the counter snapshot (also served at /statusz).
+func (s *Server) Status() Statusz {
+	var z Statusz
+	z.Queued, z.Running = s.pool.Depth()
+	z.Sheds, z.Completed, z.Window = s.pool.Stats()
+	z.CacheHits, z.CacheMisses, z.CacheSize = s.cache.Stats()
+	s.mu.Lock()
+	z.Submits, z.Dedups, z.Recovered = s.stats.submits, s.stats.dedups, s.stats.recovered
+	z.Draining = s.drain
+	s.mu.Unlock()
+	return z
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkGoroutines fails the test if the goroutine count has not
+// returned to (near) the baseline after the server shut down — the
+// no-leak acceptance gate. Parked proc goroutines from aborted
+// simulations are exactly what it would catch.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		runtime.GC() // nudge finished goroutines off the runqueue
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 { // httptest keep-alives settle slowly; small slack
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf)
+}
+
+// TestSoakOverloadDeterminism is the overload acceptance soak: a storm
+// of clients (mixed duplicate and distinct specs) against a tiny pool.
+// Sheds must be structured and bounded, every admitted job must finish,
+// every digest must be bit-identical to the batch harness, duplicates
+// must coalesce, and nothing may leak.
+func TestSoakOverloadDeterminism(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const uniqueSpecs = 4
+	specs := make([]JobSpec, uniqueSpecs)
+	want := make([]string, uniqueSpecs)
+	for i := range specs {
+		specs[i] = JobSpec{App: AppEM3D, PEs: 4, NodesPerPE: 60, Degree: 4, Iters: 2, Seed: int64(1000 + i)}
+		want[i] = referenceDigest(t, specs[i])
+	}
+	// samplesort rides along: a second app through the same service.
+	ssSpec := JobSpec{App: AppSampleSort, PEs: 4, KeysPerPE: 48, Seed: 77}
+	ssWant := referenceDigest(t, ssSpec)
+
+	s := newTestServer(t, Config{
+		JournalPath: filepath.Join(t.TempDir(), "soak.journal"),
+		Pool:        PoolConfig{Workers: 2, QueueDepth: 4, RetryMin: time.Millisecond},
+	})
+
+	const clients = 24
+	var wg sync.WaitGroup
+	digests := make([][]string, clients)
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			spec := specs[c%uniqueSpecs]
+			wantD := want[c%uniqueSpecs]
+			if c%7 == 0 {
+				spec, wantD = ssSpec, ssWant
+			}
+			// Back off on shed, like a well-behaved client.
+			var j *Job
+			admitBy := time.Now().Add(60 * time.Second)
+			for attempt := 0; ; attempt++ {
+				var err error
+				j, err = s.Submit(spec)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrShed) {
+					errCh <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				if time.Now().After(admitBy) {
+					errCh <- fmt.Errorf("client %d: never admitted after %d sheds", c, attempt)
+					return
+				}
+				time.Sleep(time.Duration(attempt%10+1) * time.Millisecond)
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(60 * time.Second):
+				errCh <- fmt.Errorf("client %d: job %s stuck", c, j.ID)
+				return
+			}
+			if j.State() != StateDone {
+				errCh <- fmt.Errorf("client %d: job %s ended %v (%s)", c, j.ID, j.State(), j.Err)
+				return
+			}
+			if j.Result.Digest != wantD {
+				errCh <- fmt.Errorf("client %d: digest %s, batch says %s", c, j.Result.Digest, wantD)
+				return
+			}
+			digests[c] = append(digests[c], j.Result.Digest)
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := s.Status()
+	// 24 clients, 5 unique computations: the cache and dedup must have
+	// absorbed the rest.
+	if st.Completed > uniqueSpecs+1+4 { // slack for racing duplicates before first completion
+		t.Errorf("ran %d simulations for %d unique specs — cache/dedup not absorbing duplicates", st.Completed, uniqueSpecs+1)
+	}
+	if st.CacheHits+st.Dedups == 0 {
+		t.Error("no cache hits or dedups across a duplicate-heavy storm")
+	}
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestSoakKillStorm: SIGKILL equivalent under load — kill the server
+// with jobs queued and running, restart on the same journal, and every
+// acknowledged job must reach the batch digest. Run twice to cover
+// crash-during-recovery.
+func TestSoakKillStorm(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	path := filepath.Join(t.TempDir(), "kill.journal")
+	specs := []JobSpec{slowSpec(31), slowSpec(32), slowSpec(33)}
+	want := make(map[uint64]string, len(specs))
+	for _, sp := range specs {
+		want[Key(sp)] = referenceDigest(t, sp)
+	}
+
+	s1 := newTestServer(t, Config{JournalPath: path, Pool: PoolConfig{Workers: 1, QueueDepth: 8}})
+	var ids []string
+	for _, sp := range specs {
+		var j *Job
+		admitBy := time.Now().Add(60 * time.Second)
+		for {
+			var err error
+			j, err = s1.Submit(sp)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrShed) || time.Now().After(admitBy) {
+				t.Fatalf("Submit: %v", err)
+			}
+			time.Sleep(time.Millisecond) // window opens as the worker dequeues
+		}
+		ids = append(ids, j.ID)
+	}
+	s1.Kill() // mid-flight: one running, two queued
+
+	// First restart: kill again while recovery is replaying.
+	s2 := newTestServer(t, Config{JournalPath: path, Pool: PoolConfig{Workers: 1, QueueDepth: 8}})
+	s2.Kill()
+
+	// Second restart runs everything to completion.
+	s3 := newTestServer(t, Config{JournalPath: path, Pool: PoolConfig{Workers: 1, QueueDepth: 8}})
+	for _, id := range ids {
+		j, err := s3.Job(id)
+		if err != nil {
+			// Finished before a kill: its done record must be in the cache.
+			continue
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("recovered job %s stuck", id)
+		}
+		if j.State() != StateDone {
+			t.Fatalf("recovered job %s ended %v (%s)", id, j.State(), j.Err)
+		}
+		if j.Result.Digest != want[j.Key] {
+			t.Fatalf("job %s replayed to %s, batch says %s", id, j.Result.Digest, want[j.Key])
+		}
+	}
+	// Whatever path each job took, every spec's result is now cached
+	// with the batch digest.
+	for _, sp := range specs {
+		res, ok := s3.cache.Get(Key(sp))
+		if !ok {
+			t.Fatalf("spec %016x has no cached result after recovery", Key(sp))
+		}
+		if res.Digest != want[Key(sp)] {
+			t.Fatalf("cached digest %s, batch says %s", res.Digest, want[Key(sp)])
+		}
+	}
+	if err := s3.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	checkGoroutines(t, baseline)
+}

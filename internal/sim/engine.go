@@ -62,8 +62,19 @@ type Engine struct {
 	wdLast     int64
 	wdCount    int
 
+	// Cancel-poll state (SetCancelPoll).
+	cancelPoll  func() error
+	cancelEvery int
+	cancelCount int
+
 	// Limit guards against runaway simulations; 0 means no limit.
+	// Exceeding it surfaces as a *LimitError from RunErr (a panic from
+	// Run), so hosting layers can budget simulated cycles per run.
 	Limit Time
+
+	// processed counts events popped across all runs — the engine's unit
+	// of host work, reported by Events for throughput accounting.
+	processed int64
 }
 
 type yieldKind int
@@ -130,6 +141,9 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 			p.state = procDone
 			e.yield <- yieldMsg{kind: yieldDone, proc: p}
 		}()
+		if p.killed {
+			return // reaped by Shutdown before ever running
+		}
 		body(p)
 	}()
 	p.state = procReady
@@ -205,6 +219,35 @@ func (f *ProcFailure) Error() string {
 
 func (f *ProcFailure) Unwrap() error { return f.Err }
 
+// LimitError reports that the engine's cycle Limit was reached: the
+// next event lay beyond the budget. The simulation state is intact up
+// to Now, but the run did not finish — hosting layers treat this as a
+// per-run simulated-cycle deadline.
+type LimitError struct {
+	Limit Time // the armed budget
+	At    Time // scheduled time of the event that crossed it
+}
+
+func (l *LimitError) Error() string {
+	return fmt.Sprintf("sim: time limit %d exceeded (next event at t=%d)", l.Limit, l.At)
+}
+
+// SetCancelPoll installs a host-side escape hatch: every `every`
+// processed events the engine calls poll, and a non-nil return aborts
+// the run with that error from RunErr. This is the only sanctioned way
+// for wall-clock concerns (job deadlines, client disconnects, process
+// drain) to reach into a run: the poll runs on the engine goroutine at
+// deterministic points, never mutates simulation state, and an unarmed
+// engine is bit-identical to one polling a closure that returns nil.
+// Pass a nil poll to disarm. After an aborted run the machine is dead;
+// call Shutdown to reap its proc goroutines.
+func (e *Engine) SetCancelPoll(every int, poll func() error) {
+	if poll != nil && every <= 0 {
+		panic("sim: cancel poll needs a positive event interval")
+	}
+	e.cancelPoll, e.cancelEvery, e.cancelCount = poll, every, 0
+}
+
 // SetWatchdog installs a quiescence watchdog: every interval cycles the
 // engine samples progress(); if the value is unchanged for stalls
 // consecutive samples while events are still firing, the run fails with
@@ -247,9 +290,19 @@ func (e *Engine) RunErr() (Time, error) {
 	defer func() { e.running = false }()
 
 	for len(e.events) > 0 {
+		if e.cancelPoll != nil {
+			e.cancelCount++
+			if e.cancelCount >= e.cancelEvery {
+				e.cancelCount = 0
+				if err := e.cancelPoll(); err != nil {
+					return e.now, err
+				}
+			}
+		}
 		ev := heap.Pop(&e.events).(*event)
+		e.processed++
 		if e.Limit > 0 && ev.at > e.Limit {
-			panic(fmt.Sprintf("sim: time limit %d exceeded", e.Limit))
+			return e.now, &LimitError{Limit: e.Limit, At: ev.at}
 		}
 		if ev.at < e.now {
 			panic("sim: event in the past")
@@ -304,3 +357,36 @@ func (e *Engine) RunErr() (Time, error) {
 
 // Idle reports whether the engine has no pending events.
 func (e *Engine) Idle() bool { return len(e.events) == 0 }
+
+// Events reports how many events the engine has processed across all
+// runs: the host-side unit of simulation work (events per wall second
+// is the serving-capacity metric in BENCH_*.json).
+func (e *Engine) Events() int64 { return e.processed }
+
+// Shutdown reaps every live proc goroutine of a stopped engine. A run
+// that ends early — cancel poll, cycle Limit, proc failure, deadlock —
+// abandons its sibling procs parked on resume channels that will never
+// fire again; a long-running host (the job service) would leak one
+// goroutine per PE per aborted run. Shutdown wakes each parked proc
+// with the killed flag set, which makes it unwind via runtime.Goexit
+// (running its deferred cleanups, skipping the rest of its body) and
+// report done. The engine is unusable afterwards. Shutdown is
+// idempotent and safe on a cleanly finished engine (every proc already
+// done); it must not be called while Run is in progress.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown called during Run")
+	}
+	for _, p := range e.procs {
+		p.killed = true
+		// A teardown defer may legally park once more (yieldBlocked);
+		// keep resuming until the goroutine reports done.
+		for p.state != procDone {
+			p.state = procRunning
+			p.resume <- struct{}{}
+			<-e.yield
+		}
+	}
+	e.procs = nil
+	e.events = nil
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 type procState int
@@ -29,6 +30,7 @@ type Proc struct {
 	sigFired    bool
 	daemon      bool
 	interrupted bool
+	killed      bool // set by Engine.Shutdown; the next resume unwinds via Goexit
 
 	// Deadlock diagnostics: what the proc is blocked on and since when
 	// (meaningful only while state == procBlocked).
@@ -126,6 +128,12 @@ func (p *Proc) park(st procState) {
 	p.state = st
 	p.eng.yield <- yieldMsg{kind: yieldBlocked, proc: p}
 	<-p.resume
+	if p.killed {
+		// Engine.Shutdown is reaping this proc: terminate the goroutine,
+		// running deferred cleanups on the way out. Goexit (not a panic)
+		// so no recover in user code can intercept the teardown.
+		runtime.Goexit()
+	}
 }
 
 // Wait advances the proc's time by d cycles.

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end crash-safety gate for cmd/t3dserve.
+#
+# Builds the service and the em3d batch harness, then proves the two
+# serving invariants the design stands on:
+#
+#   1. Serving is bit-identical to batch: a job submitted over HTTP
+#      must report the same digest as `em3d -digest` with the same
+#      parameters.
+#   2. The journal survives SIGKILL: a server killed with a job
+#      in flight must, on restart over the same journal, replay the
+#      job to completion with that same digest.
+#
+# Exits nonzero on any divergence. No arguments; runs from the repo
+# root in a throwaway temp dir.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${SERVE_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+say()  { printf 'serve-smoke: %s\n' "$*"; }
+fail() { say "FAIL: $*"; exit 1; }
+
+# get/post fetch a URL and collapse the pretty-printed JSON to one
+# compact line so the field patterns below match.
+get()  { curl -s "$1" | tr -d ' \n\t'; }
+post() { curl -s "$BASE/jobs" -d "$1" | tr -d ' \n\t'; }
+# field <json> <name> extracts a string field's value.
+field() { printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p"; }
+
+# wait_ready polls /readyz until the server answers 200.
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "server never became ready on $BASE"
+}
+
+# wait_done polls a job to its terminal state and prints its digest.
+wait_done() {
+  local id=$1 st
+  for _ in $(seq 1 600); do
+    st=$(get "$BASE/jobs/$id")
+    case "$st" in
+      *'"state":"done"'*)
+        field "$st" digest
+        return 0 ;;
+      *'"state":"failed"'*)
+        fail "job $id failed: $st" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $id never reached a terminal state"
+}
+
+say "building t3dserve and em3d"
+go build -o "$TMP/t3dserve" ./cmd/t3dserve
+go build -o "$TMP/em3d" ./cmd/em3d
+
+# The smoke workload: big enough to be killed mid-flight, small enough
+# to finish in seconds.
+PES=4 NODES=120 DEGREE=8 ITERS=2 SEED=7
+JOB_JSON=$(printf '{"app":"em3d","pes":%d,"nodes_per_pe":%d,"degree":%d,"iters":%d,"seed":%d}' \
+  "$PES" "$NODES" "$DEGREE" "$ITERS" "$SEED")
+
+say "computing batch reference digest"
+WANT=$("$TMP/em3d" -digest -version Bulk -pes "$PES" -nodes "$NODES" \
+  -degree "$DEGREE" -iters "$ITERS" -seed "$SEED" -remote 0)
+say "batch digest: $WANT"
+
+# --- Invariant 1: served digest == batch digest --------------------
+"$TMP/t3dserve" -addr "127.0.0.1:$PORT" -journal "$TMP/smoke.journal" -workers 1 &
+SRV_PID=$!
+wait_ready
+
+ID=$(field "$(post "$JOB_JSON")" id)
+[ -n "$ID" ] || fail "submit returned no job id"
+say "submitted $ID"
+
+GOT=$(wait_done "$ID")
+[ "$GOT" = "$WANT" ] || fail "served digest $GOT != batch digest $WANT"
+say "served digest matches batch"
+
+# --- Invariant 2: SIGKILL mid-job, restart, journal replays --------
+SEED2=8
+JOB2_JSON=$(printf '{"app":"em3d","pes":%d,"nodes_per_pe":%d,"degree":%d,"iters":%d,"seed":%d}' \
+  "$PES" "$NODES" "$DEGREE" "$ITERS" "$SEED2")
+WANT2=$("$TMP/em3d" -digest -version Bulk -pes "$PES" -nodes "$NODES" \
+  -degree "$DEGREE" -iters "$ITERS" -seed "$SEED2" -remote 0)
+
+ID2=$(field "$(post "$JOB2_JSON")" id)
+[ -n "$ID2" ] || fail "second submit returned no job id"
+say "submitted $ID2, SIGKILLing server mid-job"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+"$TMP/t3dserve" -addr "127.0.0.1:$PORT" -journal "$TMP/smoke.journal" -workers 1 &
+SRV_PID=$!
+wait_ready
+say "restarted on the same journal"
+
+GOT2=$(wait_done "$ID2")
+[ "$GOT2" = "$WANT2" ] || fail "replayed digest $GOT2 != batch digest $WANT2"
+say "journaled job replayed to the batch digest after SIGKILL"
+
+# The first job's result must also have survived: resubmit and expect a
+# cache hit with the original digest.
+HIT=$(post "$JOB_JSON")
+case "$HIT" in
+  *'"cached":true'*) : ;;
+  *) fail "resubmit after restart not a cache hit: $HIT" ;;
+esac
+[ "$(field "$HIT" digest)" = "$WANT" ] || fail "recovered cache digest $(field "$HIT" digest) != $WANT"
+say "first job served from recovered cache"
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+say "PASS"
