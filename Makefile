@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke
+.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke serve-faults
 
 all: check
 
@@ -61,6 +61,15 @@ race:
 # after restart. See scripts/serve_smoke.sh.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# serve-faults is the host-storage brownout gate: the journal rides an
+# injected-fault disk (internal/hostfs), EIO and ENOSPC brownouts must
+# degrade the service to 503 + Retry-After while cached results keep
+# flowing, a retrying t3dclient must ride the brownout out to the batch
+# digest, and a SIGKILL + restart must serve every acknowledged result
+# from the recovered cache. See scripts/serve_faults.sh.
+serve-faults:
+	./scripts/serve_faults.sh
 
 # bench runs the root benchmark suite (sim-heap throughput in events/sec
 # plus allocs/op for the sim heap, shell hot path, and net routing) and

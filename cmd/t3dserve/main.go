@@ -20,17 +20,61 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/hostfs"
 	"repro/internal/serve"
 )
+
+// pollDiskControl watches a control file and drives the fault disk's
+// broken mode from its contents ("ok", "eio", or "enospc") — the lever
+// the serve-faults smoke uses to stage a brownout deterministically.
+func pollDiskControl(path string, fsys *hostfs.Fault, logger *log.Logger) {
+	last := hostfs.Healthy
+	for {
+		time.Sleep(100 * time.Millisecond)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// An absent file means leave the disk as it is; anything
+			// else is worth a line in the log.
+			if !errors.Is(err, fs.ErrNotExist) {
+				logger.Printf("disk-control: read %s: %v", path, err)
+			}
+			continue
+		}
+		var mode hostfs.BrokenMode
+		switch strings.TrimSpace(string(data)) {
+		case "eio":
+			mode = hostfs.BrokenEIO
+		case "enospc":
+			mode = hostfs.BrokenENOSPC
+		case "ok", "":
+			mode = hostfs.Healthy
+		default:
+			continue
+		}
+		if mode == last {
+			continue
+		}
+		last = mode
+		if mode == hostfs.Healthy {
+			fsys.Heal()
+		} else {
+			fsys.SetBroken(mode)
+		}
+		logger.Printf("disk-control: disk is now %s", mode)
+	}
+}
 
 func main() {
 	var (
@@ -43,10 +87,35 @@ func main() {
 		cycleLimit   = flag.Int64("cycle-limit", 2_000_000_000, "default per-job simulated-cycle budget")
 		wallLimit    = flag.Duration("wall-limit", 120*time.Second, "default per-job wall-clock budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+
+		// Disk-fault injection (testing/ops drills only): the journal is
+		// mounted on a seeded hostfs.Fault instead of the real filesystem.
+		diskSeed       = flag.Uint64("disk-fault-seed", 0, "seed for injected journal disk faults")
+		diskWriteErr   = flag.Float64("disk-write-err", 0, "probability a journal write fails EIO")
+		diskShortWrite = flag.Float64("disk-short-write", 0, "probability a journal write lands a torn prefix")
+		diskSyncErr    = flag.Float64("disk-sync-err", 0, "probability a journal fsync fails EIO")
+		diskControl    = flag.String("disk-control", "", "file polled for the disk's broken mode: ok, eio, or enospc")
+		healBackoff    = flag.Duration("heal-backoff", 100*time.Millisecond, "initial degraded-journal probe interval")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "t3dserve: ", log.LstdFlags)
+	var journalFS hostfs.FS
+	injectFaults := *diskWriteErr > 0 || *diskShortWrite > 0 || *diskSyncErr > 0 || *diskControl != ""
+	if injectFaults {
+		faultFS := hostfs.NewFault(hostfs.OS(), hostfs.FaultConfig{
+			Seed:           *diskSeed,
+			WriteErrRate:   *diskWriteErr,
+			ShortWriteRate: *diskShortWrite,
+			SyncErrRate:    *diskSyncErr,
+		})
+		journalFS = faultFS
+		logger.Printf("journal on an injected-fault disk (seed %#x, write-err %g, short-write %g, sync-err %g)",
+			*diskSeed, *diskWriteErr, *diskShortWrite, *diskSyncErr)
+		if *diskControl != "" {
+			go pollDiskControl(*diskControl, faultFS, logger)
+		}
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Pool: serve.PoolConfig{
 			Workers:    *workers,
@@ -54,6 +123,8 @@ func main() {
 			TargetWait: *targetWait,
 		},
 		JournalPath:       *journal,
+		FS:                journalFS,
+		HealBackoff:       *healBackoff,
 		CacheCap:          *cacheCap,
 		DefaultCycleLimit: *cycleLimit,
 		DefaultWallLimit:  *wallLimit,

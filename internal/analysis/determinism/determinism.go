@@ -53,6 +53,11 @@ const simPath = "repro/internal/sim"
 // only touches the engine via the sanctioned SetCancelPoll seam.
 var hostPkgs = map[string]bool{
 	"repro/internal/serve": true,
+	// internal/hostfs is the host-storage VFS under the journal: real
+	// files, injected faults, and crash-point recording. Its seeded
+	// fault stream uses the sanctioned internal/fault core, and nothing
+	// in it can reach simulated state.
+	"repro/internal/hostfs": true,
 }
 
 // randConstructors are the package-level math/rand functions that do

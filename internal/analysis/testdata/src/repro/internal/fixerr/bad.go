@@ -42,6 +42,12 @@ func compareJobDeadline(err error) bool {
 	return err != serve.ErrJobDeadline // want `ErrJobDeadline compared with !=`
 }
 
+// compareDegraded: the brownout sentinel is wrapped by *DegradedError,
+// so identity comparison is silently false.
+func compareDegraded(err error) bool {
+	return err == serve.ErrJournalDegraded // want `ErrJournalDegraded compared with ==`
+}
+
 // discardSubmit drops an admission verdict: the caller never learns the
 // job was shed.
 func discardSubmit(s *serve.Server) {

@@ -58,6 +58,8 @@ func submitWithBackoff(s *serve.Server, spec int) (string, error) {
 		return "", fmt.Errorf("fixerr: overloaded, retry later: %w", err)
 	case errors.Is(err, serve.ErrJobDeadline):
 		return "", fmt.Errorf("fixerr: budget exhausted: %w", err)
+	case errors.Is(err, serve.ErrJournalDegraded):
+		return "", fmt.Errorf("fixerr: journal brownout, retry later: %w", err)
 	}
 	return "", err
 }

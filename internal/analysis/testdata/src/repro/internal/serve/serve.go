@@ -14,6 +14,10 @@ var ErrShed = errors.New("serve: shed")
 // ErrJobDeadline mirrors the per-job budget sentinel.
 var ErrJobDeadline = errors.New("serve: job deadline")
 
+// ErrJournalDegraded mirrors the journal brownout sentinel (HTTP 503 +
+// Retry-After): *DegradedError wraps it.
+var ErrJournalDegraded = errors.New("serve: journal degraded")
+
 // Server mirrors the service with a fallible submit.
 type Server struct{}
 

@@ -1,0 +1,134 @@
+// Package hostfs is the host-storage fault layer: a minimal virtual
+// filesystem interface sized to what the serve journal actually does
+// (open/create, append, fsync, truncate, rename, remove, readdir),
+// with three implementations:
+//
+//   - OS(): a passthrough onto the real os package — production;
+//   - NewFault(inner, cfg): a deterministic seeded fault injector —
+//     short writes, EIO on write/fsync, ENOSPC byte budgets, read-back
+//     bit corruption, and externally driven "broken disk" modes —
+//     mirroring the extF/extI seeding discipline (a single splitmix64
+//     stream, so every failure replays from a printed seed);
+//   - NewRecorder(inner): an op recorder whose mutation log can be
+//     replayed to an arbitrary byte-prefix — the substrate of the
+//     crash-point consistency harness.
+//
+// The simulated T3D's own fault machinery (internal/fault) makes the
+// *machine* untrustworthy on purpose; this package does the same to
+// the *host disk* under the journal, so the serving layer's
+// "fsync-before-ack means replayable" contract can be tested against
+// the disk actually failing instead of assumed.
+package hostfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Injected-failure sentinels. They stand in for the host errno the real
+// disk would produce (EIO, ENOSPC); callers treat them exactly like any
+// other I/O error — the point is that they are produced deterministically.
+var (
+	// ErrInjectedIO is the injected EIO: the op failed and the state of
+	// the affected bytes is whatever the fault model says it is.
+	ErrInjectedIO = errors.New("hostfs: injected I/O error")
+	// ErrNoSpace is the injected ENOSPC: the write budget is exhausted;
+	// writes fail (possibly after a prefix landed) until the disk heals.
+	ErrNoSpace = errors.New("hostfs: injected no space left on device")
+)
+
+// File is the handle surface the journal needs. Reads and writes share
+// the usual os.File cursor semantics.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes. The cursor is unchanged.
+	Truncate(size int64) error
+}
+
+// FS is the minimal virtual filesystem. All paths are host paths; the
+// interface adds no namespace of its own.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for flag and perm.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names (not full paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+// OS returns the passthrough FS over the real host filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile reads the whole of name through fsys. Shared helper for the
+// journal's segment replay and for tests.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to name through fsys (create/truncate), syncs,
+// and closes. Used by the journal's compaction writer and by tests.
+func WriteFile(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dir returns the directory holding path, mirroring filepath.Dir; kept
+// here so FS consumers don't need to import path/filepath alongside.
+func Dir(path string) string { return filepath.Dir(path) }

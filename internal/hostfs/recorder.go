@@ -1,0 +1,227 @@
+package hostfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// OpKind labels one recorded mutation.
+type OpKind string
+
+const (
+	OpOpen     OpKind = "open" // creation/truncation effects of OpenFile
+	OpWrite    OpKind = "write"
+	OpSync     OpKind = "sync"
+	OpTruncate OpKind = "truncate"
+	OpRename   OpKind = "rename"
+	OpRemove   OpKind = "remove"
+)
+
+// Op is one recorded filesystem mutation, in global order.
+type Op struct {
+	Kind OpKind
+	Path string
+	Off  int64  // OpWrite: file offset the bytes landed at
+	Data []byte // OpWrite: the bytes (OpTruncate reuses Off as the size)
+	To   string // OpRename: destination
+	Flag int    // OpOpen: the os.OpenFile flag
+}
+
+// Recorder wraps an FS and logs every mutation in the global order it
+// was issued. A crash point is a prefix of that log (optionally tearing
+// the final write mid-buffer); Replay materializes the filesystem state
+// at that point so recovery can be run against it. The persistence
+// model is deliberately ordered — a crash loses a suffix of operations,
+// never an arbitrary subset — which is the same simplification the
+// journal's own torn-tail healing is designed against.
+type Recorder struct {
+	inner FS
+
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder wraps inner with mutation recording.
+func NewRecorder(inner FS) *Recorder { return &Recorder{inner: inner} }
+
+// Ops returns a snapshot of the mutation log.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// OpCount returns the current length of the mutation log. Callers use
+// it to bracket an external event ("the ack returned between op i and
+// op j") against crash points.
+func (r *Recorder) OpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+func (r *Recorder) record(op Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := r.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+		r.record(Op{Kind: OpOpen, Path: name, Flag: flag})
+	}
+	return &recFile{rec: r, inner: f, path: name}, nil
+}
+
+func (r *Recorder) Rename(oldpath, newpath string) error {
+	if err := r.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRename, Path: oldpath, To: newpath})
+	return nil
+}
+
+func (r *Recorder) Remove(name string) error {
+	if err := r.inner.Remove(name); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRemove, Path: name})
+	return nil
+}
+
+func (r *Recorder) ReadDir(dir string) ([]string, error) { return r.inner.ReadDir(dir) }
+
+// recFile tracks the cursor so writes record their landing offset.
+type recFile struct {
+	rec   *Recorder
+	inner File
+	path  string
+	off   int64
+}
+
+func (f *recFile) Write(p []byte) (int, error) {
+	n, err := f.inner.Write(p)
+	if n > 0 {
+		data := make([]byte, n)
+		copy(data, p[:n])
+		f.rec.record(Op{Kind: OpWrite, Path: f.path, Off: f.off, Data: data})
+		f.off += int64(n)
+	}
+	return n, err
+}
+
+func (f *recFile) Read(p []byte) (int, error) {
+	n, err := f.inner.Read(p)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *recFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.inner.Seek(offset, whence)
+	if err == nil {
+		f.off = pos
+	}
+	return pos, err
+}
+
+func (f *recFile) Sync() error {
+	err := f.inner.Sync()
+	if err == nil {
+		f.rec.record(Op{Kind: OpSync, Path: f.path})
+	}
+	return err
+}
+
+func (f *recFile) Truncate(size int64) error {
+	err := f.inner.Truncate(size)
+	if err == nil {
+		f.rec.record(Op{Kind: OpTruncate, Path: f.path, Off: size})
+	}
+	return err
+}
+
+func (f *recFile) Close() error { return f.inner.Close() }
+
+// Replay computes the filesystem contents after ops[:n] have fully
+// applied and, when 0 <= tear < len(ops[n].Data) and ops[n] is a write,
+// the first tear bytes of that final write — the torn-tail crash point.
+// It returns path → contents for every file alive at that point.
+func Replay(ops []Op, n int, tear int) (map[string][]byte, error) {
+	files := make(map[string][]byte)
+	apply := func(op Op, cut int) error {
+		switch op.Kind {
+		case OpOpen:
+			if _, ok := files[op.Path]; !ok || op.Flag&os.O_TRUNC != 0 {
+				files[op.Path] = nil
+			}
+		case OpWrite:
+			data := op.Data
+			if cut >= 0 {
+				data = data[:cut]
+			}
+			buf := files[op.Path]
+			need := op.Off + int64(len(data))
+			for int64(len(buf)) < need {
+				buf = append(buf, 0)
+			}
+			copy(buf[op.Off:need], data)
+			files[op.Path] = buf
+		case OpSync:
+			// Ordered persistence: nothing to do.
+		case OpTruncate:
+			buf := files[op.Path]
+			if int64(len(buf)) > op.Off {
+				files[op.Path] = buf[:op.Off]
+			}
+		case OpRename:
+			files[op.To] = files[op.Path]
+			delete(files, op.Path)
+		case OpRemove:
+			delete(files, op.Path)
+		default:
+			return fmt.Errorf("hostfs: replay: unknown op kind %q", op.Kind)
+		}
+		return nil
+	}
+	if n > len(ops) {
+		n = len(ops)
+	}
+	for i := 0; i < n; i++ {
+		if err := apply(ops[i], -1); err != nil {
+			return nil, err
+		}
+	}
+	if tear >= 0 && n < len(ops) {
+		op := ops[n]
+		if op.Kind != OpWrite {
+			return nil, fmt.Errorf("hostfs: replay: tear on non-write op %q", op.Kind)
+		}
+		if tear > len(op.Data) {
+			tear = len(op.Data)
+		}
+		if err := apply(op, tear); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// Materialize writes a Replay result into target, translating each
+// recorded path through mapPath (e.g. from the recording temp dir into
+// a fresh recovery dir).
+func Materialize(target FS, files map[string][]byte, mapPath func(string) string) error {
+	for path, data := range files {
+		if err := WriteFile(target, mapPath(path), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -59,6 +59,30 @@ func (e *JobDeadlineError) Error() string {
 
 func (e *JobDeadlineError) Unwrap() error { return ErrJobDeadline }
 
+// ErrJournalDegraded reports that the journal cannot reach stable
+// storage: the fsync-before-ack contract cannot be honored, so new
+// submits are refused (HTTP 503 + Retry-After) while cached results and
+// already-acknowledged in-flight jobs keep being served. The heal loop
+// probes the disk with backoff and re-arms when writes land again;
+// clients retry with backoff, exactly like a shed.
+var ErrJournalDegraded = errors.New("serve: journal degraded, durability unavailable")
+
+// DegradedError is the concrete degraded-mode refusal with its backoff
+// hint. It unwraps to ErrJournalDegraded so callers discriminate with
+// errors.Is.
+type DegradedError struct {
+	RetryAfter time.Duration // backoff hint, also the HTTP Retry-After
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("serve: journal degraded, durability unavailable (retry after %s)", e.RetryAfter)
+}
+
+func (e *DegradedError) Unwrap() error { return ErrJournalDegraded }
+
+// isDegraded is the short form used by the append retry loop.
+func isDegraded(err error) bool { return errors.Is(err, ErrJournalDegraded) }
+
 // ErrDraining reports that the server is shutting down and no longer
 // admits work. Like a shed, the job was not accepted; unlike a shed,
 // retrying against this instance will not succeed — clients should
@@ -120,7 +144,8 @@ func Classify(err error) Class {
 	switch {
 	case errors.Is(err, ErrJobDeadline), errors.Is(err, sim.ErrDeadline):
 		return ClassDeadline
-	case errors.Is(err, ErrShed), errors.Is(err, ErrDraining), errors.As(err, &host):
+	case errors.Is(err, ErrShed), errors.Is(err, ErrDraining),
+		errors.Is(err, ErrJournalDegraded), errors.As(err, &host):
 		return ClassTransient
 	case errors.Is(err, net.ErrPartitioned), errors.Is(err, mem.ErrPoisoned):
 		return ClassDeterministic

@@ -12,14 +12,14 @@ import (
 	"time"
 )
 
-func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, jobStatus) {
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, JobStatus) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST /jobs: %v", err)
 	}
 	defer resp.Body.Close()
-	var st jobStatus
+	var st JobStatus
 	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 			t.Fatalf("decode submit response: %v", err)
@@ -28,21 +28,21 @@ func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, jo
 	return resp, st
 }
 
-func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/jobs/" + id)
 	if err != nil {
 		t.Fatalf("GET /jobs/%s: %v", id, err)
 	}
 	defer resp.Body.Close()
-	var st jobStatus
+	var st JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatalf("decode status: %v", err)
 	}
 	return st
 }
 
-func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
+func pollDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -53,7 +53,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("job %s did not reach a terminal state", id)
-	return jobStatus{}
+	return JobStatus{}
 }
 
 // TestHTTPSubmitAndStatus: the full wire round trip — submit, poll to
@@ -109,10 +109,10 @@ func TestHTTPWatchStream(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("watch content type %q", ct)
 	}
-	var states []jobStatus
+	var states []JobStatus
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		var snap jobStatus
+		var snap JobStatus
 		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}

@@ -10,15 +10,27 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/hostfs"
 	"repro/internal/sim"
 )
 
 // Config tunes a Server.
 type Config struct {
 	Pool PoolConfig
-	// JournalPath is the write-ahead journal file. Empty disables
-	// crash-safety (in-memory service, useful for tests and one-offs).
+	// JournalPath is the write-ahead journal base path (segments are
+	// created beside it). Empty disables crash-safety (in-memory
+	// service, useful for tests and one-offs).
 	JournalPath string
+	// FS is the journal's storage layer (nil = the real filesystem).
+	// The disk-fault smoke and the crash harness inject hostfs.Fault /
+	// hostfs.Recorder here.
+	FS hostfs.FS
+	// MaxSegmentBytes rotates journal segments past this size
+	// (default 4 MiB; rotation triggers compaction).
+	MaxSegmentBytes int64
+	// HealBackoff is the initial degraded-mode probe interval
+	// (default 100 ms, doubling to 5 s).
+	HealBackoff time.Duration
 	// CacheCap bounds the result cache (default 1024 entries).
 	CacheCap int
 	// DefaultCycleLimit is the per-job simulated-cycle budget when the
@@ -57,13 +69,17 @@ type Server struct {
 	journal *Journal // nil when journaling is disabled
 
 	mu    sync.Mutex
-	jobs  map[string]*Job   // by ID, terminal jobs included
-	byKey map[uint64]*Job   // non-terminal jobs, for in-flight dedup
-	seq   int               // next job number
-	drain bool              // readyz gate
+	jobs  map[string]*Job // by ID, terminal jobs included
+	byKey map[uint64]*Job // non-terminal jobs, for in-flight dedup
+	seq   int             // next job number
+	drain bool            // readyz gate
 	stats struct{ submits, dedups, recovered int64 }
 
-	journalOK bool
+	// unjournaled holds done records that could not be appended while
+	// the journal was degraded; the heal callback re-appends them so a
+	// later restart serves those results from the cache instead of
+	// re-running the jobs.
+	unjournaled []Record
 }
 
 // NewServer opens (and replays) the journal and starts the worker
@@ -74,22 +90,28 @@ type Server struct {
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		cache:     NewCache(cfg.CacheCap),
-		jobs:      make(map[string]*Job),
-		byKey:     make(map[uint64]*Job),
-		seq:       1,
-		journalOK: true,
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheCap),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[uint64]*Job),
+		seq:   1,
 	}
 
 	var recovered []*Job
 	if cfg.JournalPath != "" {
-		j, recs, err := OpenJournal(cfg.JournalPath)
+		j, recs, err := OpenJournalWith(cfg.JournalPath, JournalOptions{
+			FS:              cfg.FS,
+			MaxSegmentBytes: cfg.MaxSegmentBytes,
+			HealBackoff:     cfg.HealBackoff,
+			OnHeal:          s.onJournalHealed,
+			Logf:            cfg.Logf,
+		})
 		if err != nil {
 			return nil, err
 		}
 		s.journal = j
 		done := make(map[string]bool)
+		aborted := make(map[string]bool)
 		pending := make(map[string]*Record)
 		order := []string{}
 		for i := range recs {
@@ -106,6 +128,11 @@ func NewServer(cfg Config) (*Server, error) {
 				if r.Result != nil && r.Spec != nil {
 					s.cache.Put(Key(*r.Spec), *r.Result)
 				}
+			case recAborted:
+				// The submit's ack never reached a client: the job must
+				// not resurrect.
+				aborted[r.ID] = true
+				delete(pending, r.ID)
 			}
 			if n := seqOf(r.ID); n >= s.seq {
 				s.seq = n + 1
@@ -115,7 +142,7 @@ func NewServer(cfg Config) (*Server, error) {
 		// submitted record's spec instead.
 		for _, id := range order {
 			r, ok := pending[id]
-			if !ok || done[id] {
+			if !ok || done[id] || aborted[id] {
 				continue
 			}
 			job := &Job{ID: r.ID, Key: Key(*r.Spec), Spec: *r.Spec, done: make(chan struct{})}
@@ -168,7 +195,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return live, nil
 	}
-	// Cache hit: done before it started.
+	// Cache hit: done before it started. Served even while the journal
+	// is degraded — a cached result needs no new durability.
 	if res, ok := s.cache.Get(key); ok {
 		job := s.newJobLocked(key, spec)
 		res.Cached = true
@@ -178,6 +206,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		delete(s.byKey, key)
 		s.mu.Unlock()
 		return job, nil
+	}
+	// Degraded journal: a new job cannot be made durable, so its ack
+	// would be a lie. Shed it with the retry hint; in-flight and cached
+	// work above is unaffected.
+	if s.journal != nil && s.journal.Degraded() {
+		s.mu.Unlock()
+		return nil, &DegradedError{RetryAfter: s.journal.RetryAfter()}
 	}
 	job := s.newJobLocked(key, spec)
 	s.mu.Unlock()
@@ -224,12 +259,40 @@ func (s *Server) journalSubmitted(job *Job) error {
 	if err := appendRetry(s.journal, Record{
 		Type: recSubmitted, ID: job.ID, Key: fmt.Sprintf("%016x", job.Key), Spec: &spec,
 	}, 5, time.Sleep); err != nil {
-		s.mu.Lock()
-		s.journalOK = false
-		s.mu.Unlock()
-		return err
+		// The disk is staying down: degrade. The submit record may be
+		// durable even though the append failed (fsync ambiguity), so
+		// the job ID rides along for an aborted record on heal —
+		// otherwise recovery would resurrect a job no client was ever
+		// told about.
+		if !isDegraded(err) {
+			s.journal.Degrade(job.ID)
+		}
+		s.cfg.Logf("serve: journal submit record for %s: %v (shedding)", job.ID, err)
+		return &DegradedError{RetryAfter: s.journal.RetryAfter()}
 	}
 	return nil
+}
+
+// onJournalHealed re-appends done records that completed while the
+// journal was degraded, so their results survive a later restart as
+// cache entries instead of forcing a replay.
+func (s *Server) onJournalHealed() {
+	s.mu.Lock()
+	recs := s.unjournaled
+	s.unjournaled = nil
+	s.mu.Unlock()
+	for i, r := range recs {
+		if err := s.journal.Append(r); err != nil {
+			s.cfg.Logf("serve: re-journal of %s after heal: %v", r.ID, err)
+			s.mu.Lock()
+			s.unjournaled = append(recs[i:], s.unjournaled...)
+			s.mu.Unlock()
+			return
+		}
+	}
+	if len(recs) > 0 {
+		s.cfg.Logf("serve: re-journaled %d done records after heal", len(recs))
+	}
 }
 
 // execute runs one job on a worker. Terminal handling implements the
@@ -315,9 +378,15 @@ func (s *Server) finish(j *Job, res JobResult, err error) {
 	}
 	if rec != nil && s.journal != nil {
 		if jerr := appendRetry(s.journal, *rec, 5, time.Sleep); jerr != nil {
-			s.cfg.Logf("serve: journal done record for %s: %v (job will replay on restart)", j.ID, jerr)
+			s.cfg.Logf("serve: journal done record for %s: %v (re-journaled on heal, else replays on restart)", j.ID, jerr)
+			if !isDegraded(jerr) {
+				s.journal.Degrade("")
+			}
+			// Keep the outcome for the heal callback: the result lives
+			// in the cache either way, but only a durable done record
+			// survives a restart.
 			s.mu.Lock()
-			s.journalOK = false
+			s.unjournaled = append(s.unjournaled, *rec)
 			s.mu.Unlock()
 		}
 	}
@@ -394,8 +463,8 @@ func (s *Server) Kill() {
 
 // --- HTTP layer ---
 
-// jobStatus is the wire form of a job's state.
-type jobStatus struct {
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
 	ID       string     `json:"id"`
 	Key      string     `json:"key"`
 	State    string     `json:"state"`
@@ -405,8 +474,8 @@ type jobStatus struct {
 	Class    string     `json:"class,omitempty"`
 }
 
-func statusOf(j *Job) jobStatus {
-	st := jobStatus{
+func statusOf(j *Job) JobStatus {
+	st := JobStatus{
 		ID: j.ID, Key: fmt.Sprintf("%016x", j.Key),
 		State: j.State().String(), Progress: j.Progress.Read(),
 	}
@@ -455,6 +524,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrJournalDegraded):
+		var deg *DegradedError
+		retry := time.Second
+		if errors.As(err, &deg) {
+			retry = deg.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.999)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
 	case errors.Is(err, ErrShed):
 		var shed *ShedError
 		retry := time.Second
@@ -502,7 +580,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
-	var last jobStatus
+	var last JobStatus
 	for {
 		st := statusOf(job)
 		if st != last {
@@ -528,11 +606,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	ready := !s.drain && s.journalOK
+	ready := !s.drain
 	s.mu.Unlock()
+	if ready && s.journal != nil && s.journal.Degraded() {
+		ready = false
+	}
 	if !ready {
 		w.Header().Set("Retry-After", "10")
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -552,6 +633,10 @@ type Statusz struct {
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
 	Draining    bool  `json:"draining"`
+	// Journal is the WAL health block (nil when journaling is off):
+	// segment count/bytes, degraded flag, fsync latency, rotation and
+	// compaction counters.
+	Journal *JournalHealth `json:"journal,omitempty"`
 }
 
 // Status returns the counter snapshot (also served at /statusz).
@@ -564,6 +649,10 @@ func (s *Server) Status() Statusz {
 	z.Submits, z.Dedups, z.Recovered = s.stats.submits, s.stats.dedups, s.stats.recovered
 	z.Draining = s.drain
 	s.mu.Unlock()
+	if s.journal != nil {
+		h := s.journal.Health()
+		z.Journal = &h
+	}
 	return z
 }
 

@@ -78,7 +78,7 @@ type JobSpec struct {
 	Fault    FaultSpec `json:"fault,omitempty"`
 
 	// Budgets — excluded from the canonical hash.
-	CycleLimit  int64 `json:"cycle_limit,omitempty"`  // simulated cycles (0 = server default)
+	CycleLimit  int64 `json:"cycle_limit,omitempty"`   // simulated cycles (0 = server default)
 	WallLimitMS int64 `json:"wall_limit_ms,omitempty"` // wall milliseconds (0 = server default)
 }
 

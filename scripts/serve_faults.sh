@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# serve_faults.sh — host-storage brownout gate for cmd/t3dserve.
+#
+# Runs the service with its journal on the injected-fault disk
+# (internal/hostfs.Fault) and proves the degraded-mode contract end to
+# end, for both brownout flavors (EIO and ENOSPC):
+#
+#   1. While the disk is broken, new submits are refused with 503 +
+#      Retry-After and /statusz reports journal.degraded=true; cached
+#      results keep being served.
+#   2. A retrying client (cmd/t3dclient) started during the brownout
+#      rides it out and completes with the batch-identical digest once
+#      the disk heals.
+#   3. After a SIGKILL and a restart on the same journal, every result
+#      that was acknowledged durable is served from the recovered
+#      cache, digest intact.
+#
+# Exits nonzero on any divergence. No arguments; runs from the repo
+# root in a throwaway temp dir.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${SERVE_FAULTS_PORT:-18090}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+CTL="$TMP/disk.ctl"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+say()  { printf 'serve-faults: %s\n' "$*"; }
+fail() { say "FAIL: $*"; exit 1; }
+
+get()  { curl -s "$1" | tr -d ' \n\t'; }
+field() { printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p"; }
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "server never became ready on $BASE"
+}
+
+# wait_degraded trips the journal with submits until a 503 lands and
+# /statusz agrees.
+wait_degraded() {
+  local code
+  for i in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/jobs" \
+      -d "{\"app\":\"em3d\",\"pes\":2,\"nodes_per_pe\":8,\"degree\":2,\"iters\":1,\"seed\":$((9000 + i))}")
+    if [ "$code" = 503 ]; then
+      case "$(get "$BASE/statusz")" in
+        *'"degraded":true'*) return 0 ;;
+      esac
+    fi
+    sleep 0.1
+  done
+  fail "journal never degraded under a broken disk"
+}
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    case "$(get "$BASE/statusz")" in
+      *'"degraded":false'*) return 0 ;;
+    esac
+    sleep 0.1
+  done
+  fail "journal never healed after the disk recovered"
+}
+
+say "building t3dserve, t3dclient, and em3d"
+go build -o "$TMP/t3dserve" ./cmd/t3dserve
+go build -o "$TMP/t3dclient" ./cmd/t3dclient
+go build -o "$TMP/em3d" ./cmd/em3d
+
+PES=4 NODES=60 DEGREE=4 ITERS=2
+digest_for() {
+  "$TMP/em3d" -digest -version Bulk -pes "$PES" -nodes "$NODES" \
+    -degree "$DEGREE" -iters "$ITERS" -seed "$1" -remote 0
+}
+client() { # client <seed> <digest> [extra flags...]
+  local seed=$1 want=$2; shift 2
+  "$TMP/t3dclient" -server "$BASE" -quiet \
+    -app em3d -pes "$PES" -nodes "$NODES" -degree "$DEGREE" -iters "$ITERS" \
+    -seed "$seed" -expect "$want" -attempts 60 -backoff 100ms -backoff-max 1s "$@"
+}
+
+echo ok > "$CTL"
+"$TMP/t3dserve" -addr "127.0.0.1:$PORT" -journal "$TMP/faults.journal" -workers 1 \
+  -disk-control "$CTL" -heal-backoff 50ms &
+SRV_PID=$!
+wait_ready
+
+# --- Healthy baseline ---------------------------------------------
+WANT1=$(digest_for 1)
+client 1 "$WANT1" >/dev/null || fail "healthy job did not complete with the batch digest"
+say "healthy job served with the batch digest"
+
+for MODE in eio enospc; do
+  say "--- $MODE brownout ---"
+  echo "$MODE" > "$CTL"
+  sleep 0.3
+  wait_degraded
+  say "journal degraded under $MODE; submits refused with 503"
+
+  # Cached results keep flowing while degraded.
+  HIT=$(client 1 "$WANT1") || fail "cached result unavailable during $MODE brownout"
+  case "$HIT" in
+    *'"cached": true'*) : ;;
+    *) fail "brownout resubmit not served from cache: $HIT" ;;
+  esac
+  say "cached result served during the brownout"
+
+  # A client submitted DURING the brownout rides it out.
+  SEED=$((100 + $(printf '%s' "$MODE" | wc -c)))
+  WANT=$(digest_for "$SEED")
+  client "$SEED" "$WANT" > "$TMP/ride.$MODE.json" &
+  CLIENT_PID=$!
+  sleep 1
+  echo ok > "$CTL"
+  wait_healthy
+  say "disk healed; journal re-armed"
+  wait "$CLIENT_PID" || fail "retrying client did not survive the $MODE brownout"
+  case "$(tr -d ' \n\t' < "$TMP/ride.$MODE.json")" in
+    *'"state":"done"'*) : ;;
+    *) fail "brownout client final status: $(cat "$TMP/ride.$MODE.json")" ;;
+  esac
+  say "client rode out the $MODE brownout to the batch digest"
+done
+
+# --- SIGKILL + restart: everything acknowledged survives -----------
+say "SIGKILLing the server"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo ok > "$CTL"
+"$TMP/t3dserve" -addr "127.0.0.1:$PORT" -journal "$TMP/faults.journal" -workers 1 &
+SRV_PID=$!
+wait_ready
+say "restarted on the same journal, clean disk"
+
+for SEED in 1 103 106; do
+  WANT=$(digest_for "$SEED")
+  HIT=$(client "$SEED" "$WANT") || fail "seed $SEED lost across the restart"
+  case "$HIT" in
+    *'"cached": true'*) : ;;
+    *) fail "seed $SEED re-ran after restart instead of serving the recovered cache" ;;
+  esac
+done
+say "all brownout-era results served from the recovered cache"
+
+STATUS=$(get "$BASE/statusz")
+case "$STATUS" in
+  *'"journal":'*) : ;;
+  *) fail "/statusz has no journal health block: $STATUS" ;;
+esac
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+say "PASS"
