@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke serve-faults
+.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke serve-faults serve-tenants
 
 all: check
 
@@ -70,6 +70,15 @@ serve-smoke:
 # from the recovered cache. See scripts/serve_faults.sh.
 serve-faults:
 	./scripts/serve_faults.sh
+
+# serve-tenants is the multi-tenant isolation gate: a noisy tenant past
+# its quota must get 429 + its own Retry-After while a quiet tenant is
+# admitted and completes to the batch digest, /statusz must blame the
+# right tenant, the result cache must stay shared across tenants, and a
+# SIGKILLed server must replay a quiet tenant's in-flight job under its
+# tenant. See scripts/serve_tenants.sh.
+serve-tenants:
+	./scripts/serve_tenants.sh
 
 # bench runs the root benchmark suite (sim-heap throughput in events/sec
 # plus allocs/op for the sim heap, shell hot path, and net routing) and

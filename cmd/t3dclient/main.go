@@ -39,6 +39,7 @@ func main() {
 		degree     = flag.Int("degree", 0, "em3d dependency degree")
 		iters      = flag.Int("iters", 0, "em3d iterations")
 		keys       = flag.Int("keys", 0, "samplesort keys per PE")
+		tenant     = flag.String("tenant", "", "tenant name sent as the X-T3D-Tenant header")
 		expect     = flag.String("expect", "", "expected result digest; mismatch exits 3")
 		attempts   = flag.Int("attempts", 10, "transient-retry budget per operation")
 		backoff    = flag.Duration("backoff", 250*time.Millisecond, "initial retry backoff")
@@ -55,6 +56,7 @@ func main() {
 	}
 
 	c := serve.NewClient(strings.TrimRight(*server, "/"))
+	c.Tenant = *tenant
 	c.Attempts = *attempts
 	c.Backoff = *backoff
 	c.BackoffMax = *backoffMax

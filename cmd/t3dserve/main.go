@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +36,34 @@ import (
 	"repro/internal/hostfs"
 	"repro/internal/serve"
 )
+
+// parseTenantFlag parses one -tenant value:
+//
+//	name:weight[:max_concurrent[:max_queue[:cycle_budget[:cycle_refill]]]]
+//
+// Trailing fields default to 0 (no quota); cycle_refill defaults to
+// cycle_budget per second when metering is on.
+func parseTenantFlag(v string) (string, serve.TenantConfig, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 6 || parts[0] == "" {
+		return "", serve.TenantConfig{}, fmt.Errorf("want name:weight[:max_concurrent[:max_queue[:cycle_budget[:cycle_refill]]]], got %q", v)
+	}
+	nums := make([]int64, 5)
+	for i, p := range parts[1:] {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || n < 0 {
+			return "", serve.TenantConfig{}, fmt.Errorf("field %d of %q: want a non-negative integer, got %q", i+2, v, p)
+		}
+		nums[i] = n
+	}
+	return parts[0], serve.TenantConfig{
+		Weight:        int(nums[0]),
+		MaxConcurrent: int(nums[1]),
+		MaxQueue:      int(nums[2]),
+		CycleBudget:   nums[3],
+		CycleRefill:   nums[4],
+	}, nil
+}
 
 // pollDiskControl watches a control file and drives the fault disk's
 // broken mode from its contents ("ok", "eio", or "enospc") — the lever
@@ -97,6 +126,16 @@ func main() {
 		diskControl    = flag.String("disk-control", "", "file polled for the disk's broken mode: ok, eio, or enospc")
 		healBackoff    = flag.Duration("heal-backoff", 100*time.Millisecond, "initial degraded-journal probe interval")
 	)
+	tenants := map[string]serve.TenantConfig{}
+	flag.Func("tenant", "per-tenant scheduling config, repeatable: name:weight[:max_concurrent[:max_queue[:cycle_budget[:cycle_refill]]]]",
+		func(v string) error {
+			name, cfg, err := parseTenantFlag(v)
+			if err != nil {
+				return err
+			}
+			tenants[name] = cfg
+			return nil
+		})
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "t3dserve: ", log.LstdFlags)
@@ -121,6 +160,7 @@ func main() {
 			Workers:    *workers,
 			QueueDepth: *queue,
 			TargetWait: *targetWait,
+			Tenants:    tenants,
 		},
 		JournalPath:       *journal,
 		FS:                journalFS,

@@ -43,7 +43,7 @@ var sentinels = map[string]map[string]bool{
 	"repro/internal/sim":   {"ErrDeadline": true},
 	"repro/internal/net":   {"ErrPartitioned": true},
 	"repro/internal/mem":   {"ErrPoisoned": true},
-	"repro/internal/serve": {"ErrShed": true, "ErrJobDeadline": true, "ErrJournalDegraded": true},
+	"repro/internal/serve": {"ErrShed": true, "ErrJobDeadline": true, "ErrJournalDegraded": true, "ErrQuotaExceeded": true},
 }
 
 // falliblePkgs are the packages whose error returns carry taxonomy

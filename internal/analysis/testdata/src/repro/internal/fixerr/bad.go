@@ -48,6 +48,12 @@ func compareDegraded(err error) bool {
 	return err == serve.ErrJournalDegraded // want `ErrJournalDegraded compared with ==`
 }
 
+// compareQuota: the tenant-quota sentinel is wrapped by *QuotaError,
+// so identity comparison is silently false.
+func compareQuota(err error) bool {
+	return err == serve.ErrQuotaExceeded // want `ErrQuotaExceeded compared with ==`
+}
+
 // discardSubmit drops an admission verdict: the caller never learns the
 // job was shed.
 func discardSubmit(s *serve.Server) {

@@ -60,6 +60,8 @@ func submitWithBackoff(s *serve.Server, spec int) (string, error) {
 		return "", fmt.Errorf("fixerr: budget exhausted: %w", err)
 	case errors.Is(err, serve.ErrJournalDegraded):
 		return "", fmt.Errorf("fixerr: journal brownout, retry later: %w", err)
+	case errors.Is(err, serve.ErrQuotaExceeded):
+		return "", fmt.Errorf("fixerr: tenant quota, retry later: %w", err)
 	}
 	return "", err
 }

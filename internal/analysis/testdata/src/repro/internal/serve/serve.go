@@ -18,6 +18,10 @@ var ErrJobDeadline = errors.New("serve: job deadline")
 // Retry-After): *DegradedError wraps it.
 var ErrJournalDegraded = errors.New("serve: journal degraded")
 
+// ErrQuotaExceeded mirrors the per-tenant quota sentinel (HTTP 429 +
+// Retry-After): *QuotaError wraps it.
+var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
+
 // Server mirrors the service with a fallible submit.
 type Server struct{}
 

@@ -34,6 +34,9 @@ var ErrDigestMismatch = errors.New("serve: digest mismatch")
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8023".
 	BaseURL string
+	// Tenant, when set, rides every submit as the X-T3D-Tenant header
+	// (a tenant already named in the spec body wins on the server).
+	Tenant string
 	// HTTP is the transport (default http.DefaultClient).
 	HTTP *http.Client
 	// Attempts bounds transient retries per operation (default 10).
@@ -136,7 +139,15 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	var last error
 	for attempt := 0; attempt < c.Attempts; attempt++ {
-		resp, err := c.HTTP.Post(c.BaseURL+"/jobs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return JobStatus{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.Tenant != "" {
+			req.Header.Set("X-T3D-Tenant", c.Tenant)
+		}
+		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			last = err
 			c.backoffFor(attempt, 0, "submit", err)

@@ -19,19 +19,48 @@ var ErrShed = errors.New("serve: overloaded, job shed")
 
 // ShedError is the concrete admission refusal: how loaded the service
 // was and when to come back. It unwraps to ErrShed so callers
-// discriminate with errors.Is.
+// discriminate with errors.Is. RetryAfter is derived from the refused
+// tenant's own queue state and fair-share capacity, so one tenant's
+// backlog never inflates another tenant's backoff.
 type ShedError struct {
+	Tenant     string        // tenant whose submit was refused
 	Depth      int           // jobs queued or running at refusal
 	Window     int           // current admission window (jobs)
 	RetryAfter time.Duration // backoff hint, also the HTTP Retry-After
 }
 
 func (e *ShedError) Error() string {
-	return fmt.Sprintf("serve: overloaded, job shed (depth %d, window %d, retry after %s)",
-		e.Depth, e.Window, e.RetryAfter)
+	return fmt.Sprintf("serve: overloaded, job shed (tenant %s, depth %d, window %d, retry after %s)",
+		e.Tenant, e.Depth, e.Window, e.RetryAfter)
 }
 
 func (e *ShedError) Unwrap() error { return ErrShed }
+
+// ErrQuotaExceeded reports that a tenant hit one of its own quotas —
+// queue depth or the refilling simulated-cycle budget — while the
+// service as a whole may be idle. Like a shed it is surfaced as HTTP
+// 429 + Retry-After, but the hint is computed from that tenant's quota
+// state alone: other tenants are admitted normally while this one backs
+// off, which is the whole point of per-tenant isolation.
+var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
+
+// QuotaError is the concrete per-tenant refusal. Kind names the quota
+// that tripped: "queue" (per-tenant queue depth) or "cycles" (the
+// simulated-cycle budget is exhausted until it refills). It unwraps to
+// ErrQuotaExceeded so callers discriminate with errors.Is.
+type QuotaError struct {
+	Tenant     string        // tenant whose quota tripped
+	Kind       string        // "queue" or "cycles"
+	Limit      int64         // the configured bound (jobs, or budget cycles)
+	RetryAfter time.Duration // per-tenant backoff hint, also the HTTP Retry-After
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %s quota exceeded (%s limit %d, retry after %s)",
+		e.Tenant, e.Kind, e.Limit, e.RetryAfter)
+}
+
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }
 
 // ErrJobDeadline reports that a job ran out of budget — simulated
 // cycles (the engine Limit) or wall-clock time — and was canceled
@@ -144,7 +173,7 @@ func Classify(err error) Class {
 	switch {
 	case errors.Is(err, ErrJobDeadline), errors.Is(err, sim.ErrDeadline):
 		return ClassDeadline
-	case errors.Is(err, ErrShed), errors.Is(err, ErrDraining),
+	case errors.Is(err, ErrShed), errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrDraining),
 		errors.Is(err, ErrJournalDegraded), errors.As(err, &host):
 		return ClassTransient
 	case errors.Is(err, net.ErrPartitioned), errors.Is(err, mem.ErrPoisoned):

@@ -193,7 +193,7 @@ func TestSoakKillStormWithDiskFaults(t *testing.T) {
 				}
 			}
 			for _, sp := range specs {
-				res, ok := s3.cache.Get(Key(sp))
+				res, ok := s3.cache.Get(Key(sp), DefaultTenant)
 				if !ok {
 					t.Fatalf("spec %016x has no result after fault-storm recovery", Key(sp))
 				}

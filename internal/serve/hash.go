@@ -12,7 +12,9 @@ import (
 // layout, and host architecture, and adding a field later perturbs
 // every key only if the encoder changes (bump hashVersion when it
 // does). Budget fields are deliberately not encoded: they bound the
-// computation without changing it (see JobSpec).
+// computation without changing it (see JobSpec). Tenant is likewise
+// excluded — it is scheduling identity, not content — so the result
+// cache stays content-addressed and shared across tenants.
 
 // hashVersion is folded into every key; bump it whenever the encoding
 // below changes so stale journals/caches cannot alias new specs.

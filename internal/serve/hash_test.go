@@ -96,6 +96,18 @@ func TestKeyBudgetsExcluded(t *testing.T) {
 	}
 }
 
+// TestKeyTenantExcluded: tenant is scheduling identity, not content —
+// the same spec under any tenant hashes identically, so the result
+// cache stays shared across tenants.
+func TestKeyTenantExcluded(t *testing.T) {
+	base := JobSpec{App: AppEM3D, Seed: 7}
+	tenanted := base
+	tenanted.Tenant = "alice"
+	if Key(base) != Key(tenanted) {
+		t.Fatalf("tenant field perturbs the key: %016x vs %016x", Key(base), Key(tenanted))
+	}
+}
+
 // TestKeyCrossAppFieldsZeroed: em3d knobs on a samplesort spec are dead
 // fields; Normalize zeroes them so they cannot split the cache.
 func TestKeyCrossAppFieldsZeroed(t *testing.T) {

@@ -32,9 +32,13 @@ const (
 // mis-replayed job. Lines that start with '{' are accepted as legacy
 // unchecksummed records so pre-rotation journals still replay.
 type Record struct {
-	Type   string     `json:"type"`
-	ID     string     `json:"id,omitempty"`
-	Key    string     `json:"key,omitempty"` // canonical spec hash, hex
+	Type string `json:"type"`
+	ID   string `json:"id,omitempty"`
+	Key  string `json:"key,omitempty"` // canonical spec hash, hex
+	// Tenant tags the record for operators grepping the journal; replay
+	// takes the tenant from Spec (Normalize defaults legacy pre-tenant
+	// records to DefaultTenant), so this field is informational.
+	Tenant string     `json:"tenant,omitempty"`
 	Spec   *JobSpec   `json:"spec,omitempty"`
 	Result *JobResult `json:"result,omitempty"`
 	Err    string     `json:"err,omitempty"`

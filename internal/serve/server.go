@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -126,7 +127,7 @@ func NewServer(cfg Config) (*Server, error) {
 				done[r.ID] = true
 				delete(pending, r.ID)
 				if r.Result != nil && r.Spec != nil {
-					s.cache.Put(Key(*r.Spec), *r.Result)
+					s.cache.Put(Key(*r.Spec), r.Spec.Normalize().Tenant, *r.Result)
 				}
 			case recAborted:
 				// The submit's ack never reached a client: the job must
@@ -145,7 +146,11 @@ func NewServer(cfg Config) (*Server, error) {
 			if !ok || done[id] || aborted[id] {
 				continue
 			}
-			job := &Job{ID: r.ID, Key: Key(*r.Spec), Spec: *r.Spec, done: make(chan struct{})}
+			// Legacy pre-tenant records carry no tenant in the spec;
+			// Normalize maps them onto the default tenant, so replay
+			// competes in its queue like any other recovered work.
+			job := &Job{ID: r.ID, Key: Key(*r.Spec), Tenant: r.Spec.Normalize().Tenant,
+				Spec: *r.Spec, done: make(chan struct{})}
 			if _, dup := s.byKey[job.Key]; dup {
 				// Same content already recovering: finishing the first
 				// run completes both logically; drop the duplicate.
@@ -175,12 +180,17 @@ func seqOf(id string) int {
 
 // Submit validates, dedups, admits, and journals one spec. The
 // returned job may already be terminal (cache hit). *ShedError,
-// ErrDraining, and validation errors map to HTTP 429/503/400.
+// *QuotaError, ErrDraining, and validation errors map to HTTP
+// 429/429/503/400.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	key := Key(spec)
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 
 	s.mu.Lock()
 	if s.drain {
@@ -189,7 +199,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.stats.submits++
 	// In-flight dedup: identical content already queued or running —
-	// attach the caller to that job instead of simulating twice.
+	// attach the caller to that job instead of simulating twice. The
+	// hash excludes tenant, so dedup crosses tenants by design: the
+	// second tenant rides the first's run for free.
 	if live, ok := s.byKey[key]; ok {
 		s.stats.dedups++
 		s.mu.Unlock()
@@ -197,8 +209,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	// Cache hit: done before it started. Served even while the journal
 	// is degraded — a cached result needs no new durability.
-	if res, ok := s.cache.Get(key); ok {
-		job := s.newJobLocked(key, spec)
+	if res, ok := s.cache.Get(key, tenant); ok {
+		job := s.newJobLocked(key, tenant, spec)
 		res.Cached = true
 		job.Result = res
 		job.state.Store(int32(StateDone))
@@ -214,7 +226,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, &DegradedError{RetryAfter: s.journal.RetryAfter()}
 	}
-	job := s.newJobLocked(key, spec)
+	job := s.newJobLocked(key, tenant, spec)
 	s.mu.Unlock()
 
 	if err := s.pool.Submit(job); err != nil {
@@ -233,8 +245,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 }
 
 // newJobLocked allocates and registers a job (s.mu held).
-func (s *Server) newJobLocked(key uint64, spec JobSpec) *Job {
-	job := &Job{ID: fmt.Sprintf("j%08d", s.seq), Key: key, Spec: spec, done: make(chan struct{})}
+func (s *Server) newJobLocked(key uint64, tenant string, spec JobSpec) *Job {
+	job := &Job{ID: fmt.Sprintf("j%08d", s.seq), Key: key, Tenant: tenant, Spec: spec,
+		done: make(chan struct{})}
 	s.seq++
 	s.jobs[job.ID] = job
 	s.byKey[key] = job
@@ -257,7 +270,8 @@ func (s *Server) journalSubmitted(job *Job) error {
 	}
 	spec := job.Spec
 	if err := appendRetry(s.journal, Record{
-		Type: recSubmitted, ID: job.ID, Key: fmt.Sprintf("%016x", job.Key), Spec: &spec,
+		Type: recSubmitted, ID: job.ID, Key: fmt.Sprintf("%016x", job.Key),
+		Tenant: job.Tenant, Spec: &spec,
 	}, 5, time.Sleep); err != nil {
 		// The disk is staying down: degrade. The submit record may be
 		// durable even though the append failed (fsync ambiguity), so
@@ -330,8 +344,14 @@ func (s *Server) execute(j *Job) {
 	if errors.As(err, &lim) {
 		err = &JobDeadlineError{ID: j.ID, Kind: "cycles", Budget: lim.Limit}
 	}
+	// Charge the tenant's cycle bucket for work actually burned: the
+	// result's cycles on success, the progress counter on failure (a
+	// deadline-killed flood still spent real simulation).
 	if err == nil {
-		s.cache.Put(j.Key, res)
+		s.pool.ChargeCycles(j.Tenant, res.Cycles)
+		s.cache.Put(j.Key, j.Tenant, res)
+	} else {
+		s.pool.ChargeCycles(j.Tenant, j.Progress.Cycles.Load())
 	}
 	s.finish(j, res, err)
 }
@@ -358,7 +378,8 @@ func (s *Server) finish(j *Job, res JobResult, err error) {
 		j.Result = res
 		j.state.Store(int32(StateDone))
 		spec := j.Spec
-		rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key), Spec: &spec, Result: &res}
+		rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key),
+			Tenant: j.Tenant, Spec: &spec, Result: &res}
 	} else {
 		class := Classify(err)
 		j.Err = err.Error()
@@ -371,8 +392,8 @@ func (s *Server) finish(j *Job, res JobResult, err error) {
 			// A drain abort is the one failure that must NOT be
 			// journaled — the job replays after restart.
 			spec := j.Spec
-			rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key), Spec: &spec,
-				Err: j.Err, Class: j.Class}
+			rec = &Record{Type: recDone, ID: j.ID, Key: fmt.Sprintf("%016x", j.Key),
+				Tenant: j.Tenant, Spec: &spec, Err: j.Err, Class: j.Class}
 		}
 		s.cfg.Logf("serve: job %s failed (%s): %v", j.ID, j.Class, err)
 	}
@@ -467,6 +488,7 @@ func (s *Server) Kill() {
 type JobStatus struct {
 	ID       string     `json:"id"`
 	Key      string     `json:"key"`
+	Tenant   string     `json:"tenant,omitempty"`
 	State    string     `json:"state"`
 	Progress Snapshot   `json:"progress"`
 	Result   *JobResult `json:"result,omitempty"`
@@ -476,7 +498,7 @@ type JobStatus struct {
 
 func statusOf(j *Job) JobStatus {
 	st := JobStatus{
-		ID: j.ID, Key: fmt.Sprintf("%016x", j.Key),
+		ID: j.ID, Key: fmt.Sprintf("%016x", j.Key), Tenant: j.Tenant,
 		State: j.State().String(), Progress: j.Progress.Read(),
 	}
 	switch j.State() {
@@ -521,6 +543,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad spec: " + err.Error()})
 		return
 	}
+	// The header names the tenant without touching the spec body; a
+	// tenant set in the body wins so signed/stored specs stay portable.
+	if spec.Tenant == "" {
+		spec.Tenant = r.Header.Get("X-T3D-Tenant")
+	}
 	job, err := s.Submit(spec)
 	switch {
 	case err == nil:
@@ -538,6 +565,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		retry := time.Second
 		if errors.As(err, &shed) {
 			retry = shed.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.999)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		// Per-tenant refusal: same 429 surface as a shed, but the
+		// Retry-After reflects only this tenant's quota state.
+		var q *QuotaError
+		retry := time.Second
+		if errors.As(err, &q) {
+			retry = q.RetryAfter
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.999)))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
@@ -619,20 +657,33 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// TenantStatus is one tenant's block on /statusz: its queue and quota
+// state from the pool merged with its cache accounting.
+type TenantStatus struct {
+	TenantSnapshot
+	CacheHits      int64 `json:"cache_hits"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
 // Statusz is the operational counter snapshot.
 type Statusz struct {
-	Queued      int   `json:"queued"`
-	Running     int   `json:"running"`
-	Window      int   `json:"window"`
-	Sheds       int64 `json:"sheds"`
-	Completed   int64 `json:"completed"`
-	Submits     int64 `json:"submits"`
-	Dedups      int64 `json:"dedups"`
-	Recovered   int64 `json:"recovered"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	CacheSize   int   `json:"cache_size"`
-	Draining    bool  `json:"draining"`
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+	Window         int   `json:"window"`
+	Sheds          int64 `json:"sheds"`
+	Completed      int64 `json:"completed"`
+	Submits        int64 `json:"submits"`
+	Dedups         int64 `json:"dedups"`
+	Recovered      int64 `json:"recovered"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int   `json:"cache_size"`
+	Draining       bool  `json:"draining"`
+	// Tenants is the per-tenant breakdown (queue depth, quota state,
+	// sheds, cache hits/evictions) in first-seen order — the block the
+	// noisy-neighbor smoke reads to tell who is being throttled.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
 	// Journal is the WAL health block (nil when journaling is off):
 	// segment count/bytes, degraded flag, fsync latency, rotation and
 	// compaction counters.
@@ -644,7 +695,31 @@ func (s *Server) Status() Statusz {
 	var z Statusz
 	z.Queued, z.Running = s.pool.Depth()
 	z.Sheds, z.Completed, z.Window = s.pool.Stats()
-	z.CacheHits, z.CacheMisses, z.CacheSize = s.cache.Stats()
+	z.CacheHits, z.CacheMisses, z.CacheEvictions, z.CacheSize = s.cache.Stats()
+	cacheByTenant := s.cache.TenantStats()
+	for _, snap := range s.pool.TenantSnapshots() {
+		t := TenantStatus{TenantSnapshot: snap}
+		if cs, ok := cacheByTenant[snap.Tenant]; ok {
+			t.CacheHits, t.CacheEvictions = cs.Hits, cs.Evictions
+			delete(cacheByTenant, snap.Tenant)
+		}
+		z.Tenants = append(z.Tenants, t)
+	}
+	// Tenants served purely from the shared cache never touch the
+	// scheduler, but they are still load the operator wants attributed
+	// — list them too, in a deterministic order.
+	rest := make([]string, 0, len(cacheByTenant))
+	for name := range cacheByTenant {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		cs := cacheByTenant[name]
+		z.Tenants = append(z.Tenants, TenantStatus{
+			TenantSnapshot: TenantSnapshot{Tenant: name},
+			CacheHits:      cs.Hits, CacheEvictions: cs.Evictions,
+		})
+	}
 	s.mu.Lock()
 	z.Submits, z.Dedups, z.Recovered = s.stats.submits, s.stats.dedups, s.stats.recovered
 	z.Draining = s.drain

@@ -92,7 +92,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if j2.Result.Digest != want {
 		t.Fatalf("cached digest %s != batch digest %s", j2.Result.Digest, want)
 	}
-	if hits, _, _ := s.cache.Stats(); hits != 1 {
+	if hits, _, _, _ := s.cache.Stats(); hits != 1 {
 		t.Errorf("cache hits %d, want 1", hits)
 	}
 }
@@ -258,7 +258,7 @@ func TestServerKillAndRecover(t *testing.T) {
 	if st.Recovered == 0 || err != nil {
 		// The job may have finished before Kill aborted it; then its done
 		// record must have fed the cache instead.
-		if res, ok := s2.cache.Get(Key(spec)); ok && res.Digest == want {
+		if res, ok := s2.cache.Get(Key(spec), DefaultTenant); ok && res.Digest == want {
 			return
 		}
 		t.Fatalf("job %s neither recovered (%d) nor cached after kill", j.ID, st.Recovered)

@@ -184,7 +184,7 @@ func TestSoakKillStorm(t *testing.T) {
 	// Whatever path each job took, every spec's result is now cached
 	// with the batch digest.
 	for _, sp := range specs {
-		res, ok := s3.cache.Get(Key(sp))
+		res, ok := s3.cache.Get(Key(sp), DefaultTenant)
 		if !ok {
 			t.Fatalf("spec %016x has no cached result after recovery", Key(sp))
 		}

@@ -13,6 +13,10 @@ const (
 	AppSampleSort = "samplesort"
 )
 
+// DefaultTenant is the tenant every unlabeled request — and every
+// legacy journal record written before tenants existed — belongs to.
+const DefaultTenant = "default"
+
 // FaultSpec is the job-facing subset of fault.Config: the transient and
 // memory fault knobs that make sense for an unattended service run.
 // (Hard node faults need a recovery driver wired to the injector; they
@@ -58,6 +62,12 @@ func (f FaultSpec) config() fault.Config {
 // generous budget is a valid cache hit for the same spec under any
 // budget.
 type JobSpec struct {
+	// Tenant is the submitting tenant's name — scheduling identity, not
+	// content. Like the budgets it is excluded from the canonical hash:
+	// the simulation computes the same bits no matter who asked, so the
+	// result cache stays content-addressed and shared across tenants.
+	Tenant string `json:"tenant,omitempty"`
+
 	App      string `json:"app,omitempty"`       // em3d (default) or samplesort
 	PEs      int    `json:"pes,omitempty"`       // machine size (default 8)
 	MemBytes int64  `json:"mem_bytes,omitempty"` // DRAM per node (default 2 MB)
@@ -87,6 +97,9 @@ type JobSpec struct {
 // only in spelling out defaults normalize — and therefore hash — equal.
 func (s JobSpec) Normalize() JobSpec {
 	n := s
+	if n.Tenant == "" {
+		n.Tenant = DefaultTenant
+	}
 	if n.App == "" {
 		n.App = AppEM3D
 	}
@@ -130,6 +143,9 @@ func (s JobSpec) Normalize() JobSpec {
 // "serve: <field>: <reason>" so rejections grep by field.
 func (s JobSpec) Validate() error {
 	n := s.Normalize()
+	if err := validTenant(n.Tenant); err != nil {
+		return err
+	}
 	switch n.App {
 	case AppEM3D:
 		if _, ok := parseVersion(n.Version); !ok {
@@ -168,6 +184,24 @@ func (s JobSpec) Validate() error {
 	}
 	if err := n.Fault.config().Validate(); err != nil {
 		return fmt.Errorf("serve: fault: %w", err)
+	}
+	return nil
+}
+
+// validTenant bounds tenant names: they appear in journal records, HTTP
+// headers, flags, and logs, so they stay short and unambiguous.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("serve: tenant: name longer than 64 bytes (%d)", len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("serve: tenant: invalid byte %q in name %q (want [A-Za-z0-9._-])", c, name)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# serve_tenants.sh — multi-tenant isolation gate for cmd/t3dserve.
+#
+# Boots the service with a weighted noisy/quiet tenant pair and proves
+# the tenant-isolation invariants end to end on real binaries:
+#
+#   1. Quotas bite the right tenant: a noisy tenant past its queue
+#      quota gets 429 + its own Retry-After while a quiet tenant
+#      submitted at the same instant is admitted and completes to the
+#      batch digest.
+#   2. /statusz attributes load per tenant: the noisy tenant's sheds
+#      are visible, the quiet tenant sheds nothing.
+#   3. The result cache stays content-addressed across tenants: the
+#      quiet tenant's result is a cache hit for any tenant.
+#   4. The journal is tenant-aware across SIGKILL: a quiet job in
+#      flight when the server dies replays to the batch digest on
+#      restart and is attributed to its tenant on /statusz.
+#
+# Exits nonzero on any divergence. No arguments; runs from the repo
+# root in a throwaway temp dir.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${SERVE_TENANTS_PORT:-18082}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+say()  { printf 'serve-tenants: %s\n' "$*"; }
+fail() { say "FAIL: $*"; exit 1; }
+
+# get fetches a URL and collapses the pretty-printed JSON to one
+# compact line so the field patterns below match.
+get()  { curl -s "$1" | tr -d ' \n\t'; }
+# post_as submits a job as a tenant; the response headers land in
+# $TMP/hdr for status-code and Retry-After checks.
+post_as() { curl -s -D "$TMP/hdr" -H "X-T3D-Tenant: $1" "$BASE/jobs" -d "$2" | tr -d ' \n\t'; }
+code()  { awk 'NR==1{print $2}' "$TMP/hdr"; }
+retry_after() { tr -d '\r' <"$TMP/hdr" | sed -n 's/^[Rr]etry-[Aa]fter: *//p'; }
+# field <json> <name> extracts a string field's value.
+field() { printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p"; }
+# tenant_stat <tenant> <field> pulls one numeric field from the
+# tenant's /statusz block.
+tenant_stat() {
+  get "$BASE/statusz" | grep -o "\"tenant\":\"$1\"[^}]*" | sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p"
+}
+
+# wait_ready polls /readyz until the server answers 200.
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "server never became ready on $BASE"
+}
+
+# wait_done polls a job to its terminal state and prints its digest.
+wait_done() {
+  local id=$1 st
+  for _ in $(seq 1 600); do
+    st=$(get "$BASE/jobs/$id")
+    case "$st" in
+      *'"state":"done"'*)
+        field "$st" digest
+        return 0 ;;
+      *'"state":"failed"'*)
+        fail "job $id failed: $st" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $id never reached a terminal state"
+}
+
+say "building t3dserve and em3d"
+go build -o "$TMP/t3dserve" ./cmd/t3dserve
+go build -o "$TMP/em3d" ./cmd/em3d
+
+# Noisy jobs are long (~seconds on one worker) so they hold the worker
+# and the tenant queue while the quota refusals are staged; the quiet
+# job is small and digest-checked against the batch harness.
+noisy_json() { printf '{"app":"em3d","pes":4,"nodes_per_pe":120,"degree":8,"iters":40,"seed":%d}' "$1"; }
+QUIET_JSON='{"app":"em3d","pes":4,"nodes_per_pe":60,"degree":4,"iters":2,"seed":7}'
+say "computing batch reference digest for the quiet job"
+WANT=$("$TMP/em3d" -digest -version Bulk -pes 4 -nodes 60 -degree 4 -iters 2 -seed 7 -remote 0)
+
+# One worker; noisy is weight 1 capped at 1 running + 1 queued, quiet
+# is weight 2 with no quotas.
+start_server() {
+  "$TMP/t3dserve" -addr "127.0.0.1:$PORT" -journal "$TMP/tenants.journal" -workers 1 \
+    -tenant noisy:1:1:1 -tenant quiet:2 &
+  SRV_PID=$!
+  wait_ready
+}
+start_server
+
+# --- Invariant 1: the quota 429 lands on the noisy tenant only ------
+A=$(field "$(post_as noisy "$(noisy_json 1)")" id)
+[ -n "$A" ] || fail "first noisy submit refused: $(cat "$TMP/hdr")"
+B=$(field "$(post_as noisy "$(noisy_json 2)")" id)
+[ -n "$B" ] || fail "second noisy submit refused (should queue)"
+post_as noisy "$(noisy_json 3)" >/dev/null
+[ "$(code)" = 429 ] || fail "third noisy submit got HTTP $(code), want 429"
+RA=$(retry_after)
+case "$RA" in
+  ''|*[!0-9]*) fail "429 without a numeric Retry-After: ${RA:-missing}" ;;
+esac
+[ "$RA" -ge 1 ] || fail "noisy Retry-After $RA, want >= 1"
+say "noisy tenant over quota: 429 with Retry-After $RA"
+
+Q=$(field "$(post_as quiet "$QUIET_JSON")" id)
+[ -n "$Q" ] || fail "quiet submit refused while noisy is throttled: $(cat "$TMP/hdr")"
+say "quiet tenant admitted ($Q) while noisy is throttled"
+
+GOT=$(wait_done "$Q")
+[ "$GOT" = "$WANT" ] || fail "quiet digest $GOT != batch digest $WANT"
+say "quiet job completed to the batch digest"
+
+# --- Invariant 2: /statusz blames the right tenant ------------------
+NOISY_SHEDS=$(tenant_stat noisy sheds)
+QUIET_SHEDS=$(tenant_stat quiet sheds)
+[ -n "$NOISY_SHEDS" ] && [ "$NOISY_SHEDS" -ge 1 ] || fail "noisy sheds ${NOISY_SHEDS:-missing}, want >= 1"
+[ "${QUIET_SHEDS:-0}" = 0 ] || fail "quiet sheds $QUIET_SHEDS, want 0"
+say "statusz: noisy sheds $NOISY_SHEDS, quiet sheds 0"
+
+# --- Invariant 3: the cache is shared across tenants ----------------
+HIT=$(post_as noisy "$QUIET_JSON")
+case "$HIT" in
+  *'"cached":true'*) : ;;
+  *) fail "quiet result not a cache hit for the noisy tenant: $HIT" ;;
+esac
+[ "$(field "$HIT" digest)" = "$WANT" ] || fail "cross-tenant cache digest $(field "$HIT" digest) != $WANT"
+say "quiet result served from cache to the noisy tenant"
+
+# Let the noisy backlog drain so the kill phase replays exactly one job.
+wait_done "$A" >/dev/null
+wait_done "$B" >/dev/null
+
+# --- Invariant 4: SIGKILL mid-job, restart, tenant-tagged replay ----
+KILL_JSON='{"app":"em3d","pes":4,"nodes_per_pe":120,"degree":8,"iters":8,"seed":9}'
+WANT2=$("$TMP/em3d" -digest -version Bulk -pes 4 -nodes 120 -degree 8 -iters 8 -seed 9 -remote 0)
+R=$(field "$(post_as quiet "$KILL_JSON")" id)
+[ -n "$R" ] || fail "kill-phase submit refused"
+say "submitted $R as quiet, SIGKILLing server mid-job"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+start_server
+say "restarted on the same journal"
+
+GOT2=$(wait_done "$R")
+[ "$GOT2" = "$WANT2" ] || fail "replayed digest $GOT2 != batch digest $WANT2"
+QUIET_DONE=$(tenant_stat quiet completed)
+[ -n "$QUIET_DONE" ] && [ "$QUIET_DONE" -ge 1 ] || fail "replayed job not attributed to quiet tenant (completed ${QUIET_DONE:-missing})"
+say "journaled quiet job replayed to the batch digest and attributed to its tenant"
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+say "PASS"
