@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke serve-faults serve-tenants
+.PHONY: all build test vet lint check race bench chaos fuzz cover serve-smoke serve-faults serve-tenants serve-resume
 
 all: check
 
@@ -42,6 +42,8 @@ fuzz:
 	$(GO) test ./internal/am -run '^$$' -fuzz FuzzClassifySlot -fuzztime 10s
 	$(GO) test ./internal/am -run '^$$' -fuzz FuzzAckControl -fuzztime 10s
 	$(GO) test ./internal/am -run '^$$' -fuzz FuzzPoisonWire -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzJournalRecord -fuzztime 10s
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz FuzzCheckpointHeader -fuzztime 10s
 
 # cover runs the suite with coverage and prints the per-package summary;
 # the profile lands in cover.out for `go tool cover -html=cover.out`.
@@ -79,6 +81,15 @@ serve-faults:
 # tenant. See scripts/serve_tenants.sh.
 serve-tenants:
 	./scripts/serve_tenants.sh
+
+# serve-resume is the durable-checkpoint gate on real binaries: a long
+# checkpointed job's server is SIGKILLed after its first checkpoint
+# lands, and the restarted server must resume the job from a checkpoint
+# (not replay from scratch), finish it to the batch digest, and a
+# watching t3dclient must report "resumed from epoch N". See
+# scripts/serve_resume.sh.
+serve-resume:
+	./scripts/serve_resume.sh
 
 # bench runs the root benchmark suite (sim-heap throughput in events/sec
 # plus allocs/op for the sim heap, shell hot path, and net routing) and

@@ -65,8 +65,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 	if !*quiet {
+		resumeSeen := false
 		c.OnProgress = func(st serve.JobStatus) {
 			p := st.Progress
+			// A resumed job announces where it picked up — once, the
+			// first time the watch stream says so (also after a watch
+			// reconnect against a server that restarted mid-job).
+			if p.Resumed && !resumeSeen {
+				resumeSeen = true
+				fmt.Fprintf(os.Stderr, "t3dclient: %s resumed from epoch %d (%d cycles banked)\n",
+					st.ID, p.ResumeEpoch, p.ResumeCycles)
+			}
 			fmt.Fprintf(os.Stderr, "t3dclient: %s %s iter %d/%d cycles %d\n",
 				st.ID, st.State, p.Iters, p.TotalIters, p.Cycles)
 		}

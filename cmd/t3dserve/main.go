@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/hostfs"
 	"repro/internal/serve"
 )
@@ -117,6 +118,14 @@ func main() {
 		wallLimit    = flag.Duration("wall-limit", 120*time.Second, "default per-job wall-clock budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 
+		// Durable mid-job checkpoints: off unless -checkpoint-dir is set
+		// (and the journal is on — checkpoints are only trusted when a
+		// journal record vouches for them). -checkpoint-cycles gives jobs
+		// that don't ask for a cadence one anyway.
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for durable mid-job checkpoints ('' disables)")
+		ckptCycles = flag.Int64("checkpoint-cycles", 0, "default checkpoint cadence in simulated cycles (0 = only jobs that request one)")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "checkpoints retained per job (fallback ladder depth)")
+
 		// Disk-fault injection (testing/ops drills only): the journal is
 		// mounted on a seeded hostfs.Fault instead of the real filesystem.
 		diskSeed       = flag.Uint64("disk-fault-seed", 0, "seed for injected journal disk faults")
@@ -155,6 +164,12 @@ func main() {
 			go pollDiskControl(*diskControl, faultFS, logger)
 		}
 	}
+	if *ckptDir != "" {
+		if err := ckpt.MkdirAll(*ckptDir); err != nil {
+			fmt.Fprintf(os.Stderr, "t3dserve: checkpoint dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Pool: serve.PoolConfig{
 			Workers:    *workers,
@@ -162,13 +177,16 @@ func main() {
 			TargetWait: *targetWait,
 			Tenants:    tenants,
 		},
-		JournalPath:       *journal,
-		FS:                journalFS,
-		HealBackoff:       *healBackoff,
-		CacheCap:          *cacheCap,
-		DefaultCycleLimit: *cycleLimit,
-		DefaultWallLimit:  *wallLimit,
-		Logf:              logger.Printf,
+		JournalPath:             *journal,
+		FS:                      journalFS,
+		HealBackoff:             *healBackoff,
+		CheckpointDir:           *ckptDir,
+		CheckpointRetain:        *ckptRetain,
+		DefaultCheckpointCycles: *ckptCycles,
+		CacheCap:                *cacheCap,
+		DefaultCycleLimit:       *cycleLimit,
+		DefaultWallLimit:        *wallLimit,
+		Logf:                    logger.Printf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "t3dserve: %v\n", err)

@@ -58,6 +58,11 @@ var hostPkgs = map[string]bool{
 	// fault stream uses the sanctioned internal/fault core, and nothing
 	// in it can reach simulated state.
 	"repro/internal/hostfs": true,
+	// internal/ckpt is the durable-checkpoint store on that same VFS:
+	// host files, host timestamps for /statusz freshness, nothing that
+	// can reach simulated state — the snapshots it stores are inert
+	// bytes between a barrier and a resume.
+	"repro/internal/ckpt": true,
 }
 
 // randConstructors are the package-level math/rand functions that do

@@ -4,8 +4,36 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/splitc"
 )
+
+// RecoverOpts bundles the optional extensions of a recoverable run:
+// crash injection, durable-checkpoint export, and resume from a
+// previously exported checkpoint. The zero value is a plain
+// recoverable run.
+type RecoverOpts struct {
+	Recovery splitc.RecoveryConfig
+	// Injector, if non-nil, has its node-crash handler wired to the
+	// recovery layer (the extG hard-fault path).
+	Injector *fault.Injector
+	// Resume, if non-nil, starts the run at the snapshot's epoch instead
+	// of epoch 0. The machine must match the snapshot's shape; the
+	// result is bit-identical to an uninterrupted run of the same spec.
+	Resume *splitc.MachineSnapshot
+	// BaseCycles is the simulated time the Resume snapshot already
+	// accounts for; it is added to the engine's elapsed time so
+	// Result.Cycles reports the whole logical run, not just the tail —
+	// the accounting the serve cache and tenant budgets charge.
+	BaseCycles sim.Time
+	// Sink, if non-nil, observes each committed mid-run checkpoint with
+	// its cumulative cycle count (BaseCycles + simulated now). Snapshot
+	// buffers are borrowed — copy before returning to persist async.
+	Sink func(snap *splitc.MachineSnapshot, cum sim.Time)
+	// Progress, if non-nil, is called on PE 0 after each epoch with the
+	// epoch just finished and the cumulative cycles.
+	Progress func(epoch int, cum sim.Time)
+}
 
 // RunRecoverable executes EM3D under checkpoint/rollback recovery
 // (splitc.Recovery): the program survives permanent link faults (the
@@ -26,20 +54,43 @@ import (
 // epochs and rollback stalls — the degraded-mode completion time the extG
 // experiment sweeps.
 func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg splitc.RecoveryConfig, in *fault.Injector) (Result, splitc.RecoveryStats, error) {
+	return RunRecoverableOpts(m, cfg, v, knobs, RecoverOpts{Recovery: rcfg, Injector: in})
+}
+
+// RunRecoverableOpts is RunRecoverable with the full option set: the
+// entry point of the durable-checkpoint path. The same spec produces
+// the same digest whether it runs uninterrupted, crashes and replays
+// in-memory, or is killed and resumed from a persisted checkpoint —
+// the property the serve layer's resume tests pin.
+func RunRecoverableOpts(m *machine.T3D, cfg Config, v Version, knobs Knobs, opts RecoverOpts) (Result, splitc.RecoveryStats, error) {
 	nproc := len(m.Nodes)
 	g := buildGraph(nproc, cfg)
+	rcfg := opts.Recovery
 	rtCfg := splitc.DefaultConfig()
 	rtCfg.Reliable = cfg.Reliable
 	rtCfg.Audit = cfg.Audit
 	rt := splitc.NewRuntime(m, rtCfg)
 	lay := layout(g, rt)
 	// Host-side seeding happens before Run takes the pre-run image, so a
-	// crash before the first checkpoint restores the seeded graph.
+	// crash before the first checkpoint restores the seeded graph. On
+	// resume the checkpoint image overwrites the seeded values, but the
+	// layout addresses it was built against are reproduced by the same
+	// deterministic construction.
 	seed(g, m, lay)
 
+	if opts.Sink != nil {
+		base := opts.BaseCycles
+		inner := opts.Sink
+		rcfg.Sink = func(ms *splitc.MachineSnapshot) { inner(ms, base+ms.Now) }
+	}
 	rec := splitc.NewRecovery(rt, rcfg)
-	if in != nil {
-		in.OnNodeCrash = rec.CrashNode
+	if opts.Resume != nil {
+		if err := rec.ResumeFrom(opts.Resume); err != nil {
+			return Result{Version: v, Cfg: cfg, NProc: nproc}, splitc.RecoveryStats{}, err
+		}
+	}
+	if opts.Injector != nil {
+		opts.Injector.OnNodeCrash = rec.CrashNode
 	}
 	end, stats, err := rec.Run(func(c *splitc.Ctx, r *splitc.Recovery) splitc.EpochFunc {
 		pe := c.MyPE()
@@ -47,16 +98,20 @@ func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg spl
 			exchange(c, g, lay, pe, v)
 			compute(c, g, lay, pe, v, knobs)
 			c.Barrier()
+			if pe == 0 && opts.Progress != nil {
+				opts.Progress(epoch, opts.BaseCycles+c.P.Now())
+			}
 			return epoch < cfg.Iters // epoch 0 is the warm-up step
 		}
 	})
 
+	total := opts.BaseCycles + end
 	edges := g.edgeCount()
 	res := Result{
 		Version:    v,
 		Cfg:        cfg,
 		NProc:      nproc,
-		Cycles:     end,
+		Cycles:     total,
 		EdgesPerPE: edges,
 		Rewrites:   rt.Rewrites,
 		Audits:     rt.Audits,
@@ -64,7 +119,7 @@ func RunRecoverable(m *machine.T3D, cfg Config, v Version, knobs Knobs, rcfg spl
 	if err == nil {
 		res.Validated = validate(g, m, lay)
 		res.Digest = digest(g, m, lay)
-		perEdge := float64(end) / float64(edges*int64(cfg.Iters))
+		perEdge := float64(total) / float64(edges*int64(cfg.Iters))
 		res.USPerEdge = perEdge * cpu.NSPerCycle / 1e3
 		res.MFlopsPE = 2 / res.USPerEdge
 	}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/shell"
+	"repro/internal/sim"
 	"repro/internal/splitc"
 )
 
@@ -113,6 +115,146 @@ func TestRecoverableCombinedHardFaults(t *testing.T) {
 	}
 	if res.Digest != clean.Digest {
 		t.Errorf("digest %#x differs from fault-free %#x", res.Digest, clean.Digest)
+	}
+}
+
+// copySnap deep-copies a sink-borrowed MachineSnapshot (its buffers are
+// only valid for the duration of the Sink call).
+func copySnap(ms *splitc.MachineSnapshot) *splitc.MachineSnapshot {
+	cp := &splitc.MachineSnapshot{
+		Epoch: ms.Epoch, Now: ms.Now,
+		Mem:  make([][]byte, len(ms.Mem)),
+		Regs: append([]shell.RegSnapshot(nil), ms.Regs...),
+		Heap: append([]int64(nil), ms.Heap...),
+	}
+	for pe := range ms.Mem {
+		cp.Mem[pe] = append([]byte(nil), ms.Mem[pe]...)
+	}
+	return cp
+}
+
+// The tentpole identity: a run killed at any checkpoint and resumed on
+// a fresh machine lands on the same digest as the uninterrupted run.
+func TestResumeFromCheckpointBitIdentical(t *testing.T) {
+	cfg := smallCfg(0.4)
+	cfg.Reliable = true
+	type taken struct {
+		snap *splitc.MachineSnapshot
+		cum  sim.Time
+	}
+	var caps []taken
+	clean, _, err := RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{
+		Sink: func(ms *splitc.MachineSnapshot, cum sim.Time) {
+			caps = append(caps, taken{copySnap(ms), cum})
+		},
+	})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if !clean.Validated {
+		t.Fatal("clean run does not validate")
+	}
+	// One sink call per committed non-final checkpoint: post-setup
+	// (epoch 0) plus one per epoch except the last.
+	if len(caps) < cfg.Iters {
+		t.Fatalf("only %d checkpoints reached the sink for %d iters", len(caps), cfg.Iters)
+	}
+	for _, cp := range caps {
+		var firstEpoch = -1
+		res, stats, err := RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{
+			Resume:     cp.snap,
+			BaseCycles: cp.cum,
+			Progress: func(epoch int, _ sim.Time) {
+				if firstEpoch < 0 {
+					firstEpoch = epoch
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("resume from epoch %d: %v", cp.snap.Epoch, err)
+		}
+		if !res.Validated {
+			t.Fatalf("resume from epoch %d does not validate", cp.snap.Epoch)
+		}
+		if res.Digest != clean.Digest {
+			t.Fatalf("resume from epoch %d: digest %#x differs from uninterrupted %#x",
+				cp.snap.Epoch, res.Digest, clean.Digest)
+		}
+		if firstEpoch != cp.snap.Epoch {
+			t.Fatalf("resume from epoch %d started at epoch %d: earlier epochs were replayed",
+				cp.snap.Epoch, firstEpoch)
+		}
+		if res.Cycles <= cp.cum {
+			t.Fatalf("resume from epoch %d: cycles %d do not include the %d-cycle base",
+				cp.snap.Epoch, res.Cycles, cp.cum)
+		}
+		if stats.Rollbacks != 0 {
+			t.Fatalf("clean resume rolled back %d times", stats.Rollbacks)
+		}
+	}
+}
+
+// A resumed run that crashes again must roll back to the resume image
+// (never earlier) and still finish bit-identical.
+func TestResumeSurvivesFurtherCrash(t *testing.T) {
+	cfg := smallCfg(0.4)
+	cfg.Reliable = true
+	clean, _, err := RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	var mid *splitc.MachineSnapshot
+	var midCum sim.Time
+	_, _, err = RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{
+		Sink: func(ms *splitc.MachineSnapshot, cum sim.Time) {
+			if mid == nil && ms.Epoch >= 1 {
+				mid, midCum = copySnap(ms), cum
+			}
+		},
+	})
+	if err != nil || mid == nil {
+		t.Fatalf("no mid-run checkpoint captured (err %v)", err)
+	}
+	m := NewMachine(4)
+	in := fault.Inject(m, fault.Config{Seed: 5, HardNodeFaults: 1, Horizon: 25000})
+	res, stats, err := RunRecoverableOpts(m, cfg, Put, DefaultKnobs(), RecoverOpts{
+		Resume: mid, BaseCycles: midCum, Injector: in,
+	})
+	if err != nil {
+		t.Fatalf("resumed run with crash: %v", err)
+	}
+	if stats.NodeCrashes == 0 {
+		t.Skip("no crash landed inside the resumed tail; nothing to assert")
+	}
+	if res.Digest != clean.Digest {
+		t.Fatalf("digest %#x differs from uninterrupted %#x after resume+crash", res.Digest, clean.Digest)
+	}
+}
+
+func TestResumeFromRejectsWrongShape(t *testing.T) {
+	cfg := smallCfg(0.4)
+	var cp *splitc.MachineSnapshot
+	_, _, err := RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{
+		Sink: func(ms *splitc.MachineSnapshot, _ sim.Time) {
+			if cp == nil {
+				cp = copySnap(ms)
+			}
+		},
+	})
+	if err != nil || cp == nil {
+		t.Fatalf("no checkpoint captured (err %v)", err)
+	}
+	// Wrong PE count: an 8-PE machine cannot adopt a 4-PE image.
+	if _, _, err := RunRecoverableOpts(NewMachine(8), cfg, Put, DefaultKnobs(), RecoverOpts{Resume: cp}); err == nil {
+		t.Fatal("resume of a 4-PE snapshot on an 8-PE machine succeeded")
+	}
+	// Wrong image size for the machine's DRAM.
+	bad := copySnap(cp)
+	for pe := range bad.Mem {
+		bad.Mem[pe] = bad.Mem[pe][:len(bad.Mem[pe])/2]
+	}
+	if _, _, err := RunRecoverableOpts(NewMachine(4), cfg, Put, DefaultKnobs(), RecoverOpts{Resume: bad}); err == nil {
+		t.Fatal("resume with truncated DRAM images succeeded")
 	}
 }
 

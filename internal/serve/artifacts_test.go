@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hostfs"
+)
+
+// saveArtifactDir copies every regular file in dir into
+// $T3D_ARTIFACT_DIR/<name>/ so a CI failure ships the evidence —
+// journal segments, checkpoint files, quarantined carcasses — as a
+// workflow artifact instead of a log line saying "it was corrupt".
+// A no-op when T3D_ARTIFACT_DIR is unset (local runs).
+func saveArtifactDir(name, dir string) error {
+	root := os.Getenv("T3D_ARTIFACT_DIR")
+	if root == "" {
+		return nil
+	}
+	dst := filepath.Join(root, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveOpLog renders a recorder's mutation log to
+// $T3D_ARTIFACT_DIR/<name>/oplog.txt — the exact crash-point geometry a
+// harness failure needs to be reproduced.
+func saveOpLog(name string, ops []hostfs.Op) error {
+	root := os.Getenv("T3D_ARTIFACT_DIR")
+	if root == "" {
+		return nil
+	}
+	dst := filepath.Join(root, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	var buf []byte
+	for i, op := range ops {
+		buf = fmt.Appendf(buf, "%5d %-8s %s", i, op.Kind, filepath.Base(op.Path))
+		switch op.Kind {
+		case hostfs.OpWrite:
+			buf = fmt.Appendf(buf, " off=%d len=%d", op.Off, len(op.Data))
+		case hostfs.OpTruncate:
+			buf = fmt.Appendf(buf, " size=%d", op.Off)
+		case hostfs.OpRename:
+			buf = fmt.Appendf(buf, " -> %s", filepath.Base(op.To))
+		case hostfs.OpOpen:
+			buf = fmt.Appendf(buf, " flag=%#x", op.Flag)
+		}
+		buf = append(buf, '\n')
+	}
+	return os.WriteFile(filepath.Join(dst, "oplog.txt"), buf, 0o644)
+}
+
+// stashArtifactsOnFailure arms a cleanup that, if the test fails,
+// saves the given directories (and, when ops is non-nil, the recorder
+// log) under the test's name. Harness tests call it right after
+// creating their state directories.
+func stashArtifactsOnFailure(t *testing.T, dirs []string, ops func() []hostfs.Op) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() || os.Getenv("T3D_ARTIFACT_DIR") == "" {
+			return
+		}
+		for i, d := range dirs {
+			if err := saveArtifactDir(fmt.Sprintf("%s/dir%d", t.Name(), i), d); err != nil {
+				t.Logf("artifact save of %s: %v", d, err)
+			}
+		}
+		if ops != nil {
+			if err := saveOpLog(t.Name(), ops()); err != nil {
+				t.Logf("artifact op log: %v", err)
+			}
+		}
+	})
+}
+
+// TestArtifactSaving pins the helper itself: with T3D_ARTIFACT_DIR set
+// it must copy directory contents and render the op log; with it unset
+// it must touch nothing.
+func TestArtifactSaving(t *testing.T) {
+	src := t.TempDir()
+	if err := os.WriteFile(filepath.Join(src, "a.ckpt"), []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	t.Setenv("T3D_ARTIFACT_DIR", out)
+
+	if err := saveArtifactDir("case1", src); err != nil {
+		t.Fatalf("saveArtifactDir: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(out, "case1", "a.ckpt"))
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("copied artifact = %q, %v", got, err)
+	}
+
+	ops := []hostfs.Op{
+		{Kind: hostfs.OpOpen, Path: "/x/j.journal.seg000001", Flag: os.O_CREATE},
+		{Kind: hostfs.OpWrite, Path: "/x/j.journal.seg000001", Off: 0, Data: []byte("abc")},
+		{Kind: hostfs.OpRename, Path: "/x/a.tmp", To: "/x/a.ckpt"},
+	}
+	if err := saveOpLog("case1", ops); err != nil {
+		t.Fatalf("saveOpLog: %v", err)
+	}
+	log, err := os.ReadFile(filepath.Join(out, "case1", "oplog.txt"))
+	if err != nil {
+		t.Fatalf("op log: %v", err)
+	}
+	for _, want := range []string{"write", "len=3", "a.tmp", "-> a.ckpt"} {
+		if !strings.Contains(string(log), want) {
+			t.Fatalf("op log missing %q:\n%s", want, log)
+		}
+	}
+
+	t.Setenv("T3D_ARTIFACT_DIR", "")
+	if err := saveArtifactDir("case2", src); err != nil {
+		t.Fatalf("disabled saveArtifactDir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "case2")); !os.IsNotExist(err) {
+		t.Fatalf("artifact written with T3D_ARTIFACT_DIR unset")
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/em3d"
+	"repro/internal/machine"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// ckptRef is one journal-recorded resume candidate: the checkpointed
+// record's binding of this job to a file name (relative to the
+// checkpoint dir) and the whole-file digest of the bytes the record
+// vouches for.
+type ckptRef struct {
+	File   string
+	Digest string
+	Epoch  int
+	Cycles int64
+}
+
+// ckptRun carries one job's durable-checkpoint context into runSpec:
+// where to persist (store + journal), how often (interval, simulated
+// cycles), and which journal-referenced checkpoints may be resumed
+// from (refs, newest first).
+//
+// The persist protocol is write-then-bind: publish the file (tmp +
+// fsync + rename), then append the checkpointed record binding job →
+// epoch → file digest. If the binding cannot be made durable — the
+// journal is degraded, closing under a cancel/kill, or the disk died
+// between the two steps — the just-published file is removed again, so
+// no checkpoint exists that the journal does not vouch for. (A real
+// SIGKILL between the two steps leaves the orphan on disk; the startup
+// sweep removes every file no journal record references, closing the
+// same window from the other side.)
+type ckptRun struct {
+	store    *ckpt.Store
+	journal  *Journal
+	id       string
+	tenant   string
+	interval int64
+	refs     []ckptRef
+	logf     func(string, ...any)
+}
+
+// run executes one em3d spec under the recoverable runner with durable
+// checkpointing, resuming from the newest valid journal-referenced
+// checkpoint when there is one.
+func (c *ckptRun) run(m *machine.T3D, cfg em3d.Config, v em3d.Version, prog *Progress) (em3d.Result, error) {
+	resume, base := c.resolveResume(m)
+	if resume != nil && prog != nil {
+		prog.Resumed.Store(true)
+		prog.ResumeEpoch.Store(int64(resume.Epoch))
+		prog.ResumeCycles.Store(base)
+		prog.Cycles.Store(base)
+	}
+	opts := em3d.RecoverOpts{
+		Resume:     resume,
+		BaseCycles: sim.Time(base),
+		Sink:       c.sink(base, prog),
+	}
+	if prog != nil {
+		opts.Progress = func(epoch int, cum sim.Time) {
+			prog.Iters.Store(int64(epoch))
+			prog.Cycles.Store(int64(cum))
+		}
+	}
+	res, _, err := em3d.RunRecoverableOpts(m, cfg, v, em3d.DefaultKnobs(), opts)
+	return res, err
+}
+
+// resolveResume walks the fallback ladder: newest checkpoint first,
+// each candidate fully validated (journal digest over the whole file,
+// header CRC, payload CRC, machine shape) before it is trusted. A
+// candidate that fails any check is quarantined and the next-older one
+// tried; with none left the job replays from scratch. Graceful
+// degradation — a damaged checkpoint can cost time, never correctness.
+func (c *ckptRun) resolveResume(m *machine.T3D) (*splitc.MachineSnapshot, int64) {
+	for _, ref := range c.refs {
+		snap, err := c.store.Load(ref.File, ref.Digest)
+		if err != nil {
+			c.logf("serve: checkpoint %s for %s failed validation: %v (quarantined, trying older)", ref.File, c.id, err)
+			c.store.Quarantine(ref.File)
+			continue
+		}
+		if snap.JobID != c.id || snap.Epoch != ref.Epoch {
+			c.logf("serve: checkpoint %s binds to job %s epoch %d, journal says %s epoch %d (quarantined)",
+				ref.File, snap.JobID, snap.Epoch, c.id, ref.Epoch)
+			c.store.Quarantine(ref.File)
+			continue
+		}
+		if snap.PEs != len(m.Nodes) || (snap.PEs > 0 && snap.MemLen != m.Nodes[0].DRAM.Size()) {
+			c.logf("serve: checkpoint %s shape (%d PEs × %d B) does not fit the machine (quarantined)",
+				ref.File, snap.PEs, snap.MemLen)
+			c.store.Quarantine(ref.File)
+			continue
+		}
+		ms := &splitc.MachineSnapshot{
+			Epoch: snap.Epoch,
+			Mem:   snap.Mem,
+			Regs:  make([]shell.RegSnapshot, snap.PEs),
+			Heap:  append([]int64(nil), snap.Heap...),
+		}
+		for pe, r := range snap.Regs {
+			ms.Regs[pe] = shell.RegSnapshot{FI: [2]uint64{r[0], r[1]}, Swap: r[2]}
+		}
+		c.logf("serve: job %s resuming from checkpoint %s (epoch %d, %d cycles banked)",
+			c.id, ref.File, snap.Epoch, snap.Cycles)
+		return ms, snap.Cycles
+	}
+	return nil, 0
+}
+
+// sink returns the em3d checkpoint sink: persist at most one file per
+// interval of cumulative cycles. It runs in simulation context (the
+// machine is quiesced at a committed checkpoint), so its wall time is
+// invisible to simulated time and its failures only delay the next
+// persist attempt by one interval — a dead disk degrades RTO, not the
+// run.
+func (c *ckptRun) sink(base int64, prog *Progress) func(*splitc.MachineSnapshot, sim.Time) {
+	lastPersist := base
+	return func(ms *splitc.MachineSnapshot, cum sim.Time) {
+		if int64(cum)-lastPersist < c.interval {
+			return
+		}
+		// Attempt made: advance the gate on success or failure, so a
+		// persistently failing disk is probed once per interval, not once
+		// per epoch.
+		lastPersist = int64(cum)
+		snap := &ckpt.Snapshot{
+			Meta: ckpt.Meta{
+				JobID: c.id, Epoch: ms.Epoch, Cycles: int64(cum),
+				PEs: len(ms.Mem), Heap: ms.Heap,
+				Regs: make([][3]uint64, len(ms.Regs)),
+			},
+			Mem: ms.Mem,
+		}
+		if len(ms.Mem) > 0 {
+			snap.MemLen = int64(len(ms.Mem[0]))
+		}
+		for pe, r := range ms.Regs {
+			snap.Regs[pe] = [3]uint64{r.FI[0], r.FI[1], r.Swap}
+		}
+		name, digest, err := c.store.Write(snap)
+		if err != nil {
+			if prog != nil {
+				prog.CheckpointFails.Add(1)
+			}
+			c.logf("serve: checkpoint write for %s epoch %d: %v", c.id, ms.Epoch, err)
+			return
+		}
+		rec := Record{
+			Type: recCheckpointed, ID: c.id, Tenant: c.tenant,
+			Epoch: ms.Epoch, File: name, Digest: digest, Cycles: int64(cum),
+		}
+		if err := appendRetry(c.journal, rec, 3, time.Sleep); err != nil {
+			// The binding is not durable: unpublish so no file exists the
+			// journal does not vouch for (the cancel/crash stranding guard).
+			if rerr := c.store.Remove(name); rerr != nil {
+				c.logf("serve: unpublish of unbound checkpoint %s: %v", name, rerr)
+			}
+			if prog != nil {
+				prog.CheckpointFails.Add(1)
+			}
+			c.logf("serve: checkpoint record for %s epoch %d: %v (checkpoint discarded)", c.id, ms.Epoch, err)
+			return
+		}
+		if prog != nil {
+			prog.Checkpoints.Add(1)
+		}
+	}
+}

@@ -39,24 +39,45 @@ type jobRun struct {
 // Jobs in the gray zone — some submit bytes durable, ack never returned
 // — may lawfully surface (the documented WAL ambiguity); if one does,
 // it must still replay to the correct digest.
+//
+// Two of the jobs checkpoint durably mid-run, so the enumeration also
+// cuts crashes into every byte of the checkpoint write/bind protocol:
+// tmp write, rename publication, journal binding, retention pruning. At
+// every such point the recovered job — resuming from a checkpoint or
+// replaying from scratch — must land the identical digest, and after
+// all jobs are terminal the checkpoint directory must hold no files at
+// all (no stranded tmp, no orphaned publication, no quarantine
+// leftovers).
 func TestCrashPointConsistency(t *testing.T) {
 	// Phase 1: record a real run. One worker and jobs awaited serially
 	// keep the ack brackets strict: preOp <= ackOp <= doneOp per job,
 	// monotone across jobs. A tiny segment bound forces rotations and
 	// compactions into the recorded history so their crash points are
-	// enumerated too.
+	// enumerated too. The checkpoint dir IS the journal dir: the recorder
+	// remaps everything flat at materialize time, and the two stores'
+	// file names cannot collide.
 	dir := t.TempDir()
 	rec := hostfs.NewRecorder(hostfs.OS())
+	stashArtifactsOnFailure(t, []string{dir}, rec.Ops)
 	s := newTestServer(t, Config{
-		JournalPath:     filepath.Join(dir, "j.journal"),
-		FS:              rec,
-		MaxSegmentBytes: 700,
-		Pool:            PoolConfig{Workers: 1, QueueDepth: 8},
+		JournalPath:      filepath.Join(dir, "j.journal"),
+		CheckpointDir:    dir,
+		CheckpointRetain: 2,
+		FS:               rec,
+		MaxSegmentBytes:  700,
+		Pool:             PoolConfig{Workers: 1, QueueDepth: 8},
 	})
 
+	specs := []JobSpec{
+		quickSpec(4100), quickSpec(4101),
+		crashCkptSpec(4102),
+		quickSpec(4103),
+		crashCkptSpec(4104),
+		quickSpec(4105),
+	}
 	var runs []jobRun
-	for i := 0; i < 6; i++ {
-		r := jobRun{spec: quickSpec(int64(4100 + i)), preOp: rec.OpCount()}
+	for i, spec := range specs {
+		r := jobRun{spec: spec, preOp: rec.OpCount()}
 		j, err := s.Submit(r.spec)
 		if err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
@@ -66,6 +87,10 @@ func TestCrashPointConsistency(t *testing.T) {
 		r.doneOp = rec.OpCount()
 		if j.State() != StateDone {
 			t.Fatalf("job %s ended %v (%s)", j.ID, j.State(), j.Err)
+		}
+		if spec.CheckpointCycles > 0 && j.Progress.Checkpoints.Load() < 2 {
+			t.Fatalf("checkpointed job %s published only %d checkpoints — crash points would not cover the protocol",
+				j.ID, j.Progress.Checkpoints.Load())
 		}
 		r.id, r.digest = j.ID, j.Result.Digest
 		runs = append(runs, r)
@@ -118,8 +143,10 @@ func checkCrashPoint(t *testing.T, ops []hostfs.Op, runs []jobRun, n, tear int) 
 		t.Fatalf("crash point %d/%d: materialize: %v", n, tear, err)
 	}
 	s, err := NewServer(Config{
-		JournalPath: filepath.Join(dir, "j.journal"),
-		Pool:        PoolConfig{Workers: 2, QueueDepth: 16},
+		JournalPath:      filepath.Join(dir, "j.journal"),
+		CheckpointDir:    dir,
+		CheckpointRetain: 2,
+		Pool:             PoolConfig{Workers: 2, QueueDepth: 16},
 	})
 	if err != nil {
 		t.Fatalf("crash point %d/%d: recovery refused the journal: %v", n, tear, err)
@@ -193,5 +220,27 @@ func checkCrashPoint(t *testing.T, ops []hostfs.Op, runs []jobRun, n, tear int) 
 				}
 			}
 		}
+	}
+
+	// Zero-leak gate: with every job terminal and every done record
+	// durable, the checkpoint directory owes the operator nothing — no
+	// published file, no half-written tmp, no quarantined carcass. A
+	// leak here means some crash point left a file no journal record
+	// vouches for and recovery failed to sweep it.
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatalf("crash point %d/%d: drain: %v", n, tear, err)
+	}
+	if files := ckptFiles(t, dir); len(files) != 0 {
+		t.Fatalf("crash point %d/%d: checkpoint files leaked: %v", n, tear, files)
+	}
+}
+
+// crashCkptSpec is the checkpointed job the crash harness records: long
+// enough to publish a few checkpoints at a cadence of roughly three
+// epochs, short enough that enumerating every crash point stays fast.
+func crashCkptSpec(seed int64) JobSpec {
+	return JobSpec{
+		App: AppEM3D, PEs: 2, NodesPerPE: 48, Degree: 4, Iters: 12,
+		Seed: seed, MemBytes: 128 << 10, CheckpointCycles: 26_000,
 	}
 }

@@ -17,11 +17,12 @@ import (
 
 // Journal record types.
 const (
-	recSubmitted = "submitted" // spec accepted and admitted
-	recRunning   = "running"   // a worker picked the job up
-	recDone      = "done"      // terminal: result or classified failure
-	recAborted   = "aborted"   // a submitted record whose ack never reached the client
-	recProbe     = "probe"     // degraded-mode heal probe; carries nothing
+	recSubmitted    = "submitted"    // spec accepted and admitted
+	recRunning      = "running"      // a worker picked the job up
+	recDone         = "done"         // terminal: result or classified failure
+	recAborted      = "aborted"      // a submitted record whose ack never reached the client
+	recProbe        = "probe"        // degraded-mode heal probe; carries nothing
+	recCheckpointed = "checkpointed" // a durable checkpoint file published for a running job
 )
 
 // Record is one write-ahead journal entry. The on-disk form is one line
@@ -43,6 +44,18 @@ type Record struct {
 	Result *JobResult `json:"result,omitempty"`
 	Err    string     `json:"err,omitempty"`
 	Class  string     `json:"class,omitempty"` // Classify(err) for failed jobs
+
+	// Checkpointed-record payload: the binding from a job to a published
+	// checkpoint file. File is the name inside the checkpoint dir (base
+	// name only — the dir is configuration, not journal state); Digest is
+	// the whole-file FNV-1a of the published bytes, verified before any
+	// resume trusts the file; Epoch and Cycles locate the image in the
+	// run. Recovery only ever resumes from checkpoints the journal vouches
+	// for — a file on disk without a matching record is startup-swept.
+	Epoch  int    `json:"epoch,omitempty"`
+	File   string `json:"file,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Cycles int64  `json:"cycles,omitempty"`
 }
 
 // JournalOptions tunes the journal. The zero value is production:
@@ -532,6 +545,10 @@ func (j *Journal) compactLocked() {
 				keep = !j.doneIDs[r.ID] && !seenAbort[r.ID]
 				seenAbort[r.ID] = true
 			case recSubmitted:
+				keep = !j.doneIDs[r.ID] && !j.abortedIDs[r.ID]
+			case recCheckpointed:
+				// A live job's resume ladder; once the job is terminal its
+				// checkpoints are swept and the bindings are dead weight.
 				keep = !j.doneIDs[r.ID] && !j.abortedIDs[r.ID]
 			}
 			if !keep {

@@ -54,6 +54,12 @@ type Job struct {
 	wallDeadline time.Time     // zero = no wall budget
 	aborted      atomic.Bool   // drain/cancel request, polled by the run
 	recovered    bool          // journal-replayed job: bypasses admission
+
+	// resume is the job's journal-vouched checkpoint ladder, newest
+	// first — populated at replay from checkpointed records, consumed by
+	// the worker's ckptRun to cut the re-executed work to at most one
+	// checkpoint interval (plus whatever the ladder had to skip).
+	resume []ckptRef
 }
 
 // State returns the job's current lifecycle state.

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/hostfs"
+)
+
+// TestSoakKillStormRTO is the recovery-time acceptance soak: a long
+// checkpointed job is SIGKILL-simulated (Server.Kill, journal abandoned
+// mid-flight) several times, on a disk injecting write/short-write/sync
+// faults, and after every restart the re-executed work — progress at
+// the kill minus the cycles banked by the checkpoint the restart
+// resumed from — must stay within ~1.5 checkpoint intervals, plus one
+// interval per checkpoint attempt the faulty disk ate (each failure
+// legitimately widens the gap between durable checkpoints by one
+// cadence). The job must still finish with the digest an uninterrupted
+// run produces, and no goroutine may outlive the storm.
+func TestSoakKillStormRTO(t *testing.T) {
+	if testing.Short() {
+		t.Log("-short: one seed instead of three")
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	baseline := runtime.NumGoroutine()
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runKillStorm(t, seed)
+		})
+	}
+	checkGoroutines(t, baseline)
+}
+
+func runKillStorm(t *testing.T, seed int64) {
+	// Calibrate the cadence to the job: the RTO bound is stated in
+	// checkpoint intervals, which only holds when the interval dominates
+	// the epoch length (a checkpoint can land no finer than an epoch
+	// barrier). Three epochs per interval keeps the 0.5-interval slack
+	// honest.
+	spec := ckptSpec(7000 + seed)
+	ref, err := runSpec(spec, 0, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	epoch := ref.Cycles / int64(spec.Iters)
+	interval := 3 * epoch
+	if interval < MinCheckpointCycles {
+		interval = MinCheckpointCycles
+	}
+	spec.CheckpointCycles = interval
+
+	root := t.TempDir()
+	ckdir := filepath.Join(root, "ck")
+	if err := ckpt.MkdirAll(ckdir); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	stashArtifactsOnFailure(t, []string{root, ckdir}, nil)
+	newServer := func() *Server {
+		ffs := hostfs.NewFault(hostfs.OS(), hostfs.FaultConfig{
+			Seed: uint64(seed), WriteErrRate: 0.02, ShortWriteRate: 0.02, SyncErrRate: 0.02,
+		})
+		return newTestServer(t, Config{
+			JournalPath:   filepath.Join(root, "j.journal"),
+			CheckpointDir: ckdir,
+			FS:            ffs,
+			Pool:          PoolConfig{Workers: 1, QueueDepth: 8},
+			Logf:          t.Logf,
+		})
+	}
+
+	s := newServer()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	id := j.ID
+
+	const kills = 3
+	resumes := 0
+	for k := 0; k < kills; k++ {
+		// Let the job make real progress past its resume point before the
+		// next kill; the extra half-interval per round shifts the kill
+		// phase relative to the checkpoint cadence so not every kill lands
+		// at a boundary. Bail out of the storm if the job finishes first.
+		target := j.Progress.ResumeCycles.Load() + 2*interval + int64(k)*interval/2
+		done := false
+		deadline := time.Now().Add(30 * time.Second)
+		for j.Progress.Cycles.Load() < target {
+			select {
+			case <-j.Done():
+				done = true
+			case <-time.After(time.Millisecond):
+			}
+			if done || time.Now().After(deadline) {
+				break
+			}
+		}
+		if done {
+			break
+		}
+		killCycles := j.Progress.Cycles.Load()
+		killFails := j.Progress.CheckpointFails.Load()
+		s.Kill()
+
+		s = newServer()
+		j2, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("kill %d: job not recovered: %v", k, err)
+		}
+		j = j2
+		// Wait for the resume decision (Cycles goes positive once the
+		// ladder is resolved — pre-seeded with the base on a resume, first
+		// epoch boundary otherwise).
+		deadline = time.Now().Add(30 * time.Second)
+		for j.Progress.Cycles.Load() == 0 {
+			select {
+			case <-j.Done():
+			case <-time.After(time.Millisecond):
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("kill %d: recovered job never started", k)
+			}
+		}
+		resumeBase := j.Progress.ResumeCycles.Load()
+		if j.Progress.Resumed.Load() {
+			resumes++
+		}
+		reexec := killCycles - resumeBase
+		limit := int64((1.5 + float64(killFails)) * float64(interval))
+		t.Logf("kill %d: killed at %d cycles (%d checkpoint fails), resumed from %d — re-executes %d, limit %d",
+			k, killCycles, killFails, resumeBase, reexec, limit)
+		if reexec > limit {
+			t.Fatalf("kill %d: re-executed work %d cycles exceeds (1.5+%d fails)×interval = %d — RTO bound broken",
+				k, reexec, killFails, limit)
+		}
+	}
+
+	awaitJob(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("job ended %v after the storm: %s", j.State(), j.Err)
+	}
+	if j.Result.Digest != ref.Digest {
+		t.Fatalf("digest %s after the storm, uninterrupted %s", j.Result.Digest, ref.Digest)
+	}
+	if resumes == 0 {
+		t.Fatalf("no restart ever resumed from a checkpoint — the storm exercised nothing")
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		// The workers are stopped either way; the fault disk may still eat
+		// the journal's closing fsync. An injected close error is the
+		// disk's problem, not a recovery bug.
+		t.Logf("Drain on the faulty disk: %v", err)
+	}
+}

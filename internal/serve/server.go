@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/hostfs"
 	"repro/internal/sim"
 )
@@ -40,6 +41,20 @@ type Config struct {
 	// DefaultWallLimit is the per-job wall-clock budget when the spec
 	// carries none (default 120s).
 	DefaultWallLimit time.Duration
+
+	// CheckpointDir, when non-empty (and journaling is on — the journal
+	// vouches for every checkpoint), enables durable mid-job checkpoints:
+	// em3d jobs with a checkpoint cadence persist barrier-aligned machine
+	// snapshots there and resume from them after a crash. The directory
+	// must exist (ckpt.MkdirAll; the fault-injectable VFS has no mkdir).
+	CheckpointDir string
+	// CheckpointRetain is how many checkpoint files are kept per job
+	// (default 3); older ones are pruned as new ones publish.
+	CheckpointRetain int
+	// DefaultCheckpointCycles is the checkpoint cadence for em3d specs
+	// that carry none (0 = checkpointing off unless the spec asks).
+	DefaultCheckpointCycles int64
+
 	// Logf, if non-nil, receives one line per notable event.
 	Logf func(format string, args ...any)
 }
@@ -54,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultWallLimit <= 0 {
 		c.DefaultWallLimit = 120 * time.Second
 	}
+	if c.CheckpointRetain <= 0 {
+		c.CheckpointRetain = 3
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -67,7 +85,8 @@ type Server struct {
 	cfg     Config
 	pool    *Pool
 	cache   *Cache
-	journal *Journal // nil when journaling is disabled
+	journal *Journal    // nil when journaling is disabled
+	ckpts   *ckpt.Store // nil when checkpointing is disabled
 
 	mu    sync.Mutex
 	jobs  map[string]*Job // by ID, terminal jobs included
@@ -111,9 +130,13 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = j
+		if cfg.CheckpointDir != "" {
+			s.ckpts = ckpt.NewStore(cfg.FS, cfg.CheckpointDir, cfg.CheckpointRetain, cfg.Logf)
+		}
 		done := make(map[string]bool)
 		aborted := make(map[string]bool)
 		pending := make(map[string]*Record)
+		ckrefs := make(map[string][]ckptRef)
 		order := []string{}
 		for i := range recs {
 			r := &recs[i]
@@ -134,6 +157,11 @@ func NewServer(cfg Config) (*Server, error) {
 				// not resurrect.
 				aborted[r.ID] = true
 				delete(pending, r.ID)
+			case recCheckpointed:
+				if r.File != "" && r.Digest != "" {
+					ckrefs[r.ID] = append(ckrefs[r.ID],
+						ckptRef{File: r.File, Digest: r.Digest, Epoch: r.Epoch, Cycles: r.Cycles})
+				}
 			}
 			if n := seqOf(r.ID); n >= s.seq {
 				s.seq = n + 1
@@ -156,9 +184,32 @@ func NewServer(cfg Config) (*Server, error) {
 				// run completes both logically; drop the duplicate.
 				continue
 			}
+			// Attach the job's resume ladder newest-first: the worker
+			// tries the freshest checkpoint and falls back through older
+			// ones, so a damaged newest costs one interval, not the run.
+			if refs := ckrefs[job.ID]; len(refs) > 0 && s.ckpts != nil {
+				job.resume = make([]ckptRef, len(refs))
+				for i, ref := range refs {
+					job.resume[len(refs)-1-i] = ref
+				}
+			}
 			s.jobs[job.ID] = job
 			s.byKey[job.Key] = job
 			recovered = append(recovered, job)
+		}
+		// Startup sweep: every checkpoint file no live job's journal
+		// records vouch for is garbage — terminal jobs' leftovers, and
+		// files published in the instant before a crash whose binding
+		// record never landed. Removing the latter closes the
+		// write-then-crash stranding window from the recovery side.
+		if s.ckpts != nil {
+			keep := make(map[string]bool)
+			for _, job := range recovered {
+				for _, ref := range job.resume {
+					keep[ref.File] = true
+				}
+			}
+			s.ckpts.SweepExcept(keep)
 		}
 	}
 
@@ -336,7 +387,12 @@ func (s *Server) execute(j *Job) {
 		}
 		return nil
 	}
-	res, err := runSpec(j.Spec, s.cycleLimit(j), cancel, &j.Progress)
+	var ck *ckptRun
+	if interval := s.checkpointCycles(j); interval > 0 {
+		ck = &ckptRun{store: s.ckpts, journal: s.journal, id: j.ID, tenant: j.Tenant,
+			interval: interval, refs: j.resume, logf: s.cfg.Logf}
+	}
+	res, err := runSpec(j.Spec, s.cycleLimit(j), cancel, &j.Progress, ck)
 	// The engine reports an expired cycle budget as *sim.LimitError;
 	// lift it into the service deadline taxonomy so clients see one
 	// sentinel for both budget kinds.
@@ -354,6 +410,28 @@ func (s *Server) execute(j *Job) {
 		s.pool.ChargeCycles(j.Tenant, j.Progress.Cycles.Load())
 	}
 	s.finish(j, res, err)
+}
+
+// checkpointCycles resolves a job's durable-checkpoint cadence: the
+// spec's normalized value, else the server default (clamped to the same
+// floor Normalize applies). Zero — or a server without a checkpoint
+// store — means no checkpointing.
+func (s *Server) checkpointCycles(j *Job) int64 {
+	if s.ckpts == nil || s.journal == nil {
+		return 0
+	}
+	n := j.Spec.Normalize()
+	if n.App != AppEM3D {
+		return 0
+	}
+	interval := n.CheckpointCycles
+	if interval == 0 {
+		interval = s.cfg.DefaultCheckpointCycles
+	}
+	if interval > 0 && interval < MinCheckpointCycles {
+		interval = MinCheckpointCycles
+	}
+	return interval
 }
 
 func (s *Server) cycleLimit(j *Job) int64 {
@@ -409,6 +487,13 @@ func (s *Server) finish(j *Job, res JobResult, err error) {
 			s.mu.Lock()
 			s.unjournaled = append(s.unjournaled, *rec)
 			s.mu.Unlock()
+		} else if s.ckpts != nil {
+			// The outcome is durable; the job's checkpoints are now dead
+			// weight. Sweep only after the done record lands — a job whose
+			// terminal state did not persist (drain abort, degraded disk)
+			// keeps its ladder so the restart resumes instead of replaying
+			// from scratch.
+			s.ckpts.SweepJob(j.ID)
 		}
 	}
 	s.mu.Lock()
@@ -688,6 +773,28 @@ type Statusz struct {
 	// segment count/bytes, degraded flag, fsync latency, rotation and
 	// compaction counters.
 	Journal *JournalHealth `json:"journal,omitempty"`
+	// Checkpoints is the durable-checkpoint block (nil when
+	// checkpointing is off): store counters plus the jobs currently in
+	// the system that resumed from a checkpoint.
+	Checkpoints *CheckpointStatus `json:"checkpoints,omitempty"`
+}
+
+// ResumedJob is one job's resume summary on /statusz.
+type ResumedJob struct {
+	ID           string `json:"id"`
+	Tenant       string `json:"tenant,omitempty"`
+	State        string `json:"state"`
+	ResumeEpoch  int64  `json:"resume_epoch"`
+	ResumeCycles int64  `json:"resume_cycles"`
+	Checkpoints  int64  `json:"checkpoints"`
+}
+
+// CheckpointStatus is the durable-checkpoint block on /statusz.
+type CheckpointStatus struct {
+	Dir     string          `json:"dir"`
+	Retain  int             `json:"retain"`
+	Stats   ckpt.StoreStats `json:"stats"`
+	Resumed []ResumedJob    `json:"resumed,omitempty"`
 }
 
 // Status returns the counter snapshot (also served at /statusz).
@@ -727,6 +834,31 @@ func (s *Server) Status() Statusz {
 	if s.journal != nil {
 		h := s.journal.Health()
 		z.Journal = &h
+	}
+	if s.ckpts != nil {
+		cs := &CheckpointStatus{
+			Dir: s.ckpts.Dir(), Retain: s.cfg.CheckpointRetain, Stats: s.ckpts.Stats(),
+		}
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.jobs))
+		for id := range s.jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			j := s.jobs[id]
+			if !j.Progress.Resumed.Load() {
+				continue
+			}
+			cs.Resumed = append(cs.Resumed, ResumedJob{
+				ID: j.ID, Tenant: j.Tenant, State: j.State().String(),
+				ResumeEpoch:  j.Progress.ResumeEpoch.Load(),
+				ResumeCycles: j.Progress.ResumeCycles.Load(),
+				Checkpoints:  j.Progress.Checkpoints.Load(),
+			})
+		}
+		s.mu.Unlock()
+		z.Checkpoints = cs
 	}
 	return z
 }

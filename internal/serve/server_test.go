@@ -21,7 +21,7 @@ func slowSpec(seed int64) JobSpec {
 // comparator for every cache/recovery bit-identity claim.
 func referenceDigest(t *testing.T, spec JobSpec) string {
 	t.Helper()
-	res, err := runSpec(spec, 0, nil, nil)
+	res, err := runSpec(spec, 0, nil, nil, nil)
 	if err != nil {
 		t.Fatalf("reference run: %v", err)
 	}

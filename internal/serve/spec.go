@@ -90,6 +90,17 @@ type JobSpec struct {
 	// Budgets — excluded from the canonical hash.
 	CycleLimit  int64 `json:"cycle_limit,omitempty"`   // simulated cycles (0 = server default)
 	WallLimitMS int64 `json:"wall_limit_ms,omitempty"` // wall milliseconds (0 = server default)
+
+	// CheckpointCycles is the durable-checkpoint cadence: at most one
+	// checkpoint file is published per this many simulated cycles
+	// (0 = the server default, which is off unless configured). Like
+	// the budgets it is excluded from the canonical hash — cadence
+	// changes how often the run's state is persisted, never what the
+	// run computes; resumed jobs produce digests bit-identical to
+	// uninterrupted ones, which is what keeps the exclusion sound.
+	// Only em3d jobs checkpoint today (samplesort has no epoch
+	// structure to align on); Normalize zeroes it for other apps.
+	CheckpointCycles int64 `json:"checkpoint_cycles,omitempty"`
 }
 
 // Normalize returns the canonical form of the spec: every defaulted
@@ -136,6 +147,13 @@ func (s JobSpec) Normalize() JobSpec {
 	if n.Fault.MemFaultRate != 0 && n.Fault.Horizon == 0 {
 		n.Fault.Horizon = 5_000_000
 	}
+	if n.App != AppEM3D {
+		n.CheckpointCycles = 0
+	} else if n.CheckpointCycles > 0 && n.CheckpointCycles < MinCheckpointCycles {
+		// Clamp to the cancel-poll granularity: a cadence finer than the
+		// engine's host-poll stride could never be honored anyway.
+		n.CheckpointCycles = MinCheckpointCycles
+	}
 	return n
 }
 
@@ -181,6 +199,9 @@ func (s JobSpec) Validate() error {
 	}
 	if n.WallLimitMS < 0 {
 		return fmt.Errorf("serve: wall_limit_ms: must be non-negative, got %d", n.WallLimitMS)
+	}
+	if s.CheckpointCycles < 0 {
+		return fmt.Errorf("serve: checkpoint_cycles: must be non-negative, got %d", s.CheckpointCycles)
 	}
 	if err := n.Fault.config().Validate(); err != nil {
 		return fmt.Errorf("serve: fault: %w", err)

@@ -66,6 +66,22 @@ type Poller interface {
 	PollState(c *Ctx) bool
 }
 
+// MachineSnapshot is the serializable core of one committed checkpoint:
+// everything a fresh runtime needs to resume the program at Epoch
+// without replaying earlier epochs. Mem and Regs handed to a Sink are
+// the coordinator's own buffers — valid only for the duration of the
+// call; a sink that persists asynchronously must copy. Soft state
+// registered via Register (AM endpoints) is deliberately absent: runs
+// with registered Checkpointables are not externally resumable and
+// never reach a Sink.
+type MachineSnapshot struct {
+	Epoch int      // the epoch a resume of this snapshot starts at
+	Now   sim.Time // simulated time when the checkpoint committed
+	Mem   [][]byte // per-PE DRAM images
+	Regs  []shell.RegSnapshot
+	Heap  []int64 // per-PE runtime heap cursor (ctxSnap.heapNext)
+}
+
 // RecoveryConfig parameterizes the recovery runtime.
 type RecoveryConfig struct {
 	// MaxRollbacks bounds total rollbacks before the run is declared
@@ -74,6 +90,15 @@ type RecoveryConfig struct {
 	// PollGap paces queue polling while waiting at a rendezvous
 	// (0 = a default of 200 cycles).
 	PollGap sim.Time
+	// Sink, if non-nil, observes every committed mid-run checkpoint —
+	// the durable-checkpoint hook. It runs in the last arriver's proc
+	// context with the machine fully quiesced, and must not touch the
+	// simulation (host I/O only; wall time it spends is invisible to
+	// simulated time). It is not called for the pre-run image or the
+	// final checkpoint (the run is about to produce its result anyway),
+	// nor when any PE registered a Checkpointable — soft endpoint state
+	// is not serialized, so such runs are only internally recoverable.
+	Sink func(*MachineSnapshot)
 }
 
 // RecoveryStats reports what recovery did during a run.
@@ -137,6 +162,10 @@ type Recovery struct {
 	committed bool // final checkpoint taken: results are stable, crashes ignored
 	err       error
 
+	// resume, when set by ResumeFrom, replaces the pre-run image: Run
+	// restores it before any proc starts and begins at resume.Epoch.
+	resume *MachineSnapshot
+
 	Stats RecoveryStats
 }
 
@@ -177,6 +206,44 @@ func (r *Recovery) Register(c *Ctx, item Checkpointable) {
 // Rollbacks returns the completed rollback count so far.
 func (r *Recovery) Rollbacks() int64 { return r.Stats.Rollbacks }
 
+// ResumeFrom arranges for Run to start from an externally persisted
+// checkpoint instead of the pre-run image: the snapshot becomes the
+// baseline restored before any proc runs, and epochs begin at
+// snap.Epoch. The snapshot is deep-copied, so the caller's buffers may
+// be reused. Call before Run, on a freshly built machine whose
+// host-side setup (graph build, layout, seeding) matches the original
+// run — the restored DRAM image then overrides the seeded data and the
+// program replays from the checkpointed epoch to a bit-identical
+// result. Runs that register Checkpointables cannot resume (their soft
+// state is not in the snapshot); Run fails fast if setup registers any.
+func (r *Recovery) ResumeFrom(snap *MachineSnapshot) error {
+	n := len(r.rt.M.Nodes)
+	if len(snap.Mem) != n || len(snap.Regs) != n || len(snap.Heap) != n {
+		return fmt.Errorf("recovery: resume snapshot has %d/%d/%d mem/regs/heap entries for a %d-PE machine",
+			len(snap.Mem), len(snap.Regs), len(snap.Heap), n)
+	}
+	if snap.Epoch < 0 {
+		return fmt.Errorf("recovery: resume epoch %d is negative", snap.Epoch)
+	}
+	for pe, node := range r.rt.M.Nodes {
+		if int64(len(snap.Mem[pe])) != node.DRAM.Size() {
+			return fmt.Errorf("recovery: resume image for pe%d is %d bytes, DRAM is %d",
+				pe, len(snap.Mem[pe]), node.DRAM.Size())
+		}
+	}
+	cp := MachineSnapshot{
+		Epoch: snap.Epoch, Now: snap.Now,
+		Mem:  make([][]byte, n),
+		Regs: append([]shell.RegSnapshot(nil), snap.Regs...),
+		Heap: append([]int64(nil), snap.Heap...),
+	}
+	for pe := range snap.Mem {
+		cp.Mem[pe] = append([]byte(nil), snap.Mem[pe]...)
+	}
+	r.resume = &cp
+	return nil
+}
+
 // CrashNode delivers a node hard-fault: PE's volatile memory is zeroed
 // (fail-stop: the CPU state is lost; the shell, router, and DRAM
 // hardware keep running) and every program proc is interrupted so the
@@ -214,19 +281,37 @@ func (r *Recovery) initiateRollback() {
 // net.ErrPartitioned)), the rollback limit, deadlock, or livelock.
 func (r *Recovery) Run(setup SetupFunc) (sim.Time, RecoveryStats, error) {
 	rt := r.rt
-	// Checkpoint the pre-run image (epoch -1): host-side seeding has
-	// happened, no proc has run. A crash before the first post-setup
-	// checkpoint restores this and re-runs setup itself.
-	r.snapshotMachine()
-	r.ckptEpoch = -1
-	r.Stats.Checkpoints++
+	start := 0
+	if r.resume != nil {
+		// Resume: the external checkpoint replaces the pre-run image as
+		// the rollback baseline. Restore it over the host-side seeding
+		// (which ran so layout addresses match the original run), then
+		// snapshot the restored machine as this run's first checkpoint.
+		for pe, n := range rt.M.Nodes {
+			n.DRAM.Restore(r.resume.Mem[pe])
+			n.L1.InvalidateAll()
+			n.Shell.RestoreRegs(r.resume.Regs[pe])
+			r.soft[pe] = []any{ctxSnap{heapNext: r.resume.Heap[pe]}}
+		}
+		r.snapshotMachine()
+		r.ckptEpoch = r.resume.Epoch
+		start = r.resume.Epoch
+		r.Stats.Checkpoints++
+	} else {
+		// Checkpoint the pre-run image (epoch -1): host-side seeding has
+		// happened, no proc has run. A crash before the first post-setup
+		// checkpoint restores this and re-runs setup itself.
+		r.snapshotMachine()
+		r.ckptEpoch = -1
+		r.Stats.Checkpoints++
+	}
 
 	end, err := rt.M.RunErr(func(p *sim.Proc, n *machine.Node) {
 		c := rt.newCtx(p, n)
 		pe := c.MyPE()
 		r.procs[pe] = p
 		var step EpochFunc
-		epoch := 0
+		epoch := start
 		for {
 			rolled := r.protect(func() {
 				if r.err != nil {
@@ -234,9 +319,19 @@ func (r *Recovery) Run(setup SetupFunc) (sim.Time, RecoveryStats, error) {
 				}
 				if step == nil {
 					step = setup(c, r)
+					if r.resume != nil {
+						if len(r.items[pe]) > 0 {
+							r.err = fmt.Errorf("recovery: resume with registered Checkpointables is unsupported")
+							return
+						}
+						// The fresh context allocated nothing yet; adopt the
+						// checkpointed allocator cursor so in-run allocations
+						// land where the original run put them.
+						c.heapNext = r.resume.Heap[pe]
+					}
 					r.quiesce(c)
-					r.rendezvous(c, 0, false)
-					epoch = 0
+					r.rendezvous(c, start, false)
+					epoch = start
 				}
 				for {
 					cont := step(epoch)
@@ -410,9 +505,30 @@ func (r *Recovery) takeCheckpoint(c *Ctx, nextEpoch int) {
 		// crashes cannot un-compute them.
 		r.committed = true
 	}
+	if r.cfg.Sink != nil && !all && !r.hasItems() {
+		heap := make([]int64, len(r.soft))
+		for pe, snaps := range r.soft {
+			heap[pe] = snaps[0].(ctxSnap).heapNext
+		}
+		r.cfg.Sink(&MachineSnapshot{
+			Epoch: nextEpoch, Now: r.rt.M.Eng.Now(),
+			Mem: r.mem, Regs: r.regs, Heap: heap,
+		})
+	}
 	r.arrived = 0
 	r.ckptGen++
 	r.ckptSig.Fire(r.rt.M.Eng)
+}
+
+// hasItems reports whether any PE registered soft (Checkpointable)
+// state — the states a MachineSnapshot cannot carry.
+func (r *Recovery) hasItems() bool {
+	for _, items := range r.items {
+		if len(items) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (r *Recovery) snapshotMachine() {
