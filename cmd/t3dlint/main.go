@@ -1,8 +1,9 @@
 // Command t3dlint runs the simulator's compiler-perspective invariant
 // suite (internal/analysis) over module packages: the Split-C
-// split-phase sync discipline, deterministic-replay rules, the
-// deadline/partition/poison error taxonomy, and simulated-time-only
-// cycle accounting.
+// split-phase sync discipline (interprocedural, summary-based),
+// deterministic-replay rules, the deadline/partition/poison error
+// taxonomy, simulated-time-only cycle accounting, the cross-proc
+// shared-state inventory, and the //t3d:hotpath allocation-free gate.
 //
 // Usage:
 //
@@ -13,7 +14,12 @@
 // Exit status: 0 clean, 1 findings, 2 usage or load/type error.
 // Findings are suppressed line by line with `//lint:allow <pass>
 // <reason>`; unused or malformed suppressions are findings themselves.
-// See DESIGN.md §11 for the pass catalog and policy.
+// The -json output is a pinned contract (see main_test.go): it includes
+// every diagnostic — suppressed ones too, with their reasons, so the
+// allow inventory is machine-readable — while the exit status counts
+// only active findings. A one-line timing summary goes to stderr so CI
+// logs show where the lint budget went. See DESIGN.md §11 and §16 for
+// the pass catalog and policy.
 package main
 
 import (
@@ -21,18 +27,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/cycleaccount"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errtaxonomy"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/sharedstate"
 	"repro/internal/analysis/splitphase"
 )
 
+// allAnalyzers is the full shipped suite, shared with the tree-clean
+// test.
+var allAnalyzers = []*analysis.Analyzer{
+	splitphase.Analyzer,
+	determinism.Analyzer,
+	errtaxonomy.Analyzer,
+	cycleaccount.Analyzer,
+	sharedstate.Analyzer,
+	hotalloc.Analyzer,
+}
+
+// report is the -json output shape. cmd/t3dlint's main_test.go pins it;
+// CI tooling may rely on every field.
+type report struct {
+	Findings []analysis.Diagnostic `json:"findings"`
+	// Active is the number of unsuppressed findings — what the exit
+	// status reflects.
+	Active int `json:"active"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	jsonOut := flag.Bool("json", false, "emit all findings (suppressed included) as JSON")
 	flag.Parse()
 
+	start := time.Now()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -51,22 +81,15 @@ func main() {
 		fail(err)
 	}
 
-	analyzers := []*analysis.Analyzer{
-		splitphase.Analyzer,
-		determinism.Analyzer,
-		errtaxonomy.Analyzer,
-		cycleaccount.Analyzer,
-	}
 	l := analysis.NewLoader(root, modPath)
-	findings, err := analysis.RunPackages(l, paths, analyzers)
+	all, mod, err := analysis.RunPackagesDetail(l, paths, allAnalyzers)
 	if err != nil {
 		fail(err)
 	}
+	active := analysis.Active(all)
 
 	if *jsonOut {
-		out := struct {
-			Findings []analysis.Diagnostic `json:"findings"`
-		}{Findings: findings}
+		out := report{Findings: all, Active: len(active)}
 		if out.Findings == nil {
 			out.Findings = []analysis.Diagnostic{}
 		}
@@ -76,14 +99,20 @@ func main() {
 			fail(err)
 		}
 	} else {
-		for _, d := range findings {
+		for _, d := range active {
 			fmt.Println(d)
 		}
-		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "t3dlint: %d finding(s) in %d package(s)\n", len(findings), len(paths))
+		if len(active) > 0 {
+			fmt.Fprintf(os.Stderr, "t3dlint: %d finding(s) in %d package(s)\n", len(active), len(paths))
 		}
 	}
-	if len(findings) > 0 {
+	funcs := 0
+	if mod != nil {
+		funcs = len(mod.Graph.Nodes)
+	}
+	fmt.Fprintf(os.Stderr, "t3dlint: timing: %d packages, %d functions, %d passes, %d findings (%d suppressed) in %s\n",
+		len(paths), funcs, len(allAnalyzers), len(all), len(all)-len(active), time.Since(start).Round(time.Millisecond))
+	if len(active) > 0 {
 		os.Exit(1)
 	}
 }

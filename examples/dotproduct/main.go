@@ -24,6 +24,7 @@ func main() {
 	m := machine.New(machine.DefaultConfig(pes))
 	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
 
+	//lint:allow sharedstate PE 0 alone writes the reduced value behind its MyPE guard; the host reads it only after Run returns
 	var result float64
 	elapsed := rt.Run(func(c *splitc.Ctx) {
 		co := c.AllocCollectives(int64(c.NProc()))

@@ -41,6 +41,7 @@ func transpose(mech splitc.Mechanism) (sim.Time, bool) {
 	m := machine.New(machine.DefaultConfig(pes))
 	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
 
+	//lint:allow sharedstate symmetric-heap Alloc returns the same address on every PE, so the replicated writes all store the identical value
 	var matBase, outBase int64
 	elapsed := rt.Run(func(c *splitc.Ctx) {
 		me := c.MyPE()

@@ -393,9 +393,12 @@ func (ep *Endpoint) Register(id int, h Handler) {
 // Send deposits a four-word active message for handler id on node dst:
 // a fetch&increment ticket, four pipelined data stores, the header store,
 // and a completion wait — ≈ 2.9 µs total (§7.4).
+//
+//t3d:hotpath
 func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 	c := ep.c
 	if ep.cfg.Reliable {
+		//lint:allow hotalloc the reliable deposit records each message for retransmission and may build a wakeup on a window stall, both bounded by the credit window
 		ep.sendReliable(dst, id, args)
 		return
 	}
@@ -412,6 +415,7 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 		ep.sentTo[dst]++
 	}
 	ep.Sent++
+	//lint:allow hotalloc fetch&increment issues its per-operation request/response event chain; the chain closures are the transaction
 	ticket := c.FetchIncOn(dst, 0)
 	slot := int64(ticket%uint64(ep.cfg.QueueSlots)) * slotBytes
 	c.Compute(ep.cfg.DepositPad)
@@ -421,6 +425,7 @@ func (ep *Endpoint) Send(dst, id int, args [4]uint64) {
 	}
 	// Header written last: separate line, drains after the data.
 	c.Put(base.AddLocal(32), headerWord(c.MyPE(), id))
+	//lint:allow hotalloc Sync's drain formats only through the prefetch-pop tracer; a zero-cost disarmed Trace is the ROADMAP item-1 follow-up
 	c.Sync()
 }
 
@@ -587,8 +592,11 @@ func (ep *Endpoint) Flush() {
 // Poll checks the receive queue once, dispatching at most one message.
 // It reports whether a message was handled. Dispatch plus message access
 // costs ≈ 1.5 µs (§7.4).
+//
+//t3d:hotpath
 func (ep *Endpoint) Poll() bool {
 	if ep.cfg.Reliable {
+		//lint:allow hotalloc the reliable dispatch path formats only in its unknown-handler misuse panic
 		return ep.pollReliable()
 	}
 	c := ep.c
@@ -613,6 +621,7 @@ func (ep *Endpoint) Poll() bool {
 	c.Node.CPU.Store64(c.P, ep.creditBase+int64(src)*8, ep.consumed[src])
 	h, ok := ep.handlers[id]
 	if !ok {
+		//lint:allow hotalloc unknown-handler misuse panic; registered dispatch never formats
 		panic(fmt.Sprintf("am: PE %d received message for unknown handler %d", c.MyPE(), id))
 	}
 	h(c, src, args)

@@ -29,8 +29,13 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the pass enforces.
 	Doc string
 	// Run executes the pass over one package, reporting findings
-	// through pass.Reportf.
+	// through pass.Reportf. Nil for module-level analyzers.
 	Run func(pass *Pass) error
+	// RunModule, when set, executes the pass once over the whole
+	// module: the call graph and fact store let it compute summaries
+	// bottom-up over SCCs and report findings across package
+	// boundaries. An analyzer sets exactly one of Run / RunModule.
+	RunModule func(pass *ModulePass) error
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -52,14 +57,25 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// A Diagnostic is one finding, resolved to a file position.
+// A Diagnostic is one finding, resolved to a file position. The JSON
+// shape is a contract with CI tooling — see cmd/t3dlint's decode test.
 type Diagnostic struct {
-	Pass    string         `json:"pass"`
-	Pos     token.Position `json:"-"`
-	File    string         `json:"file"`
-	Line    int            `json:"line"`
-	Col     int            `json:"col"`
-	Message string         `json:"message"`
+	Pass string         `json:"pass"`
+	Pos  token.Position `json:"-"`
+	File string         `json:"file"`
+	Line int            `json:"line"`
+	Col  int            `json:"col"`
+	// Class is a stable machine-readable violation label within the
+	// pass (e.g. "shared-mutable", "iface-box"); empty for passes that
+	// predate classification.
+	Class   string `json:"class,omitempty"`
+	Message string `json:"message"`
+	// Suppressed marks findings waived by a //lint:allow comment;
+	// SuppressReason carries the allow's written-down argument. The
+	// -json output includes suppressed findings (they are the audit
+	// inventory); exit codes count only active ones.
+	Suppressed     bool   `json:"suppressed"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -68,9 +84,15 @@ func (d Diagnostic) String() string {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportClassf(pos, "", format, args...)
+}
+
+// ReportClassf records a finding at pos tagged with a violation class.
+func (p *Pass) ReportClassf(pos token.Pos, class, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Pass:    p.Analyzer.Name,
+		Class:   class,
 		Pos:     position,
 		File:    position.Filename,
 		Line:    position.Line,

@@ -40,6 +40,17 @@ func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, importPath string) 
 	if err != nil {
 		t.Fatalf("running %s over %s: %v", a.Name, importPath, err)
 	}
+	if a.RunModule != nil {
+		// Module-level analyzers see the fixture package plus its stub
+		// imports, with findings restricted to the fixture itself —
+		// a stub that triggered a diagnostic would fail the test as an
+		// unexpected position anyway.
+		modDiags, _, err := analysis.RunModuleAnalyzers(l, []string{importPath}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s over fixture module %s: %v", a.Name, importPath, err)
+		}
+		diags = append(diags, modDiags...)
+	}
 
 	wants := collectWants(t, l, pkg)
 

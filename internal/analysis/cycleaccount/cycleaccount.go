@@ -104,17 +104,17 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		case *ast.CallExpr:
 			checkCall(pass, n)
 		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "channel send in a *sim.Proc function — only the sim scheduler may park a goroutine; use signals/deadlines on the proc")
+			pass.ReportClassf(n.Pos(), "chan-op", "channel send in a *sim.Proc function — only the sim scheduler may park a goroutine; use signals/deadlines on the proc")
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" {
-				pass.Reportf(n.Pos(), "channel receive in a *sim.Proc function — only the sim scheduler may park a goroutine; use p.WaitSignal or shell waits")
+				pass.ReportClassf(n.Pos(), "chan-op", "channel receive in a *sim.Proc function — only the sim scheduler may park a goroutine; use p.WaitSignal or shell waits")
 			}
 		case *ast.SelectStmt:
-			pass.Reportf(n.Pos(), "select in a *sim.Proc function — only the sim scheduler may park a goroutine")
+			pass.ReportClassf(n.Pos(), "chan-op", "select in a *sim.Proc function — only the sim scheduler may park a goroutine")
 		case *ast.RangeStmt:
 			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
 				if _, ok := t.Underlying().(*types.Chan); ok {
-					pass.Reportf(n.Pos(), "range over a channel in a *sim.Proc function — only the sim scheduler may park a goroutine")
+					pass.ReportClassf(n.Pos(), "chan-op", "range over a channel in a *sim.Proc function — only the sim scheduler may park a goroutine")
 				}
 			}
 		}
@@ -128,15 +128,15 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 	if analysis.IsPkgFunc(fn, "time", "Sleep") {
-		pass.Reportf(call.Pos(), "time.Sleep in a *sim.Proc function — host sleep stalls the event kernel; charge simulated cycles with p.Compute")
+		pass.ReportClassf(call.Pos(), "host-sleep", "time.Sleep in a *sim.Proc function — host sleep stalls the event kernel; charge simulated cycles with p.Compute")
 		return
 	}
 	if analysis.IsPkgFunc(fn, "time", "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc") {
-		pass.Reportf(call.Pos(), "wall-clock time.%s in a *sim.Proc function — simulated time is p.Now(); host time breaks bit-identical replay", fn.Name())
+		pass.ReportClassf(call.Pos(), "wall-clock", "wall-clock time.%s in a *sim.Proc function — simulated time is p.Now(); host time breaks bit-identical replay", fn.Name())
 		return
 	}
 	if analysis.IsPkgFunc(fn, "os/exec") {
-		pass.Reportf(call.Pos(), "os/exec in a *sim.Proc function — spawning processes is unbounded host-time work")
+		pass.ReportClassf(call.Pos(), "os-exec", "os/exec in a *sim.Proc function — spawning processes is unbounded host-time work")
 		return
 	}
 	if pkg, tn := analysis.ReceiverNamed(fn); pkg == "sync" {
@@ -144,7 +144,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			(fn.Name() == "Lock" && (tn == "Mutex" || tn == "RWMutex")) ||
 			(fn.Name() == "RLock" && tn == "RWMutex")
 		if blocking {
-			pass.Reportf(call.Pos(), "(*sync.%s).%s in a *sim.Proc function — OS blocking bypasses simulated time; use sim resources/signals", tn, fn.Name())
+			pass.ReportClassf(call.Pos(), "sync-block", "(*sync.%s).%s in a *sim.Proc function — OS blocking bypasses simulated time; use sim resources/signals", tn, fn.Name())
 		}
 	}
 }

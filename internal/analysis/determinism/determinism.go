@@ -80,7 +80,7 @@ func run(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				if pass.Path != simPath {
-					pass.Reportf(n.Pos(),
+					pass.ReportClassf(n.Pos(), "raw-go",
 						"raw go statement outside the internal/sim scheduler — the event kernel owns goroutine creation; a stray goroutine races the simulation")
 				}
 			case *ast.CallExpr:
@@ -115,7 +115,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 	if analysis.IsPkgFunc(fn, "time", "Now", "Since", "Until") {
-		pass.Reportf(call.Pos(),
+		pass.ReportClassf(call.Pos(), "wall-clock",
 			"wall-clock %s.%s in simulator code — host time is nondeterministic across runs; use sim.Time from the event kernel", fn.Pkg().Name(), fn.Name())
 		return
 	}
@@ -125,7 +125,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	if (pkg == "math/rand" || pkg == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil &&
 		!randConstructors[fn.Name()] {
-		pass.Reportf(call.Pos(),
+		pass.ReportClassf(call.Pos(), "global-rand",
 			"global math/rand %s draws from the process-seeded shared source — replay is not bit-identical; use rand.New(rand.NewSource(seed))", fn.Name())
 	}
 }
@@ -199,7 +199,7 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, next ast.Stmt) {
 		return true
 	})
 	if offender != "" {
-		pass.Reportf(rng.Pos(),
+		pass.ReportClassf(rng.Pos(), "map-order",
 			"iteration over map %s %s — Go randomizes map order per process, breaking bit-identical replay; iterate a sorted key list, restructure, or argue order-independence in a //lint:allow", types.ExprString(rng.X), offender)
 	}
 }

@@ -86,7 +86,7 @@ func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
 	}
 	for _, side := range []ast.Expr{b.X, b.Y} {
 		if name, pkg := sentinelUse(pass, side); name != "" {
-			pass.Reportf(b.Pos(),
+			pass.ReportClassf(b.Pos(), "sentinel-compare",
 				"%s compared with %s — wrapped %s values make this silently false; use errors.Is(err, %s.%s)", name, b.Op, name, pkg, name)
 			return
 		}
@@ -94,7 +94,7 @@ func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
 	// err.Error() == "..." — taxonomy by message text.
 	for _, side := range []ast.Expr{b.X, b.Y} {
 		if isErrorTextCall(pass, side) {
-			pass.Reportf(b.Pos(),
+			pass.ReportClassf(b.Pos(), "msg-compare",
 				"error discriminated by message text — messages are not API; use errors.Is against sim.ErrDeadline/net.ErrPartitioned/mem.ErrPoisoned")
 			return
 		}
@@ -109,7 +109,7 @@ func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	for _, a := range call.Args {
 		if isErrorTextCall(pass, a) {
-			pass.Reportf(call.Pos(),
+			pass.ReportClassf(call.Pos(), "msg-compare",
 				"strings.%s over err.Error() — error messages are not API; discriminate with errors.Is against the taxonomy sentinels", fn.Name())
 			return
 		}
@@ -120,7 +120,7 @@ func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
 // bare statement.
 func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, stmt *ast.ExprStmt) {
 	if fn := fallibleCallee(pass, call); fn != nil {
-		pass.Reportf(stmt.Pos(),
+		pass.ReportClassf(stmt.Pos(), "err-discard",
 			"error result of %s.%s discarded — it may carry a deadline/partition/poison verdict; handle or propagate it", fn.Pkg().Name(), fn.Name())
 	}
 }
@@ -142,7 +142,7 @@ func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
 	// The error is the last result; its LHS slot is the last one.
 	last := as.Lhs[len(as.Lhs)-1]
 	if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "_" {
-		pass.Reportf(as.Pos(),
+		pass.ReportClassf(as.Pos(), "err-discard",
 			"error result of %s.%s assigned to _ — it may carry a deadline/partition/poison verdict; handle or propagate it", fn.Pkg().Name(), fn.Name())
 	}
 }
@@ -183,7 +183,7 @@ func checkSwallow(pass *analysis.Pass, s *ast.IfStmt) {
 		return !used
 	})
 	if !used {
-		pass.Reportf(s.Pos(),
+		pass.ReportClassf(s.Pos(), "verdict-drop",
 			"%s is checked non-nil but its verdict is dropped — a poisoned read would fail silently; discriminate with errors.Is or propagate the error", errIdent.Name)
 	}
 }

@@ -1,0 +1,27 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden checks every allocation class against bad.go — including
+// the interprocedural calls-allocating cases, where the allocation is
+// one or two unannotated calls away — and the allocation-free mirrors
+// in ok.go (value composites, pointer-shaped boxing, annotated-callee
+// boundaries), which must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, fixtures(t), hotalloc.Analyzer, "repro/internal/fixhot")
+}

@@ -5,11 +5,15 @@ import (
 	"sort"
 )
 
-// RunPackage executes the analyzers over one loaded package and returns
-// the raw (unsuppressed) diagnostics in source order.
+// RunPackage executes the per-package analyzers over one loaded package
+// and returns the raw (unsuppressed) diagnostics in source order.
+// Module-level analyzers (RunModule) are skipped; use RunPackages.
 func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      l.Fset,
@@ -27,31 +31,96 @@ func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, e
 	return diags, nil
 }
 
-// RunPackages loads every path, runs the analyzers, and applies the
-// //lint:allow suppression policy per package. The returned diagnostics
-// are the actionable findings: real violations, malformed suppressions,
-// and stale suppressions.
+// RunModuleAnalyzers builds the module view over everything the loader
+// has resolved and executes the module-level analyzers, restricting
+// findings to the target paths. It returns the raw diagnostics and the
+// module (for callers that want the graph, e.g. timing output).
+func RunModuleAnalyzers(l *Loader, targets []string, analyzers []*Analyzer) ([]Diagnostic, *Module, error) {
+	var modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+		}
+	}
+	if len(modAnalyzers) == 0 {
+		return nil, nil, nil
+	}
+	m := NewModule(l, targets)
+	var diags []Diagnostic
+	for _, a := range modAnalyzers {
+		pass := &ModulePass{
+			Analyzer: a,
+			Module:   m,
+			Fset:     l.Fset,
+			diags:    &diags,
+		}
+		if err := a.RunModule(pass); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s over module: %w", a.Name, err)
+		}
+	}
+	return diags, m, nil
+}
+
+// RunPackages loads every path, runs per-package and module-level
+// analyzers, and applies the //lint:allow suppression policy. The
+// returned diagnostics are the actionable findings: real violations,
+// malformed suppressions, and stale suppressions. For the full audit
+// set including suppressed findings, use RunPackagesDetail.
 func RunPackages(l *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, _, err := RunPackagesDetail(l, paths, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return Active(all), nil
+}
+
+// RunPackagesDetail is RunPackages without the suppression filter: it
+// returns every diagnostic, with waived findings marked Suppressed and
+// carrying their allow's reason, plus the module view (nil when no
+// module-level analyzer ran). Suppression is applied globally — a
+// module-level pass may report into any target package and the allow
+// comment there still matches.
+func RunPackagesDetail(l *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, *Module, error) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	var all []Diagnostic
+	var allows []*Allow
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		diags, err := RunPackage(l, pkg, analyzers)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		allows, bad := CollectAllows(l.Fset, pkg, known)
-		all = append(all, ApplySuppressions(diags, allows)...)
+		pkgAllows, bad := CollectAllows(l.Fset, pkg, known)
+		all = append(all, diags...)
 		all = append(all, bad...)
+		allows = append(allows, pkgAllows...)
 	}
+	modDiags, m, err := RunModuleAnalyzers(l, paths, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	all = append(all, modDiags...)
+	all = MarkSuppressions(all, allows)
 	SortDiagnostics(all)
-	return all, nil
+	return all, m, nil
+}
+
+// Active filters a marked diagnostic set down to the findings that
+// still demand action: everything not waived by a //lint:allow.
+func Active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, pass.

@@ -1,0 +1,26 @@
+package sharedstate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedstate"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden checks every classification against bad.go (shared-mutable
+// and shared-guarded variables, reported at their declarations) and the
+// sanctioned patterns in ok.go (signal/channel mediation, single-proc
+// capture, setup-only state), which must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, fixtures(t), sharedstate.Analyzer, "repro/internal/fixshared")
+}

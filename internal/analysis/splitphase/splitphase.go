@@ -1,17 +1,40 @@
 // Package splitphase enforces the Split-C sync-counter discipline from
 // the paper, statically: every split-phase operation a function issues
 // (Ctx.Get, Put, BulkGet, BulkPut) must be settled by a dominating
-// Sync, SyncWithin, AllStoreSync, or Barrier before the function can
-// return, and the destination of a Get must not be read locally while
-// the get is still in flight.
+// Sync, SyncWithin, AllStoreSync, or Barrier before the operation can
+// escape the program — and the destination of a Get must not be read
+// locally while the get is still in flight.
 //
 // The paper's Split-C compiler implements split-phase assignments by
 // incrementing a per-processor sync counter at issue and spinning on it
 // at the sync point; code motion between the two is what buys the
 // latency tolerance, and reading the landing zone before the counter
-// drains is the canonical miscompilation. This pass is the
-// intraprocedural shadow of that counter: it tracks may-be-unsettled
-// operations along every control-flow path.
+// drains is the canonical miscompilation. This pass is the static
+// shadow of that counter — and since the counter is per-processor, not
+// per-function, the shadow is interprocedural: a helper that issues a
+// Get and a caller that performs the dominating Sync are analyzed
+// together through the module call graph, instead of the helper
+// carrying a whole-function exemption.
+//
+// Mechanically, each function is summarized bottom-up over the call
+// graph's SCCs with two facts:
+//
+//   - alwaysSyncs: every reachable path through the body executes at
+//     least one sync (a deferred sync counts, as does a call to a
+//     callee that alwaysSyncs). A call to such a function settles the
+//     caller's earlier pending operations — the runtime counter does
+//     not care which frame spins on it.
+//   - exitOrigins: the issue sites (own, or inherited from callees)
+//     that may still be unsettled when the function returns.
+//
+// A caller that invokes a function with exitOrigins inherits those
+// obligations into its own path state; a later sync settles them. An
+// origin is reported — at its own issue site, exactly where the
+// intraprocedural pass reported it — only when some function carrying
+// it in its summary escapes analysis unresolved: it has no in-module
+// caller, it is spawned as a proc body (Run/RunOn/Spawn: the runtime
+// will not sync for it), or it is invoked from inside the exempt
+// splitc runtime.
 //
 // Approximations, chosen to match how the tree actually writes Split-C
 // (see internal/analysis/testdata/src/repro/internal/fixsplit/ok.go for
@@ -19,15 +42,20 @@
 //
 //   - Any sync operation settles every pending operation (the runtime
 //     distinguishes get/put/store counters; the lint does not).
-//   - Ctx.WithDeadline(budget, fn) counts as a sync when fn's body
-//     contains a sync call; the body is also analyzed on its own.
-//   - A function that defers a sync is exempt from exit checks.
+//   - Ctx.WithDeadline(budget, fn) counts as a sync when fn is known to
+//     sync (by summary, or syntactically for literals).
+//   - Calls within one SCC (recursion) are treated as no-ops; mutual
+//     recursion that launders sync obligations is a documented blind
+//     spot (DESIGN.md §16).
 //   - A "local read" is a call to a method named Load64, Load32, Load8,
 //     ReadWord, or ReadLocal — the CPU/memory local-access surface.
-//   - Functions that intentionally return with operations in flight
-//     (an interpreter dispatching one instruction per call, a helper
-//     settled by its caller's barrier) carry a //lint:allow splitphase
-//     comment stating whose sync settles them.
+//     The in-flight-destination check stays intraprocedural: a Get
+//     destination handed to another function is not tracked.
+//   - Functions whose in-flight exits are intentional and settled
+//     nowhere the graph can see (an interpreter dispatching one
+//     instruction per call, settled by a *program-level* sync opcode)
+//     carry a //lint:allow splitphase comment stating whose sync
+//     settles them.
 //
 // Package repro/internal/splitc itself is exempt: the runtime that
 // implements Sync cannot be a client of its own discipline.
@@ -36,16 +64,21 @@ package splitphase
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 
 	"repro/internal/analysis"
 )
 
 // Analyzer is the splitphase pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "splitphase",
-	Doc:  "split-phase Get/Put must be settled by a dominating sync; Get destinations must not be read before the sync",
-	Run:  run,
+	Name:      "splitphase",
+	Doc:       "split-phase Get/Put must be settled by a dominating sync, own or a caller's; Get destinations must not be read before the sync",
+	RunModule: runModule,
 }
+
+// passName duplicates Analyzer.Name for use inside run functions (a
+// direct reference would be an initialization cycle).
+const passName = "splitphase"
 
 const splitcPath = "repro/internal/splitc"
 
@@ -55,48 +88,182 @@ var localReadNames = map[string]bool{
 	"Load64": true, "Load32": true, "Load8": true, "ReadWord": true, "ReadLocal": true,
 }
 
-func run(pass *analysis.Pass) error {
-	if pass.Path == splitcPath {
-		return nil
+// An origin is one split-phase issue site: the unit of blame. Whether
+// it is reported depends on the whole module; where is fixed here.
+type origin struct {
+	node *analysis.FuncNode
+	call *ast.CallExpr
+	op   string
+}
+
+// A fact is one function's bottom-up summary.
+type fact struct {
+	alwaysSyncs bool
+	exitOrigins []*origin
+}
+
+func runModule(mp *analysis.ModulePass) error {
+	m := mp.Module
+	sp := &splitPass{
+		mp:         mp,
+		unresolved: map[*origin]bool{},
+		reported:   map[ast.Node]bool{},
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				fc := &funcCtx{pass: pass, reported: map[ast.Node]bool{}}
-				fc.analyzeBody(fd.Body)
+
+	// Bottom-up over SCCs: callee facts exist before callers need them.
+	for _, comp := range m.Graph.SCCs() {
+		for _, n := range comp {
+			if n.Pkg.Path == splitcPath {
+				continue
+			}
+			sp.summarize(n)
+		}
+	}
+
+	// Resolution: an origin escapes when some function carrying it in
+	// its exit summary has nobody left to sync for it.
+	var escaped []*origin
+	for _, n := range m.Graph.Nodes {
+		f, _ := m.Facts.Get(passName, n).(*fact)
+		if f == nil || len(f.exitOrigins) == 0 {
+			continue
+		}
+		if !sp.unresolvedAtExit(n) {
+			continue
+		}
+		for _, o := range f.exitOrigins {
+			if !sp.unresolved[o] {
+				sp.unresolved[o] = true
+				escaped = append(escaped, o)
 			}
 		}
+	}
+	sort.Slice(escaped, func(i, j int) bool { return escaped[i].call.Pos() < escaped[j].call.Pos() })
+	for _, o := range escaped {
+		if !m.Target(o.node.Pkg) || sp.reported[o.call] {
+			continue
+		}
+		sp.reported[o.call] = true
+		mp.ReportClassf(o.call.Pos(), "unsettled",
+			"split-phase %s is not settled by a dominating Sync/SyncWithin/AllStoreSync/Barrier on some path to function exit (Split-C sync-counter discipline)", o.op)
 	}
 	return nil
 }
 
-// A pendingOp is one issued, not-yet-settled split-phase operation.
+type splitPass struct {
+	mp         *analysis.ModulePass
+	unresolved map[*origin]bool
+	reported   map[ast.Node]bool
+}
+
+// unresolvedAtExit reports whether n's pending-at-exit summary escapes
+// the analysis: no in-module caller will (or can) sync for it.
+func (sp *splitPass) unresolvedAtExit(n *analysis.FuncNode) bool {
+	// A spawned proc body returns to the scheduler, which does not sync
+	// on its behalf.
+	if n.SpawnAll || n.SpawnOne {
+		return true
+	}
+	sites := n.CallSites()
+	if len(sites) == 0 {
+		// Called from nowhere the graph can see (tests, reflection,
+		// stored function values): conservative, same as the old
+		// intraprocedural verdict.
+		return true
+	}
+	for _, e := range sites {
+		if e.Caller.Pkg.Path == splitcPath {
+			// Invoked by the exempt runtime (program(c) inside Run):
+			// the runtime is not a client of the discipline and its
+			// callbacks must settle their own operations.
+			return true
+		}
+	}
+	return false
+}
+
+// summarize runs the path-sensitive walker over one function body and
+// stores its fact.
+func (sp *splitPass) summarize(n *analysis.FuncNode) {
+	siteCallees := map[*ast.CallExpr][]*analysis.FuncNode{}
+	for _, e := range n.Out {
+		if e.Kind == analysis.EdgeCall && e.Site != nil {
+			siteCallees[e.Site] = append(siteCallees[e.Site], e.Callee)
+		}
+	}
+	fc := &funcCtx{
+		sp:          sp,
+		node:        n,
+		info:        n.Pkg.Info,
+		siteCallees: siteCallees,
+	}
+	out := fc.stmt(n.Body(), state{})
+	f := &fact{}
+	exits := fc.exits
+	if !out.unreachable {
+		exits = append(exits, out)
+	}
+	f.alwaysSyncs = fc.deferSync || len(exits) > 0
+	seen := map[*origin]bool{}
+	for _, ex := range exits {
+		if !ex.synced && !fc.deferSync {
+			f.alwaysSyncs = false
+		}
+		if fc.deferSync {
+			continue // the deferred sync settles everything at exit
+		}
+		for _, p := range ex.pending {
+			for _, o := range p.origins {
+				if !seen[o] {
+					seen[o] = true
+					f.exitOrigins = append(f.exitOrigins, o)
+				}
+			}
+		}
+	}
+	sp.mp.Module.Facts.Set(passName, n, f)
+}
+
+// calleeFact returns the stored summary for a callee, or nil for
+// unwalked (splitc), same-SCC, or out-of-module functions.
+func (sp *splitPass) calleeFact(caller, callee *analysis.FuncNode) *fact {
+	if callee.SCC() == caller.SCC() {
+		return nil
+	}
+	f, _ := sp.mp.Module.Facts.Get(passName, callee).(*fact)
+	return f
+}
+
+// A pendingOp is one issued, not-yet-settled split-phase operation (own
+// or inherited from a callee's summary).
 type pendingOp struct {
-	call *ast.CallExpr
-	op   string
-	dst  types.Object // root variable of the Get/BulkGet destination, if any
+	origins []*origin
+	dst     types.Object // root variable of a Get/BulkGet destination (own ops only)
+	op      string
 }
 
 // state is the may-be-unsettled set along one control-flow path.
 type state struct {
 	pending     []*pendingOp
+	synced      bool // a sync has executed on this path
 	unreachable bool
 }
 
 func (s state) clone() state {
-	return state{pending: append([]*pendingOp(nil), s.pending...), unreachable: s.unreachable}
+	return state{pending: append([]*pendingOp(nil), s.pending...), synced: s.synced, unreachable: s.unreachable}
 }
 
-// merge joins path states: an operation is settled only if it is
-// settled on every reachable incoming path.
+// merge joins path states: an operation is settled — and a sync has
+// happened — only if that holds on every reachable incoming path.
 func merge(states ...state) state {
-	out := state{unreachable: true}
+	out := state{unreachable: true, synced: true}
 	seen := map[*pendingOp]bool{}
 	for _, s := range states {
 		if s.unreachable {
 			continue
 		}
 		out.unreachable = false
+		out.synced = out.synced && s.synced
 		for _, p := range s.pending {
 			if !seen[p] {
 				seen[p] = true
@@ -104,38 +271,28 @@ func merge(states ...state) state {
 			}
 		}
 	}
+	if out.unreachable {
+		out.synced = false
+	}
 	return out
 }
 
 type funcCtx struct {
-	pass      *analysis.Pass
-	reported  map[ast.Node]bool
-	deferSync bool
+	sp          *splitPass
+	node        *analysis.FuncNode
+	info        *types.Info
+	siteCallees map[*ast.CallExpr][]*analysis.FuncNode
+	deferSync   bool
+	// exits collects the path states at every return statement; the
+	// fall-off state is appended by summarize.
+	exits []state
 	// breaks collects the states flowing into the exit of the
 	// innermost breakable statement (loop, switch, select).
 	breaks []*[]state
 }
 
-// analyzeBody checks one function body with a fresh discipline state.
-// Nested function literals reach here too: each function owns its own
-// sync obligations.
-func (fc *funcCtx) analyzeBody(body *ast.BlockStmt) {
-	inner := &funcCtx{pass: fc.pass, reported: fc.reported}
-	out := inner.stmt(body, state{})
-	if !out.unreachable && !inner.deferSync {
-		inner.reportPending(out)
-	}
-}
-
-func (fc *funcCtx) reportPending(s state) {
-	for _, p := range s.pending {
-		if fc.reported[p.call] {
-			continue
-		}
-		fc.reported[p.call] = true
-		fc.pass.Reportf(p.call.Pos(),
-			"split-phase %s is not settled by a dominating Sync/SyncWithin/AllStoreSync/Barrier on some path to function exit (Split-C sync-counter discipline)", p.op)
-	}
+func (fc *funcCtx) calleeFunc(call *ast.CallExpr) *types.Func {
+	return analysis.CalleeIn(fc.info, call)
 }
 
 func (fc *funcCtx) stmt(s ast.Stmt, in state) state {
@@ -187,7 +344,7 @@ func (fc *funcCtx) stmt(s ast.Stmt, in state) state {
 		fc.expr(s.Call.Fun, &in)
 		return in
 	case *ast.DeferStmt:
-		if fn := fc.pass.CalleeFunc(s.Call); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
+		if fn := fc.calleeFunc(s.Call); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
 			fc.deferSync = true
 		}
 		for _, a := range s.Call.Args {
@@ -198,8 +355,8 @@ func (fc *funcCtx) stmt(s ast.Stmt, in state) state {
 		for _, e := range s.Results {
 			fc.expr(e, &in)
 		}
-		if !in.unreachable && !fc.deferSync {
-			fc.reportPending(in)
+		if !in.unreachable {
+			fc.exits = append(fc.exits, in.clone())
 		}
 		in.unreachable = true
 		return in
@@ -303,8 +460,9 @@ func (fc *funcCtx) pushBreaks() *[]state {
 
 func (fc *funcCtx) popBreaks() { fc.breaks = fc.breaks[:len(fc.breaks)-1] }
 
-// expr walks an expression, applying call effects in evaluation order
-// and descending into function literals with fresh discipline state.
+// expr walks an expression, applying call effects in evaluation order.
+// Function literals are their own call-graph nodes, summarized
+// separately — their bodies are not descended into here.
 func (fc *funcCtx) expr(e ast.Expr, st *state) {
 	if e == nil {
 		return
@@ -312,7 +470,6 @@ func (fc *funcCtx) expr(e ast.Expr, st *state) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			fc.analyzeBody(n.Body)
 			return false
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
@@ -328,57 +485,117 @@ func (fc *funcCtx) expr(e ast.Expr, st *state) {
 	})
 }
 
+// settle marks every pending operation settled on this path.
+func settle(st *state) {
+	st.pending = nil
+	st.synced = true
+}
+
 func (fc *funcCtx) applyCall(call *ast.CallExpr, st *state) {
-	fn := fc.pass.CalleeFunc(call)
-	if fn == nil {
-		return
-	}
-	if isCtxMethod(fn) {
+	fn := fc.calleeFunc(call)
+	if fn != nil && isCtxMethod(fn) {
 		name := fn.Name()
 		switch {
 		case issueOps[name]:
-			p := &pendingOp{call: call, op: name}
+			o := &origin{node: fc.node, call: call, op: name}
+			p := &pendingOp{origins: []*origin{o}, op: name}
 			if (name == "Get" || name == "BulkGet") && len(call.Args) > 0 {
-				p.dst = rootVar(fc.pass, call.Args[0])
+				p.dst = rootVarOf(fc.info, call.Args[0])
 			}
 			st.pending = append(st.pending, p)
 			return
 		case syncOps[name]:
-			st.pending = nil
+			settle(st)
 			return
 		case name == "WithDeadline":
-			if litContainsSync(fc.pass, call) {
-				st.pending = nil
+			if fc.argSyncs(call) {
+				settle(st)
 			}
 			return
 		}
 	}
-	// Local reads of an in-flight Get destination.
-	if _, tn := analysis.ReceiverNamed(fn); tn != "" && localReadNames[fn.Name()] {
-		for _, a := range call.Args {
-			obj := rootVar(fc.pass, a)
-			if obj == nil {
-				continue
-			}
-			for _, p := range st.pending {
-				if p.dst != nil && p.dst == obj && !fc.reported[call] {
-					fc.reported[call] = true
-					fc.pass.Reportf(call.Pos(),
-						"local read of %s, the destination of an un-synced %s — the transfer may not have landed; Sync first", obj.Name(), p.op)
+	// Local reads of an in-flight Get destination (own ops only: the
+	// summary does not carry destinations across frames).
+	if fn != nil {
+		if _, tn := analysis.ReceiverNamed(fn); tn != "" && localReadNames[fn.Name()] {
+			for _, a := range call.Args {
+				obj := rootVarOf(fc.info, a)
+				if obj == nil {
+					continue
+				}
+				for _, p := range st.pending {
+					if p.dst != nil && p.dst == obj && !fc.sp.reported[call] {
+						fc.sp.reported[call] = true
+						if fc.sp.mp.Module.Target(fc.node.Pkg) {
+							fc.sp.mp.ReportClassf(call.Pos(), "early-read",
+								"local read of %s, the destination of an un-synced %s — the transfer may not have landed; Sync first", obj.Name(), p.op)
+						}
+					}
 				}
 			}
 		}
 	}
+	// Module callees, by summary: a callee that always syncs settles
+	// the caller's counter; a callee that may exit pending hands its
+	// obligations to this frame.
+	callees := fc.siteCallees[call]
+	if len(callees) == 0 {
+		return
+	}
+	allSync := true
+	var inherited []*origin
+	for _, cn := range callees {
+		f := fc.sp.calleeFact(fc.node, cn)
+		if f == nil {
+			allSync = false
+			continue
+		}
+		if !f.alwaysSyncs {
+			allSync = false
+		}
+		inherited = append(inherited, f.exitOrigins...)
+	}
+	if allSync {
+		settle(st)
+		return
+	}
+	if len(inherited) > 0 {
+		st.pending = append(st.pending, &pendingOp{origins: inherited, op: "call"})
+	}
+}
+
+// argSyncs reports whether a WithDeadline-style call's function
+// argument is known to sync: by summary when the argument resolves to a
+// module function or literal, or syntactically as a fallback.
+func (fc *funcCtx) argSyncs(call *ast.CallExpr) bool {
+	g := fc.sp.mp.Module.Graph
+	for _, a := range call.Args {
+		var n *analysis.FuncNode
+		switch a := ast.Unparen(a).(type) {
+		case *ast.FuncLit:
+			n = g.NodeForLit(a)
+		case *ast.Ident:
+			if f, ok := fc.info.Uses[a].(*types.Func); ok {
+				n = g.NodeFor(f)
+			}
+		}
+		if n != nil {
+			if f := fc.sp.calleeFact(fc.node, n); f != nil && f.alwaysSyncs {
+				return true
+			}
+		}
+	}
+	return litContainsSync(fc.info, call)
 }
 
 // terminates reports whether call never returns (panic, os.Exit).
 func (fc *funcCtx) terminates(call *ast.CallExpr) bool {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-		if _, isBuiltin := fc.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+		if _, isBuiltin := fc.info.Uses[id].(*types.Builtin); isBuiltin {
 			return true
 		}
 	}
-	fn := fc.pass.CalleeFunc(call)
+	fn := fc.calleeFunc(call)
 	return analysis.IsPkgFunc(fn, "os", "Exit") ||
 		analysis.IsPkgFunc(fn, "log", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln")
 }
@@ -390,7 +607,7 @@ func isCtxMethod(fn *types.Func) bool {
 
 // litContainsSync reports whether any function-literal argument of call
 // syntactically contains a sync operation.
-func litContainsSync(pass *analysis.Pass, call *ast.CallExpr) bool {
+func litContainsSync(info *types.Info, call *ast.CallExpr) bool {
 	found := false
 	for _, a := range call.Args {
 		lit, ok := a.(*ast.FuncLit)
@@ -399,7 +616,7 @@ func litContainsSync(pass *analysis.Pass, call *ast.CallExpr) bool {
 		}
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
 			if c, ok := n.(*ast.CallExpr); ok {
-				if fn := pass.CalleeFunc(c); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
+				if fn := analysis.CalleeIn(info, c); fn != nil && isCtxMethod(fn) && syncOps[fn.Name()] {
 					found = true
 				}
 			}
@@ -409,16 +626,16 @@ func litContainsSync(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return found
 }
 
-// rootVar returns the first variable mentioned in e — the "base" of a
+// rootVarOf returns the first variable mentioned in e — the "base" of a
 // destination expression like dst+int64(i)*8.
-func rootVar(pass *analysis.Pass, e ast.Expr) types.Object {
+func rootVarOf(info *types.Info, e ast.Expr) types.Object {
 	var obj types.Object
 	ast.Inspect(e, func(n ast.Node) bool {
 		if obj != nil {
 			return false
 		}
 		if id, ok := n.(*ast.Ident); ok {
-			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
 				obj = v
 				return false
 			}

@@ -35,9 +35,9 @@ type Allow struct {
 func CollectAllows(fset *token.FileSet, pkg *Package, knownPasses map[string]bool) ([]*Allow, []Diagnostic) {
 	var allows []*Allow
 	var bad []Diagnostic
-	report := func(pos token.Position, msg string) {
+	report := func(pos token.Position, class, msg string) {
 		bad = append(bad, Diagnostic{
-			Pass: "suppress", Pos: pos,
+			Pass: "suppress", Class: class, Pos: pos,
 			File: pos.Filename, Line: pos.Line, Col: pos.Column,
 			Message: msg,
 		})
@@ -55,17 +55,17 @@ func CollectAllows(fset *token.FileSet, pkg *Package, knownPasses map[string]boo
 				}
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
-					report(pos, "malformed //lint:allow: missing pass name and reason")
+					report(pos, "malformed", "malformed //lint:allow: missing pass name and reason")
 					continue
 				}
 				pass := fields[0]
 				if !knownPasses[pass] {
-					report(pos, "//lint:allow names unknown pass "+pass)
+					report(pos, "unknown-pass", "//lint:allow names unknown pass "+pass)
 					continue
 				}
 				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), pass))
 				if reason == "" {
-					report(pos, "//lint:allow "+pass+" has no reason — suppressions must say why the invariant holds")
+					report(pos, "missing-reason", "//lint:allow "+pass+" has no reason — suppressions must say why the invariant holds")
 					continue
 				}
 				allows = append(allows, &Allow{Pos: pos, Pass: pass, Reason: reason})
@@ -80,28 +80,36 @@ func CollectAllows(fset *token.FileSet, pkg *Package, knownPasses map[string]boo
 // line directly above. It returns the surviving diagnostics plus one
 // "suppress" diagnostic per allow that matched nothing.
 func ApplySuppressions(diags []Diagnostic, allows []*Allow) []Diagnostic {
-	var kept []Diagnostic
+	return Active(MarkSuppressions(diags, allows))
+}
+
+// MarkSuppressions matches diags against allows without dropping
+// anything: waived findings come back with Suppressed set and the
+// allow's reason attached, so the full set remains available as an
+// audit inventory (-json emits it; exit codes count active findings
+// only). One "suppress" diagnostic is appended per allow that matched
+// nothing.
+func MarkSuppressions(diags []Diagnostic, allows []*Allow) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
-		suppressed := false
 		for _, a := range allows {
 			if a.Pass == d.Pass && a.Pos.Filename == d.File &&
 				(a.Pos.Line == d.Line || a.Pos.Line == d.Line-1) {
 				a.used = true
-				suppressed = true
+				d.Suppressed = true
+				d.SuppressReason = a.Reason
 			}
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
+		out = append(out, d)
 	}
 	for _, a := range allows {
 		if !a.used {
-			kept = append(kept, Diagnostic{
-				Pass: "suppress", Pos: a.Pos,
+			out = append(out, Diagnostic{
+				Pass: "suppress", Class: "unused-allow", Pos: a.Pos,
 				File: a.Pos.Filename, Line: a.Pos.Line, Col: a.Pos.Column,
 				Message: "unused //lint:allow " + a.Pass + " — no finding here; delete the stale suppression",
 			})
 		}
 	}
-	return kept
+	return out
 }

@@ -1,0 +1,106 @@
+// Package fixshared holds sharedstate golden fixtures. bad.go carries
+// one variable per classification; each // want comment sits on the
+// variable's declaration line, where the pass reports.
+package fixshared
+
+import "repro/internal/splitc"
+
+// hits is raw cross-proc mutable state: every PE increments it with no
+// mediation and no slotting — the canonical parallel-DES data race.
+var hits int // want `package-level var hits is mutated from 2 procs with no mediating signal/channel and no PE slotting`
+
+func countAll(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		hits++
+	})
+}
+
+// reduceRace captures a local in a replicated proc body and reduces
+// into it: a race between PEs once procs run concurrently.
+func reduceRace(rt *splitc.Runtime) int {
+	total := 0 // want `captured var total is mutated from 2 procs with no mediating signal/channel and no PE slotting`
+	rt.Run(func(c *splitc.Ctx) {
+		total += 1
+	})
+	return total
+}
+
+// slots is written only through PE-private slots: disciplined sharing,
+// still inventoried so the refactor preserves the slotting.
+var slots [16]uint64 // want `package-level var slots is written from 2 procs through PE-private slots or a PE-identity guard`
+
+func fillSlots(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		slots[c.MyPE()] = 7
+	})
+}
+
+// winner has a single designated writer behind a PE-identity check.
+var winner uint64 // want `package-level var winner is written from 2 procs through PE-private slots or a PE-identity guard`
+
+func electWinner(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		if c.MyPE() == 0 {
+			winner = 1
+		}
+	})
+}
+
+// crossTalk is written by two distinct single-PE proc bodies — two
+// RunOn roots, weight 2, no replication needed.
+var crossTalk uint64 // want `package-level var crossTalk is mutated from 2 procs with no mediating signal/channel and no PE slotting`
+
+func pingPong(rt *splitc.Runtime) {
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		crossTalk = 1
+	})
+	rt.RunOn(1, func(c *splitc.Ctx) {
+		crossTalk = 2
+	})
+}
+
+// laneOwner is written under a MyPE switch — a designated single writer
+// per case arm, the switch form of the PE-identity guard.
+var laneOwner uint64 // want `package-level var laneOwner is written from 2 procs through PE-private slots or a PE-identity guard`
+
+func switchWriter(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		switch c.MyPE() {
+		case 0:
+			laneOwner = 1
+		}
+	})
+}
+
+// gatekeeper is written under a tagless switch whose case expression
+// tests PE identity — the same single-writer discipline, spelled
+// switch { case c.MyPE() == 0: }.
+var gatekeeper uint64 // want `package-level var gatekeeper is written from 2 procs through PE-private slots or a PE-identity guard`
+
+func switchGate(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		switch {
+		case c.MyPE() == 0:
+			gatekeeper = 3
+		}
+	})
+}
+
+// table is written only at setup time, outside any proc body, and read
+// by every PE during the run: frozen-during-run shared state.
+var table []uint64 // want `package-level var table is read from 3 procs and mutated only outside proc context`
+
+func setup() {
+	table = make([]uint64, 64)
+}
+
+func readers(rt *splitc.Runtime) uint64 {
+	var out uint64
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		out = table[c.MyPE()]
+	})
+	rt.Run(func(c *splitc.Ctx) {
+		_ = table[c.MyPE()]
+	})
+	return out
+}

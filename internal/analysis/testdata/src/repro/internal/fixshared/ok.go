@@ -1,0 +1,98 @@
+// ok.go is the no-false-positive fixture: every variable mirrors a
+// sanctioned pattern from the real tree and must stay silent.
+package fixshared
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// errOverrun mirrors the error-sentinel idiom: package-level but never
+// reassigned, so it is immutable and out of scope.
+var errOverrun = errors.New("fixshared: overrun")
+
+func checkOverrun(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		if c.MyPE() < 0 {
+			panic(errOverrun)
+		}
+	})
+}
+
+// published mirrors the write-then-Fire publication idiom: the writer
+// fires a signal, readers order against the write through the event
+// kernel, and that ordering survives the sharded heap.
+var published uint64
+
+func publish(rt *splitc.Runtime, eng *sim.Engine, done *sim.Signal) {
+	rt.Run(func(c *splitc.Ctx) {
+		published = 42
+		done.Fire(eng)
+	})
+}
+
+// tally is published over a channel from inside the proc body — channel
+// mediation is as good as a signal.
+var tally uint64
+
+func channelMediated(rt *splitc.Runtime, ch chan uint64) {
+	rt.Run(func(c *splitc.Ctx) {
+		tally = uint64(c.MyPE())
+		ch <- tally
+	})
+}
+
+// soloCapture: state captured by a single RunOn body is private to that
+// one proc — weight 1, not shared.
+func soloCapture(rt *splitc.Runtime) uint64 {
+	var result uint64
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		result = 9
+	})
+	return result
+}
+
+// hostCounter is mutated and read on the host only, never from a proc
+// body — no proc reaches it, so it is out of scope.
+var hostCounter int
+
+func hostOnly() int {
+	hostCounter++
+	return hostCounter
+}
+
+// perFrame mirrors the checksum/per-transaction idiom: a local captured
+// by a closure inside a function *called from* proc bodies is created
+// fresh on every invocation — each proc mutates its own frame's
+// instance, so the binding is never shared between procs.
+func perFrame(x uint64) uint64 {
+	h := uint64(1)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 3
+	}
+	mix(x)
+	return h
+}
+
+func hashAll(rt *splitc.Runtime) {
+	rt.Run(func(c *splitc.Ctx) {
+		_ = perFrame(uint64(c.MyPE()))
+	})
+}
+
+// stats: writing a FIELD through a captured pointer mutates the struct
+// behind it, not the variable binding — struct-field tracking is out of
+// scope by design (the receiver-pointer idiom would otherwise flood the
+// inventory), so the pointer variable itself must stay silent.
+type stats struct {
+	ops uint64
+}
+
+func fieldWrites(rt *splitc.Runtime, st *stats) {
+	rt.Run(func(c *splitc.Ctx) {
+		st.ops++
+	})
+}

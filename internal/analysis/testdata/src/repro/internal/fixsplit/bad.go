@@ -50,3 +50,37 @@ func litEscapes(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) func() {
 	c.Sync()
 	return f
 }
+
+// helperPutNoSettle issues the put; neither it nor its only caller ever
+// syncs, so the obligation escapes — blamed at the issue site, found
+// through the call graph.
+func helperPutNoSettle(c *splitc.Ctx, g splitc.GlobalPtr) {
+	c.Put(g, 1) // want `split-phase Put is not settled by a dominating Sync`
+}
+
+func callerNeverSyncs(c *splitc.Ctx, g splitc.GlobalPtr) {
+	helperPutNoSettle(c, g)
+}
+
+// helperGetMixed has one caller that settles and one that does not: the
+// unsettled path still escapes, so the origin is reported.
+func helperGetMixed(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	c.Get(dst, g) // want `split-phase Get is not settled by a dominating Sync`
+}
+
+func mixedGoodCaller(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	helperGetMixed(c, g, dst)
+	c.Sync()
+}
+
+func mixedBadCaller(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	helperGetMixed(c, g, dst)
+}
+
+// spawnedBodyPending: a proc body handed to the runtime must settle its
+// own operations — the scheduler will not sync on its behalf.
+func spawnedBodyPending(rt *splitc.Runtime, g splitc.GlobalPtr) {
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		c.Put(g, 2) // want `split-phase Put is not settled by a dominating Sync`
+	})
+}

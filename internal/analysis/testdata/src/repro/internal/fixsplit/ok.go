@@ -77,3 +77,43 @@ func blockingOpsFree(c *splitc.Ctx, g splitc.GlobalPtr) uint64 {
 	c.Write(g, 7)
 	return c.Read(g)
 }
+
+// helperGet issues the get; its caller performs the dominating sync.
+// The summary-based analysis discharges the helper through the call
+// graph instead of demanding a whole-function //lint:allow.
+func helperGet(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	c.Get(dst, g)
+}
+
+func callerSyncs(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	helperGet(c, g, dst)
+	c.Sync()
+}
+
+// syncingHelper settles the counter for its caller: the runtime's sync
+// counter is per-processor, not per-frame, so a callee's sync settles
+// the caller's earlier issues too.
+func syncingHelper(c *splitc.Ctx) {
+	c.Sync()
+}
+
+func callerUsesHelperSync(c *splitc.Ctx, g splitc.GlobalPtr, dst int64) {
+	c.Get(dst, g)
+	syncingHelper(c)
+}
+
+// opSeries / fig7Mirror mirror the exp fig7 pattern: an op literal
+// flows into a parameter, is invoked inside the runtime program, and
+// the program's sync settles it — discharged via one-level value flow.
+func opSeries(rt *splitc.Runtime, op func(c *splitc.Ctx, g splitc.GlobalPtr), g splitc.GlobalPtr) {
+	rt.RunOn(0, func(c *splitc.Ctx) {
+		op(c, g)
+		c.Sync()
+	})
+}
+
+func fig7Mirror(rt *splitc.Runtime, g splitc.GlobalPtr) {
+	opSeries(rt, func(c *splitc.Ctx, g splitc.GlobalPtr) {
+		c.Put(g, 1)
+	}, g)
+}

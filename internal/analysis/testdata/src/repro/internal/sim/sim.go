@@ -23,8 +23,17 @@ func (p *Proc) Compute(n Time) {}
 // Signal mirrors the scheduler wait primitive.
 type Signal struct{}
 
+// Fire mirrors the publication half of the write-then-Fire idiom.
+func (s *Signal) Fire(e *Engine) {}
+
 // WaitSignal parks the proc until the signal fires.
 func (p *Proc) WaitSignal(s *Signal) {}
+
+// Engine mirrors the event kernel's spawn surface.
+type Engine struct{}
+
+// Spawn mirrors starting a single proc on the event kernel.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc { return nil }
 
 // spawn exists to prove the determinism exemption: the scheduler
 // itself owns goroutine creation, so a raw go statement inside

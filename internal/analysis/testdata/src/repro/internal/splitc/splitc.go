@@ -35,6 +35,17 @@ func (c *Ctx) SyncWithin(budget sim.Time) error        { return nil }
 
 func (c *Ctx) WithDeadline(budget sim.Time, fn func()) error { return nil }
 
+// MyPE mirrors the PE-identity query used for slotting and
+// single-writer guards.
+func (c *Ctx) MyPE() int { return 0 }
+
+// Runtime mirrors the Split-C runtime's spawn surface: Run replicates
+// one program body across every PE; RunOn starts it on a single PE.
+type Runtime struct{}
+
+func (rt *Runtime) Run(program func(c *Ctx)) sim.Time           { return 0 }
+func (rt *Runtime) RunOn(pe int, program func(c *Ctx)) sim.Time { return 0 }
+
 func (c *Ctx) Read(g GlobalPtr) uint64                                  { return 0 }
 func (c *Ctx) Write(g GlobalPtr, v uint64)                              {}
 func (c *Ctx) ReadWithin(g GlobalPtr, budget sim.Time) (uint64, error)  { return 0, nil }

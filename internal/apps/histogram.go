@@ -69,7 +69,9 @@ func Histogram(rt *splitc.Runtime, keys [][]uint64, bins int64, method Histogram
 		}
 	}
 
+	//lint:allow sharedstate AllocSpread is symmetric: every PE computes the identical descriptor, so the replicated writes agree
 	var binSpread splitc.Spread
+	//lint:allow sharedstate PE 0 alone writes the elapsed cycles behind its MyPE guard; the host reads it after Run returns
 	var elapsed int64
 	rt.Run(func(c *splitc.Ctx) {
 		me := c.MyPE()

@@ -44,7 +44,9 @@ func MatMul(rt *splitc.Runtime, a [][]float64) MatMulResult {
 		}
 	}
 
+	//lint:allow sharedstate symmetric-heap Alloc returns the same address on every PE, so the replicated writes all store the identical value
 	var aBase, cBase, panelBase int64
+	//lint:allow sharedstate PE 0 alone writes the elapsed cycles behind its MyPE guard; the host reads it after Run returns
 	var elapsed int64
 	rt.Run(func(c *splitc.Ctx) {
 		me := c.MyPE()

@@ -25,6 +25,7 @@ func RadixSort(rt *splitc.Runtime, keys [][]uint64, digitBits, keyBits uint) Rad
 	radix := 1 << digitBits
 	passes := int((keyBits + digitBits - 1) / digitBits)
 
+	//lint:allow sharedstate sized on the host before Run starts; frozen while the procs read it
 	total := 0
 	var want []uint64
 	for _, ks := range keys {
@@ -36,6 +37,7 @@ func RadixSort(rt *splitc.Runtime, keys [][]uint64, digitBits, keyBits uint) Rad
 	// Output blocks: position g lives on PE g/blk at offset g%blk.
 	blk := (total + nproc - 1) / nproc
 
+	//lint:allow sharedstate sized on the host before Run starts; frozen while the procs read it
 	maxN := 0
 	for _, ks := range keys {
 		if len(ks) > maxN {
@@ -43,8 +45,11 @@ func RadixSort(rt *splitc.Runtime, keys [][]uint64, digitBits, keyBits uint) Rad
 		}
 	}
 
+	//lint:allow sharedstate symmetric-heap Alloc returns the same address on every PE, so the replicated writes all store the identical value
 	var outBase int64
+	//lint:allow sharedstate per-PE slots indexed by MyPE; the host verifies them after Run returns
 	counts := make([]int, nproc) // final per-PE key counts
+	//lint:allow sharedstate PE 0 alone writes the elapsed cycles behind its MyPE guard; the host reads it after Run returns
 	var elapsed int64
 	rt.Run(func(c *splitc.Ctx) {
 		me := c.MyPE()

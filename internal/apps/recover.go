@@ -38,6 +38,7 @@ func SampleSortRecoverable(rt *splitc.Runtime, rcfg splitc.RecoveryConfig, in *f
 	}
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 	capPer := int64(total)/int64(nproc)*3 + 8
+	//lint:allow sharedstate sized on the host before the run starts; frozen while the procs read it
 	maxN := int64(0)
 	for _, ks := range keys {
 		if int64(len(ks)) > maxN {

@@ -73,11 +73,14 @@ func SampleSortChecked(rt *splitc.Runtime, keys [][]uint64) (SampleSortResult, e
 		start int64 // base of this PE's sorted run
 		count int64
 	}
+	//lint:allow sharedstate per-PE outcome slots indexed by MyPE; the host verifies them after RunErr returns
 	results := make([]outcome, nproc)
+	//lint:allow sharedstate PE 0 alone writes the elapsed cycles behind its MyPE guard; the host reads it after RunErr returns
 	var elapsed int64
 
 	// Allocation symmetry: every thread must allocate identical extents,
 	// so regions are sized by the largest per-PE key count.
+	//lint:allow sharedstate sized on the host before RunErr starts; frozen while the procs read it
 	maxN := int64(0)
 	for _, ks := range keys {
 		if int64(len(ks)) > maxN {

@@ -175,6 +175,7 @@ func SawtoothWorkstation(probe WSProbe, cfg SawtoothConfig) Profile {
 		curve := Curve{ArraySize: size}
 		for _, stride := range StridesFor(size) {
 			w := machine.NewWorkstation()
+			//lint:allow sharedstate Workstation.Run drives a single CPU, so the writer is unique; the 2-proc weight is the pass's replicated-Run approximation
 			var avg float64
 			w.Run(func(p *sim.Proc, c *cpu.CPU) {
 				perPass := size / stride

@@ -140,10 +140,12 @@ func (c *CPU) Load64(p *sim.Proc, va int64) uint64 { return c.load(p, va, 8) }
 // Load32 performs a word load.
 func (c *CPU) Load32(p *sim.Proc, va int64) uint64 { return c.load(p, va, 4) }
 
+//t3d:hotpath
 func (c *CPU) load(p *sim.Proc, va int64, size int) uint64 {
 	c.chargeStolen(p)
 	c.Loads++
 	if va%int64(size) != 0 {
+		//lint:allow hotalloc unaligned-access misuse panic; aligned steady-state loads never format
 		panic(fmt.Sprintf("cpu: unaligned %d-byte load at %#x", size, va))
 	}
 	pa := va // identity translation; the TLB charges time only
@@ -151,8 +153,10 @@ func (c *CPU) load(p *sim.Proc, va int64, size int) uint64 {
 		p.Wait(pen)
 	}
 	if c.Remote != nil && !addr.IsLocal(pa) {
+		//lint:allow hotalloc the remote path allocates only per-miss line staging and a conflict-stall wait; steady cached hits are allocation-free
 		return c.loadRemote(p, pa, size)
 	}
+	//lint:allow hotalloc the local path allocates only per-miss line staging and the poison-trap error; per-hit loads are allocation-free
 	return c.loadLocal(p, addr.Offset(pa), pa, size)
 }
 
@@ -170,7 +174,10 @@ func (c *CPU) loadLocal(p *sim.Proc, off, pa int64, size int) uint64 {
 // the data is clean) instead of panicking — the primitive under both
 // the trapping loads and Load64Checked.
 func (c *CPU) loadLocalChecked(p *sim.Proc, off, pa int64, size int) (uint64, int64) {
-	buf := make([]byte, size)
+	// Word-sized staging on the stack: per-access heap traffic on the
+	// load path would dominate the simulated costs being measured.
+	var wordBuf [8]byte
+	buf := wordBuf[:size]
 	if c.L1.Lookup(pa) {
 		if c.L1.ParityBad(pa) {
 			// Parity error on the hit: detected, never consumed. Drop
@@ -229,7 +236,8 @@ func (c *CPU) loadRemote(p *sim.Proc, pa int64, size int) uint64 {
 	}
 	// Cached remote read: hits in the local L1 (that is what makes the
 	// mechanism attractive and incoherent at once, §4.4).
-	buf := make([]byte, size)
+	var wordBuf [8]byte
+	buf := wordBuf[:size]
 	if c.L1.Lookup(pa) {
 		if c.L1.ParityBad(pa) {
 			c.ParityRefills++
@@ -280,10 +288,12 @@ func (c *CPU) Store64(p *sim.Proc, va int64, v uint64) { c.store(p, va, v, 8) }
 // the multiprocessor consequences of §4.5.
 func (c *CPU) Store32(p *sim.Proc, va int64, v uint64) { c.store(p, va, v, 4) }
 
+//t3d:hotpath
 func (c *CPU) store(p *sim.Proc, va int64, v uint64, size int) {
 	c.chargeStolen(p)
 	c.Stores++
 	if va%int64(size) != 0 {
+		//lint:allow hotalloc unaligned-access misuse panic; aligned steady-state stores never format
 		panic(fmt.Sprintf("cpu: unaligned %d-byte store at %#x", size, va))
 	}
 	pa := va
@@ -291,6 +301,7 @@ func (c *CPU) store(p *sim.Proc, va int64, v uint64, size int) {
 		p.Wait(pen)
 	}
 	p.Wait(c.Costs.StoreIssue)
+	//lint:allow hotalloc per-store staging copy retained by the write buffer until drain; buffer pooling is the ROADMAP item-1 follow-up
 	data := make([]byte, size)
 	putWord(data, v)
 	// Write-through: update a resident line (local or cached-remote).

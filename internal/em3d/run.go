@@ -133,6 +133,7 @@ func RunChecked(m *machine.T3D, cfg Config, v Version, knobs Knobs, hooks Hooks)
 	seed(g, m, lay)
 
 	edges := g.edgeCount()
+	//lint:allow sharedstate PE 0 alone writes the elapsed cycles behind its MyPE guard; the host reads it after RunErr returns
 	var elapsed sim.Time
 	_, err := rt.RunErr(func(c *splitc.Ctx) {
 		pe := c.MyPE()

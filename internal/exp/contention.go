@@ -129,6 +129,7 @@ func runAggregate(o Options) []report.Table {
 		Title:   "Neighbor exchange: aggregate store bandwidth (MB/s)",
 		Headers: []string{"PEs", "per-PE MB/s", "aggregate MB/s"},
 	}
+	//lint:allow sharedstate chosen from Options on the host before Run; frozen during the run
 	block := int64(32 << 10)
 	if o.Quick {
 		block = 16 << 10
@@ -137,6 +138,7 @@ func runAggregate(o Options) []report.Table {
 		cfg := machine.DefaultConfig(n)
 		cfg.MemBytes = 2 << 20
 		rt := splitc.NewRuntime(machine.New(cfg), splitc.DefaultConfig())
+		//lint:allow sharedstate PE 0 alone writes the measured cycles behind its MyPE guard; the host reads it after Run returns
 		var cycles sim.Time
 		rt.Run(func(c *splitc.Ctx) {
 			src := c.Alloc(block)

@@ -108,6 +108,7 @@ func RunIncast(cfg IncastConfig) (IncastResult, error) {
 	}
 	m := machine.New(mcfg)
 	rt := splitc.NewRuntime(m, splitc.DefaultConfig())
+	//lint:allow sharedstate built on the host before RunErr starts; the proc bodies only read the config
 	acfg := am.ReliableConfig()
 	switch cfg.Mode {
 	case FlowAdaptive:
@@ -125,8 +126,10 @@ func RunIncast(cfg IncastConfig) (IncastResult, error) {
 	}
 	acfg.MessageTTL = cfg.TTL
 
+	//lint:allow sharedstate eps[c.MyPE()] is a per-PE slot; the watchdog closure only sums endpoint stats read-only
 	eps := make([]*am.Endpoint, cfg.PEs)
 	var lats []sim.Time
+	//lint:allow sharedstate each sender increments it exactly once after Flush behind the fan-in range guard; the increments commute and the consumer only polls for the final total -- revisit under the sharded heap (ROADMAP item 2)
 	done := 0
 	m.Eng.SetWatchdog(500000, 6, func() int64 {
 		var sum int64

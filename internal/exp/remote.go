@@ -103,7 +103,6 @@ func init() {
 			nb := core.Sawtooth(newT3D, core.RemoteWriteNonblocking(), cfg)
 			sc := splitcSeries("Split-C put (non-blocking, completion at sync)",
 				[]int64{8, 32, 1 << 10, 16 << 10},
-				//lint:allow splitphase settled by splitcSeries' harness Sync; the series measures issue cost, completion at sync
 				func(c *splitc.Ctx, g splitc.GlobalPtr) { c.Put(g, 1) })
 			return []report.Table{
 				profileTable("Figure 7: non-blocking remote write (ns)", nb),

@@ -80,20 +80,26 @@ const (
 // per (src, dst) — the common case is a map lookup with zero allocation —
 // and the cache is invalidated by FailLink. The returned slice is shared;
 // callers must not mutate it.
+//
+//t3d:hotpath
 func (n *Network) RouteErr(src, dst int) ([][2]int, error) {
 	idx := src*n.nodes + dst
 	switch n.routeState[idx] {
 	case routeKnown, routeRerouted:
 		return n.routeCache[idx], nil
 	case routeNone:
+		//lint:allow hotalloc partitioned-pair failure path; the verdict is cached, so the error is built once per dead pair per lookup
 		return nil, &PartitionError{Src: src, Dst: dst}
 	}
+	//lint:allow hotalloc route construction runs once per (src, dst) per topology change; every later lookup hits the cache
 	r, ok := n.computeRoute(src, dst)
 	if !ok {
 		n.routeState[idx] = routeNone
+		//lint:allow hotalloc partitioned-pair failure path discovered on the cache miss
 		return nil, &PartitionError{Src: src, Dst: dst}
 	}
 	state := routeKnown
+	//lint:allow hotalloc reroute classification runs once per (src, dst) per topology change, on the cache-miss path only
 	if n.deadLinks > 0 && n.dimOrderBroken(src, dst) {
 		// The pair's natural dimension-order path crosses a dead link:
 		// its packets travel a detour, even if the detour is no longer

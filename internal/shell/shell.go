@@ -178,11 +178,15 @@ func (s *Shell) SetDrainer(d Drainer) { s.drainer = d }
 // stores always translate through the OLD binding. Without this ordering
 // a runtime that rebinds the register while stores are in flight would
 // silently misroute them to the new target node.
+//
+//t3d:hotpath
 func (s *Shell) SetAnnex(p *sim.Proc, idx, pe int, cached bool) {
 	if idx <= 0 || idx >= addr.AnnexEntries {
+		//lint:allow hotalloc annex misuse panic; valid rebinds never format
 		panic(fmt.Sprintf("shell: annex index %d not writable", idx))
 	}
 	if pe < 0 || pe >= len(s.fab.Nodes) {
+		//lint:allow hotalloc annex misuse panic; valid rebinds never format
 		panic(fmt.Sprintf("shell: annex target PE %d out of range", pe))
 	}
 	if s.drainer != nil {
@@ -191,6 +195,7 @@ func (s *Shell) SetAnnex(p *sim.Proc, idx, pe int, cached bool) {
 	p.Wait(s.cfg.AnnexUpdate)
 	s.AnnexUpdates++
 	s.annex[idx] = AnnexEntry{PE: pe, Cached: cached}
+	//lint:allow hotalloc the tracer's variadic boxes on every rebind; a zero-cost disarmed Trace is the ROADMAP item-1 follow-up
 	s.eng.Trace("shell.annex", "pe%d annex[%d] <- pe=%d cached=%v", s.pe, idx, pe, cached)
 }
 
@@ -249,14 +254,18 @@ func (s *Shell) TakeCongestionMark(src int) bool {
 // proc and surfaces from sim.RunErr as a *ProcFailure wrapping
 // net.ErrPartitioned: an explicit, inspectable failure instead of a hang
 // on a response that can never arrive.
+//
+//t3d:hotpath
 func (s *Shell) checkReachable(pe int) {
 	if pe == s.pe || s.fab.Net.DeadLinks() == 0 {
 		return
 	}
 	if !s.fab.Net.Reachable(s.pe, pe) {
+		//lint:allow hotalloc partition failure path; the fault-free fast path returns before any check
 		panic(&net.PartitionError{Src: s.pe, Dst: pe})
 	}
 	if !s.fab.Net.Reachable(pe, s.pe) {
+		//lint:allow hotalloc partition failure path; the fault-free fast path returns before any check
 		panic(&net.PartitionError{Src: pe, Dst: s.pe})
 	}
 }
@@ -282,16 +291,20 @@ func (s *Shell) RestoreRegs(r RegSnapshot) {
 // --- Remote reads ---
 
 // ReadWord implements cpu.Remote: a blocking uncached remote read.
+//
+//t3d:hotpath
 func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 	e := s.annex[addr.Annex(pa)]
 	s.checkReachable(e.PE)
 	off := addr.Offset(pa)
 	s.RemoteReads++
+	//lint:allow hotalloc the tracer's variadic boxes on every read; a zero-cost disarmed Trace is the ROADMAP item-1 follow-up
 	s.eng.Trace("shell.read", "pe%d uncached read pe%d+%#x", s.pe, e.PE, off)
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("readword")
 	var val uint64
 	var poisoned bool
+	//lint:allow hotalloc the read transaction's event chain: one injection continuation and one completion closure per outstanding read
 	s.startRead(e.PE, off, size, func(v uint64, _ []byte, poi bool) {
 		val, poisoned = v, poi
 		done.Fire(s.eng)
@@ -302,6 +315,7 @@ func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 		// The response arrived but its payload is an uncorrectable
 		// memory error: trap on the requesting processor rather than
 		// hand garbage to the program.
+		//lint:allow hotalloc poison trap failure path; clean responses never allocate
 		panic(&mem.PoisonError{PE: e.PE, Addr: off})
 	}
 	return val
@@ -310,6 +324,8 @@ func (s *Shell) ReadWord(p *sim.Proc, pa int64, size int) uint64 {
 // ReadLine implements cpu.Remote: a blocking cached remote read filling
 // one cache line. The extra line-fill transaction makes it slower than an
 // uncached read (114 vs 91 cycles) despite moving four times the data.
+//
+//t3d:hotpath
 func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 	e := s.annex[addr.Annex(pa)]
 	s.checkReachable(e.PE)
@@ -318,6 +334,7 @@ func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 	p.Wait(s.cfg.IssueExtra)
 	done := sim.NewSignal("readline")
 	var poisoned bool
+	//lint:allow hotalloc the line-fill transaction's event chain: one injection continuation and one completion closure per outstanding read
 	s.startRead(e.PE, off, len(line), func(_ uint64, data []byte, poi bool) {
 		copy(line, data)
 		poisoned = poi
@@ -327,6 +344,7 @@ func (s *Shell) ReadLine(p *sim.Proc, pa int64, line []byte) {
 	p.Wait(s.cfg.RespAccept + s.cfg.CachedFillExtra)
 	if poisoned {
 		// Unwind before the caller can install the line in its cache.
+		//lint:allow hotalloc poison trap failure path; clean responses never allocate
 		panic(&mem.PoisonError{PE: e.PE, Addr: off})
 	}
 }

@@ -31,8 +31,17 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// Push is the container/heap grow half of the event kernel.
+//
+//t3d:hotpath
+func (h *eventHeap) Push(x any) {
+	//lint:allow hotalloc the heap's backing array grows amortized-O(1) and is reused across the run; per-event cost is a slot store
+	*h = append(*h, x.(*event))
+}
 
+// Pop is the container/heap shrink half of the event kernel.
+//
+//t3d:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -101,21 +110,30 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at the given absolute time, which must not be in
 // the past. fn runs inline in the engine loop and must not block.
+//
+//t3d:hotpath
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
+		//lint:allow hotalloc misuse-panic path only; the steady-state schedule never formats
 		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
 	}
 	e.seq++
+	//lint:allow hotalloc one event header per scheduled callback is the DES cost model; pooling popped headers is the ROADMAP item-1 follow-up
 	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
+//
+//t3d:hotpath
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // scheduleEpoch arranges for p to resume at time t, tagged with the wakeup
 // generation so stale events are skipped.
+//
+//t3d:hotpath
 func (e *Engine) scheduleEpoch(p *Proc, t Time, epoch uint64) {
 	e.seq++
+	//lint:allow hotalloc one event header per proc wakeup is the DES cost model; pooling popped headers is the ROADMAP item-1 follow-up
 	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p, epoch: epoch})
 }
 

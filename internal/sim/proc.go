@@ -82,8 +82,11 @@ func (p *Proc) Deadline() Time { return p.deadline }
 // CheckDeadline panics with a *DeadlineError if a deadline is armed and
 // has passed. Polling loops that advance time between iterations (write
 // completion, credit waits) call it once per iteration.
+//
+//t3d:hotpath
 func (p *Proc) CheckDeadline(op string) {
 	if p.deadline != 0 && p.eng.now >= p.deadline {
+		//lint:allow hotalloc deadline-expiry failure path; the in-budget check is branch-only
 		panic(&DeadlineError{Proc: p.name, Op: op, Deadline: p.deadline, Now: p.eng.now})
 	}
 }
@@ -92,6 +95,8 @@ func (p *Proc) CheckDeadline(op string) {
 // proc's deadline passes first it panics with a *DeadlineError. With no
 // deadline armed it is exactly WaitSignal. The abandoned wakeup is
 // harmless: a signal fire with no waiters is a no-op.
+//
+//t3d:hotpath
 func (p *Proc) WaitSignalDeadline(s *Signal, op string) {
 	if p.deadline == 0 {
 		p.WaitSignal(s)
@@ -137,8 +142,11 @@ func (p *Proc) park(st procState) {
 }
 
 // Wait advances the proc's time by d cycles.
+//
+//t3d:hotpath
 func (p *Proc) Wait(d Time) {
 	if d < 0 {
+		//lint:allow hotalloc negative-duration misuse panic; a valid wait never formats
 		panic(fmt.Sprintf("sim: Wait(%d) negative", d))
 	}
 	if d == 0 {
@@ -166,10 +174,13 @@ func (p *Proc) Yield() {
 }
 
 // WaitSignal blocks until s fires.
+//
+//t3d:hotpath
 func (p *Proc) WaitSignal(s *Signal) {
 	p.checkInterrupt()
 	p.epoch++
 	p.waitLabel, p.blockedSince = s.name, p.eng.now
+	//lint:allow hotalloc one waiter record per block; the per-signal slice is reused across fires, so the append is an amortized slot store
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.park(procBlocked)
 	p.checkInterrupt()
@@ -177,6 +188,8 @@ func (p *Proc) WaitSignal(s *Signal) {
 
 // WaitSignalTimeout blocks until s fires or d cycles elapse. It reports
 // whether the signal fired (as opposed to the timeout expiring).
+//
+//t3d:hotpath
 func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
 	p.checkInterrupt()
 	if d <= 0 {
@@ -185,6 +198,7 @@ func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
 	p.epoch++
 	p.sigFired = false
 	p.waitLabel, p.blockedSince = s.name, p.eng.now
+	//lint:allow hotalloc one waiter record per block; the per-signal slice is reused across fires, so the append is an amortized slot store
 	s.waiters = append(s.waiters, waiter{p, p.epoch})
 	p.eng.scheduleEpoch(p, p.eng.now+d, p.epoch)
 	p.park(procBlocked)
@@ -200,6 +214,7 @@ type InterruptSignal struct {
 	Proc string // name of the interrupted proc
 }
 
+//t3d:hotpath
 func (p *Proc) checkInterrupt() {
 	if p.interrupted {
 		panic(InterruptSignal{Proc: p.name})
@@ -245,6 +260,9 @@ type waiter struct {
 }
 
 // NewSignal returns a named signal.
+//
+//t3d:hotpath
+//lint:allow hotalloc one signal object per outstanding transaction; header pooling is the ROADMAP item-1 follow-up
 func NewSignal(name string) *Signal { return &Signal{name: name} }
 
 // Fire wakes all procs currently blocked on the signal. The wakeups are

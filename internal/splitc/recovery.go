@@ -281,6 +281,7 @@ func (r *Recovery) initiateRollback() {
 // net.ErrPartitioned)), the rollback limit, deadlock, or livelock.
 func (r *Recovery) Run(setup SetupFunc) (sim.Time, RecoveryStats, error) {
 	rt := r.rt
+	//lint:allow sharedstate stamped on the host before the attempt procs spawn; attempt bodies treat the rollback epoch base as read-only
 	start := 0
 	if r.resume != nil {
 		// Resume: the external checkpoint replaces the pre-run image as

@@ -21,11 +21,14 @@ func (c *Ctx) noteRewrite() {
 // recordWrite records a remote word write for verification at the next
 // completion point. Writes to the same address collapse to the last
 // value: same-sender writes to one destination commit in order.
+//
+//t3d:hotpath
 func (c *Ctx) recordWrite(g GlobalPtr, v uint64) {
 	if c.settling {
 		return // verification rewrites are re-checked by the settle loop
 	}
 	if c.relIndex == nil {
+		//lint:allow hotalloc write-verification index allocated lazily, once per ctx
 		c.relIndex = map[GlobalPtr]int{}
 	}
 	if i, ok := c.relIndex[g]; ok {
@@ -33,6 +36,7 @@ func (c *Ctx) recordWrite(g GlobalPtr, v uint64) {
 		return
 	}
 	c.relIndex[g] = len(c.relPending)
+	//lint:allow hotalloc one pending record per outstanding write, cleared at each completion point; the slice is reused
 	c.relPending = append(c.relPending, relWrite{g: g, v: v})
 }
 

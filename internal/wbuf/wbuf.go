@@ -123,13 +123,17 @@ func (b *Buffer) Empty() bool { return len(b.entries) == 0 }
 // PushWrite inserts a store of data at addr, blocking p if the buffer is
 // full. Stores to a line with an existing, not-yet-draining write entry
 // merge into it (write merging) and consume no new slot.
+//
+//t3d:hotpath
 func (b *Buffer) PushWrite(p *sim.Proc, addr int64, data []byte) {
 	if len(data) == 0 || int64(len(data)) > LineSize {
+		//lint:allow hotalloc size misuse panic; valid stores never format
 		panic(fmt.Sprintf("wbuf: write of %d bytes", len(data)))
 	}
 	line := addr &^ (LineSize - 1)
 	off := addr - line
 	if off+int64(len(data)) > LineSize {
+		//lint:allow hotalloc line-crossing misuse panic; valid stores never format
 		panic(fmt.Sprintf("wbuf: write at %#x crosses a line boundary", addr))
 	}
 	b.Pushes++
@@ -143,6 +147,7 @@ func (b *Buffer) PushWrite(p *sim.Proc, addr int64, data []byte) {
 			return
 		}
 	}
+	//lint:allow hotalloc one entry per distinct in-flight line; merging reuses entries and slots recycle on drain
 	e := &Entry{Kind: KindWrite, LineAddr: line}
 	copy(e.Data[off:], data)
 	for i := range data {
@@ -153,24 +158,36 @@ func (b *Buffer) PushWrite(p *sim.Proc, addr int64, data []byte) {
 
 // PushFetch inserts a binding-prefetch request for the word at addr,
 // blocking p if the buffer is full. Fetch entries never merge.
+//
+//t3d:hotpath
 func (b *Buffer) PushFetch(p *sim.Proc, addr int64) {
 	b.Pushes++
+	//lint:allow hotalloc one entry per outstanding prefetch; slots recycle on drain
 	e := &Entry{Kind: KindFetch, LineAddr: addr &^ (LineSize - 1), FetchAddr: addr}
 	b.pushSlot(p, e)
 }
 
+//t3d:hotpath
 func (b *Buffer) pushSlot(p *sim.Proc, e *Entry) {
 	if len(b.entries) >= b.capacity {
 		b.FullStalls++
+		//lint:allow hotalloc wait closure built only on the full-stall slow path
 		sim.Await(p, b.changed, func() bool { return len(b.entries) < b.capacity })
 	}
+	//lint:allow hotalloc amortized slot store; the backing array is reused across drains
 	b.entries = append(b.entries, e)
 	b.changed.Fire(b.eng)
 }
 
 // WaitEmpty blocks p until every entry has drained — the memory-barrier
 // wait. The 4-cycle MB issue cost is charged by the CPU, not here.
+//
+//t3d:hotpath
 func (b *Buffer) WaitEmpty(p *sim.Proc) {
+	if len(b.entries) == 0 {
+		return // drained fast path: no closure, no wait
+	}
+	//lint:allow hotalloc wait closure built only when entries are still draining
 	sim.Await(p, b.changed, func() bool { return len(b.entries) == 0 })
 }
 
@@ -189,6 +206,12 @@ func (b *Buffer) ConflictsWith(addr int64) bool {
 
 // WaitNoConflict blocks p until no pending write entry covers addr's line
 // (the load/store conflict stall of the 21064).
+//
+//t3d:hotpath
 func (b *Buffer) WaitNoConflict(p *sim.Proc, addr int64) {
+	if !b.ConflictsWith(addr) {
+		return // conflict-free fast path: no closure, no wait
+	}
+	//lint:allow hotalloc wait closure built only on the conflict-stall slow path
 	sim.Await(p, b.changed, func() bool { return !b.ConflictsWith(addr) })
 }
